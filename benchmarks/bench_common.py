@@ -1,0 +1,14 @@
+"""Helpers shared by the benchmark entries."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result.
+
+    The experiment runners are deterministic simulations, so repeated rounds
+    would only re-measure Python overhead; a single round keeps the full
+    benchmark suite fast while still recording a wall-clock figure per
+    experiment.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,32 @@
+"""Figure 10: CP decomposition (rank 8) time breakdown, Unified vs SPLATT.
+
+Paper claims: the unified GPU implementation is 14.9x (brainq) / 2.9x
+(nell2) faster than SPLATT; its per-mode MTTKRP times are well balanced
+while SPLATT's differ per mode; most of the time goes to the MTTKRPs.
+"""
+
+import pytest
+
+from bench_common import run_once
+from repro.bench import run_fig10
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_cp_decomposition(benchmark):
+    result = run_once(
+        benchmark, run_fig10, rank=8, iterations=5, datasets=("brainq", "nell2")
+    )
+    print()
+    print(result.render())
+    for dataset in ("brainq", "nell2"):
+        assert result.speedup(dataset) > 1.0
+        unified = result.row(dataset, "unified-gpu")
+        splatt = result.row(dataset, "splatt-cpu")
+        # Unified's per-mode MTTKRP times are nearly identical; SPLATT's are not.
+        assert unified.mode_balance < 1.2
+        assert unified.mode_balance <= splatt.mode_balance
+        # The MTTKRPs dominate the unified decomposition time (Figure 10).
+        mttkrp_total = sum(unified.mttkrp_time_by_mode.values())
+        assert mttkrp_total > unified.other_time_s
+        # Both engines converge to the same factorisation quality.
+        assert unified.final_fit == pytest.approx(splatt.final_fit, rel=1e-3)

@@ -1,0 +1,22 @@
+"""Figure 5: tuning threadlen and BLOCK_SIZE for SpMTTKRP on mode-1.
+
+Regenerates the two tuning surfaces (brainq and nell1) the paper plots and
+reports the best configuration found by the simulated sweep.
+"""
+
+import pytest
+
+from bench_common import run_once
+from repro.bench import run_fig5
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_tuning_surfaces(benchmark):
+    result = run_once(benchmark, run_fig5, datasets=("brainq", "nell1"), rank=16)
+    print()
+    print(result.render())
+    for name, surface in result.surfaces.items():
+        assert surface.times.shape == (len(surface.block_sizes), len(surface.threadlens))
+        assert surface.best_time > 0
+        # The sweep must actually discriminate between configurations.
+        assert surface.times.max() > surface.times.min()

@@ -1,0 +1,26 @@
+"""Figure 6a: SpTTM (last mode, rank 16) speedup over ParTI-omp.
+
+Paper reference points: Unified achieves 5.3x (nell1) to 215.7x (brainq)
+over ParTI-omp and 1.1x (nell1) to 3.7x (brainq) over ParTI-GPU.  The
+reproduction checks the *shape*: Unified wins against both baselines on
+every dataset.
+"""
+
+import pytest
+
+from bench_common import run_once
+from repro.bench import run_fig6a
+
+
+@pytest.mark.benchmark(group="fig6a")
+def test_fig6a_spttm_speedup(benchmark):
+    result = run_once(benchmark, run_fig6a, rank=16)
+    print()
+    print(result.render())
+    for row in result.rows:
+        # Unified beats the CPU baseline and the GPU baseline everywhere.
+        assert row.unified_speedup > 1.0
+        assert row.unified_over_parti_gpu is not None
+        assert row.unified_over_parti_gpu > 1.0
+        # ParTI-GPU itself beats the CPU (both are GPU codes after all).
+        assert row.speedup_over_omp(row.parti_gpu_time_s) > 1.0

@@ -1,0 +1,33 @@
+"""Figure 6b: SpMTTKRP (mode 1, rank 16) speedup over ParTI-omp.
+
+Paper reference points: Unified achieves 8.1x (nell1) to 102.5x (brainq)
+over ParTI-omp, 23.7x (nell2) / 30.6x (brainq) over ParTI-GPU, and 1.4x
+(nell2) / 12.5x (brainq) over SPLATT; ParTI-GPU runs out of memory on nell1
+and delicious.
+"""
+
+import pytest
+
+from bench_common import run_once
+from repro.bench import run_fig6b
+
+
+@pytest.mark.benchmark(group="fig6b")
+def test_fig6b_spmttkrp_speedup(benchmark):
+    result = run_once(benchmark, run_fig6b, rank=16)
+    print()
+    print(result.render())
+    rows = {r.dataset: r for r in result.rows}
+
+    for row in result.rows:
+        assert row.unified_speedup > 1.0
+        assert row.speedup_over_omp(row.splatt_time_s) > 1.0
+
+    # ParTI-GPU cannot hold the two largest tensors (Section V-A).
+    assert rows["nell1"].parti_gpu_time_s is None
+    assert rows["delicious"].parti_gpu_time_s is None
+    # Where ParTI-GPU runs, unified beats it by an order of magnitude.
+    for name in ("brainq", "nell2"):
+        assert rows[name].unified_over_parti_gpu > 10.0
+    # The densest tensor (brainq) shows the largest gain over the CPU baseline.
+    assert rows["brainq"].unified_speedup == max(r.unified_speedup for r in result.rows)

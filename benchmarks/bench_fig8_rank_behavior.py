@@ -1,0 +1,26 @@
+"""Figure 8: SpTTM execution time versus rank (brainq and nell2).
+
+Paper claim: ParTI-GPU's time grows faster with the rank than the unified
+method's (its thread-block shape depends on the rank), and unified stays
+faster across the whole sweep (3.7x-4.3x on brainq, 2.1x-2.4x on nell2).
+"""
+
+import pytest
+
+from bench_common import run_once
+from repro.bench import run_fig8
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_rank_behavior(benchmark):
+    result = run_once(benchmark, run_fig8, datasets=("brainq", "nell2"), ranks=(8, 16, 32, 64))
+    print()
+    print(result.render())
+    for dataset in ("brainq", "nell2"):
+        unified = result.series_for(dataset, "Unified")
+        parti = result.series_for(dataset, "ParTI-GPU")
+        # Unified is faster at every rank.
+        for u, p in zip(unified.times_s, parti.times_s):
+            assert u < p
+        # ParTI's time grows at least as fast as unified's with the rank.
+        assert parti.growth_factor >= unified.growth_factor * 0.95

@@ -1,0 +1,28 @@
+"""Figure 9: GPU global-memory consumption of SpMTTKRP mode-1 (rank 16).
+
+Paper claim: the one-shot unified method needs far less device memory than
+ParTI-GPU (68.6 % less on nell1, 88.6 % less on brainq) because it stores no
+intermediate semi-sparse tensor; at paper scale ParTI exceeds the Titan X's
+12 GB on nell1 and delicious.
+"""
+
+import pytest
+
+from bench_common import run_once
+from repro.bench import run_fig9
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_memory_consumption(benchmark):
+    result = run_once(benchmark, run_fig9, rank=16)
+    print()
+    print(result.render())
+    rows = {r.dataset: r for r in result.rows}
+    for row in result.rows:
+        assert row.unified_bytes < row.parti_bytes
+        assert row.unified_paper_scale_bytes < row.parti_paper_scale_bytes
+        assert row.reduction_percent > 25.0
+    assert rows["nell1"].parti_oom_at_paper_scale
+    assert rows["delicious"].parti_oom_at_paper_scale
+    assert not rows["brainq"].parti_oom_at_paper_scale
+    assert not rows["nell2"].parti_oom_at_paper_scale

@@ -1,0 +1,16 @@
+"""Table III: the simulated platform configuration."""
+
+import pytest
+
+from bench_common import run_once
+from repro.bench import platform_report
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_platform(benchmark):
+    text = run_once(benchmark, platform_report)
+    print()
+    print(text)
+    assert "Titan X" in text
+    assert "336 GB/s" in text
+    assert "68 GB/s" in text

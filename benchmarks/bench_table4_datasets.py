@@ -1,0 +1,16 @@
+"""Table IV: the evaluation datasets (paper statistics and synthetic analogs)."""
+
+import pytest
+
+from bench_common import run_once
+from repro.bench import run_table4
+from repro.data.registry import DATASETS
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_datasets(benchmark):
+    text = run_once(benchmark, run_table4, include_analog=True)
+    print()
+    print(text)
+    for name in DATASETS:
+        assert name in text

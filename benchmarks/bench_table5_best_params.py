@@ -1,0 +1,19 @@
+"""Table V: best (BLOCK_SIZE, threadlen) per dataset for SpTTM and SpMTTKRP."""
+
+import pytest
+
+from bench_common import run_once
+from repro.bench import run_table5
+from repro.data.registry import DATASETS
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_best_parameters(benchmark):
+    result = run_once(benchmark, run_table5, rank=16)
+    print()
+    print(result.render())
+    for op in ("spttm", "spmttkrp"):
+        assert set(result.best[op]) == set(DATASETS)
+        for block_size, threadlen in result.best[op].values():
+            assert block_size >= 32
+            assert threadlen >= 1

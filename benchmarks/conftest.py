@@ -1,0 +1,19 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark wraps one experiment runner from :mod:`repro.bench` (one per
+table/figure of the paper) with ``pytest-benchmark``; see ``bench_common.py``
+for the single-round execution helper.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# Allow running the benchmarks from a source checkout without installation and
+# make ``bench_common`` importable regardless of the pytest import mode.
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for path in (_SRC, _HERE):
+    if path not in sys.path:  # pragma: no cover - environment dependent
+        sys.path.insert(0, path)

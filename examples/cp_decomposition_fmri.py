@@ -1,0 +1,74 @@
+"""CP decomposition of an fMRI-style tensor (the paper's brainq scenario).
+
+The brainq dataset is a dense, oddly shaped noun x voxel x subject tensor
+from fMRI measurements; CP decomposition extracts latent components that
+relate words to brain-activity patterns.  This example decomposes the brainq
+analog with both CP-ALS engines — the unified F-COO GPU engine (the paper's
+contribution) and the SPLATT CSF CPU engine — and prints the Figure-10 style
+per-mode timing breakdown together with the decomposition fit.
+
+Run with:  python examples/cp_decomposition_fmri.py
+"""
+
+from __future__ import annotations
+
+from repro import SplattCPUEngine, UnifiedGPUEngine, cp_als, load_dataset
+from repro.util.formatting import format_seconds, format_table
+
+
+def main() -> None:
+    tensor = load_dataset("brainq")
+    rank = 8  # the paper fixes rank 8: brainq's third mode has only 9 indices
+    iterations = 5
+    print(f"decomposing {tensor} at rank {rank} ({iterations} ALS iterations)\n")
+
+    rows = []
+    results = {}
+    for engine in (UnifiedGPUEngine(), SplattCPUEngine()):
+        result = cp_als(
+            tensor,
+            rank,
+            engine=engine,
+            max_iterations=iterations,
+            tolerance=0.0,
+            seed=0,
+            compute_fit=True,
+        )
+        results[engine.name] = result
+        rows.append(
+            [
+                engine.name,
+                *(format_seconds(result.mttkrp_time_by_mode[m]) for m in range(tensor.order)),
+                format_seconds(result.other_time_s),
+                format_seconds(result.total_time_s),
+                f"{result.final_fit:.4f}",
+            ]
+        )
+
+    print(
+        format_table(
+            ["engine", "mode1-mttkrp", "mode2-mttkrp", "mode3-mttkrp", "other", "total", "fit"],
+            rows,
+            title="CP-ALS breakdown (Figure 10 reproduction)",
+        )
+    )
+
+    unified = results["unified-gpu"]
+    splatt = results["splatt-cpu"]
+    speedup = splatt.total_time_s / unified.total_time_s
+    balance = max(unified.mttkrp_time_by_mode.values()) / min(
+        unified.mttkrp_time_by_mode.values()
+    )
+    print(
+        f"\nunified GPU engine is {speedup:.1f}x faster than SPLATT; "
+        f"its per-mode MTTKRP times agree within {balance:.2f}x "
+        f"(the mode-insensitivity the paper claims)."
+    )
+    print(
+        "fit history (unified engine):",
+        ", ".join(f"{fit:.4f}" for fit in unified.fits),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Quickstart: sparse tensors, F-COO, and the unified kernels.
+
+Builds a small sparse tensor, encodes it in the paper's F-COO format, runs
+the unified SpTTM and SpMTTKRP kernels on the simulated GPU, checks them
+against the dense reference implementations, and prints the simulated
+performance profile of each kernel.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    FCOOTensor,
+    OperationKind,
+    SparseTensor,
+    random_factors,
+    unified_spmttkrp,
+    unified_spttm,
+)
+from repro.tensor.ops import mttkrp_dense, ttm_dense
+from repro.tensor.random import random_sparse_tensor
+from repro.util.formatting import format_bytes, format_seconds
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. Build a sparse tensor (here: random; see repro.data for the
+    #    paper's dataset analogs and the FROSTT .tns reader).
+    # ------------------------------------------------------------------ #
+    tensor = random_sparse_tensor((200, 300, 150), nnz=20_000, seed=0)
+    print(f"input tensor : {tensor}")
+
+    rank = 16
+    factors = [np.asarray(f) for f in random_factors(tensor.shape, rank, seed=1)]
+
+    # ------------------------------------------------------------------ #
+    # 2. Encode the tensor in F-COO.  The encoding depends on the operation
+    #    and target mode (Table I of the paper): SpTTM stores the product
+    #    mode index, SpMTTKRP stores the two product-mode indices, and the
+    #    remaining modes are compressed into the bit-flag array.
+    # ------------------------------------------------------------------ #
+    fcoo_spttm = FCOOTensor.from_sparse(tensor, OperationKind.SPTTM, mode=2)
+    fcoo_mttkrp = FCOOTensor.from_sparse(tensor, OperationKind.SPMTTKRP, mode=0)
+    print(
+        f"F-COO (SpTTM mode-3)    : {fcoo_spttm.num_segments} fibers, "
+        f"{format_bytes(fcoo_spttm.storage_bytes(threadlen=8))}"
+    )
+    print(
+        f"F-COO (SpMTTKRP mode-1) : {fcoo_mttkrp.num_segments} slices, "
+        f"{format_bytes(fcoo_mttkrp.storage_bytes(threadlen=8))}"
+    )
+
+    # ------------------------------------------------------------------ #
+    # 3. Run the unified kernels (numerically exact, cost charged to the
+    #    simulated Titan X).
+    # ------------------------------------------------------------------ #
+    spttm = unified_spttm(fcoo_spttm, factors[2], mode=2, block_size=128, threadlen=8)
+    mttkrp = unified_spmttkrp(fcoo_mttkrp, factors, mode=0, block_size=128, threadlen=8)
+
+    # ------------------------------------------------------------------ #
+    # 4. Verify against the dense reference implementations.
+    # ------------------------------------------------------------------ #
+    dense = tensor.to_dense()
+    assert np.allclose(
+        spttm.output.to_dense(), ttm_dense(dense, factors[2], 2), rtol=1e-4, atol=1e-5
+    )
+    assert np.allclose(mttkrp.output, mttkrp_dense(dense, factors, 0), rtol=1e-4, atol=1e-5)
+    print("numerical check vs dense reference: OK")
+
+    # ------------------------------------------------------------------ #
+    # 5. Inspect the simulated profiles.
+    # ------------------------------------------------------------------ #
+    for name, result in [("SpTTM", spttm), ("SpMTTKRP", mttkrp)]:
+        counters = result.profile.counters
+        print(
+            f"{name:9s}: {format_seconds(result.estimated_time_s)} simulated, "
+            f"{format_bytes(counters.gmem_total_bytes)} of device traffic, "
+            f"{int(counters.atomic_ops)} atomics, "
+            f"footprint {format_bytes(result.profile.device_memory_bytes)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

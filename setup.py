@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` keeps working on offline machines whose setuptools/pip
+cannot build PEP 660 editable wheels (the legacy ``setup.py develop`` path
+needs no ``wheel`` package and no network).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,120 @@
+"""repro — reproduction of "A Unified Optimization Approach for Sparse Tensor
+Operations on GPUs" (Liu, Wen, Sarwate, Mehri Dehnavi; IEEE CLUSTER 2017).
+
+The package implements:
+
+* the F-COO storage format and the unified SpTTM / SpMTTKRP / SpTTMc GPU
+  kernels built on it (:mod:`repro.formats`, :mod:`repro.kernels.unified`);
+* the substrates those kernels need — sparse tensor algebra
+  (:mod:`repro.tensor`), a deterministic GPU execution/cost model
+  (:mod:`repro.gpusim`), a multicore CPU model (:mod:`repro.cpusim`);
+* the baselines of the paper's evaluation — ParTI-GPU, ParTI-omp and SPLATT
+  (:mod:`repro.kernels.baselines`);
+* complete tensor algorithms: CP-ALS and Tucker/HOOI
+  (:mod:`repro.algorithms`);
+* datasets (:mod:`repro.data`), auto-tuning (:mod:`repro.autotune`) and the
+  per-figure/table experiment harness (:mod:`repro.bench`).
+
+Quick start
+-----------
+>>> from repro import SparseTensor, unified_spmttkrp, random_factors
+>>> import numpy as np
+>>> X = SparseTensor(np.array([[0, 1, 2], [1, 0, 1]]), np.array([1.0, 2.0]), (2, 2, 3))
+>>> factors = random_factors(X.shape, rank=4, seed=0)
+>>> result = unified_spmttkrp(X, factors, mode=0)
+>>> result.output.shape
+(2, 4)
+"""
+
+from repro._version import __version__
+from repro.tensor import (
+    SparseTensor,
+    khatri_rao,
+    kronecker,
+    hadamard,
+    random_sparse_tensor,
+    ttm_dense,
+    mttkrp_dense,
+    ttmc_dense,
+)
+from repro.tensor.random import random_factors
+from repro.formats import (
+    COOTensor,
+    FCOOTensor,
+    CSFTensor,
+    SemiSparseTensor,
+    OperationKind,
+    mode_roles,
+)
+from repro.gpusim import DeviceSpec, TITAN_X, LaunchConfig, OutOfDeviceMemory
+from repro.cpusim import CpuSpec, CPU_I7_5820K
+from repro.kernels.unified import unified_spttm, unified_spmttkrp, unified_spttmc
+from repro.kernels.baselines import (
+    parti_gpu_spttm,
+    parti_gpu_spmttkrp,
+    parti_omp_spttm,
+    parti_omp_spmttkrp,
+    splatt_mttkrp,
+)
+from repro.algorithms import (
+    cp_als,
+    CPResult,
+    UnifiedGPUEngine,
+    SplattCPUEngine,
+    tucker_hooi,
+    TuckerResult,
+    cp_fit,
+)
+from repro.data import load_dataset, DATASETS, read_tns, write_tns
+from repro.autotune import tune_unified
+
+__all__ = [
+    "__version__",
+    # tensor substrate
+    "SparseTensor",
+    "khatri_rao",
+    "kronecker",
+    "hadamard",
+    "random_sparse_tensor",
+    "random_factors",
+    "ttm_dense",
+    "mttkrp_dense",
+    "ttmc_dense",
+    # storage formats
+    "COOTensor",
+    "FCOOTensor",
+    "CSFTensor",
+    "SemiSparseTensor",
+    "OperationKind",
+    "mode_roles",
+    # devices
+    "DeviceSpec",
+    "TITAN_X",
+    "LaunchConfig",
+    "OutOfDeviceMemory",
+    "CpuSpec",
+    "CPU_I7_5820K",
+    # kernels
+    "unified_spttm",
+    "unified_spmttkrp",
+    "unified_spttmc",
+    "parti_gpu_spttm",
+    "parti_gpu_spmttkrp",
+    "parti_omp_spttm",
+    "parti_omp_spmttkrp",
+    "splatt_mttkrp",
+    # algorithms
+    "cp_als",
+    "CPResult",
+    "UnifiedGPUEngine",
+    "SplattCPUEngine",
+    "tucker_hooi",
+    "TuckerResult",
+    "cp_fit",
+    # data & tuning
+    "load_dataset",
+    "DATASETS",
+    "read_tns",
+    "write_tns",
+    "tune_unified",
+]

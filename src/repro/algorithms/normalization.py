@@ -1,0 +1,35 @@
+"""Factor-matrix column normalisation used by CP-ALS (Algorithm 1, lines 3/5/7)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["normalize_columns"]
+
+
+def normalize_columns(matrix: np.ndarray, *, ord: int = 2) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalise the columns of a factor matrix.
+
+    Returns the normalised matrix and the column norms (the weights λ that
+    CP-ALS accumulates).  Columns with zero norm are left untouched and get
+    a weight of 1 so downstream reconstruction stays well defined.
+
+    Parameters
+    ----------
+    matrix:
+        ``(I, R)`` factor matrix.
+    ord:
+        Vector norm order (2 by default; CP-ALS commonly uses the max norm
+        during early iterations, which ``ord=np.inf`` would give).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+    norms = np.linalg.norm(matrix, ord=ord, axis=0)
+    safe = norms.copy()
+    safe[safe == 0] = 1.0
+    normalized = matrix / safe
+    weights = np.where(norms == 0, 1.0, norms)
+    return normalized, weights

@@ -1,0 +1,11 @@
+"""Launch-parameter auto-tuning (paper Figure 5 and Table V).
+
+The unified kernels have two tunables: ``BLOCK_SIZE`` (threads per block)
+and ``threadlen`` (non-zeros per thread).  Their best values depend on the
+sparsity pattern of the tensor, so the paper sweeps both per dataset and per
+operation; this subpackage reproduces that sweep on the simulated device.
+"""
+
+from repro.autotune.tuner import TuningResult, tune_unified, DEFAULT_BLOCK_SIZES, DEFAULT_THREADLENS
+
+__all__ = ["TuningResult", "tune_unified", "DEFAULT_BLOCK_SIZES", "DEFAULT_THREADLENS"]

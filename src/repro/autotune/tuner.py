@@ -1,0 +1,124 @@
+"""Exhaustive sweep of (BLOCK_SIZE, threadlen) for the unified kernels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.formats.fcoo import FCOOTensor
+from repro.formats.mode_encoding import OperationKind
+from repro.gpusim.device import DeviceSpec, TITAN_X
+from repro.kernels.unified.spmttkrp import unified_spmttkrp
+from repro.kernels.unified.spttm import unified_spttm
+from repro.tensor.random import random_factors
+from repro.tensor.sparse import SparseTensor
+from repro.util.formatting import format_table
+from repro.util.rng import SeedLike
+from repro.util.validation import check_mode, check_rank
+
+__all__ = ["TuningResult", "tune_unified", "DEFAULT_BLOCK_SIZES", "DEFAULT_THREADLENS"]
+
+#: The sweep ranges used in the paper's Figure 5.
+DEFAULT_BLOCK_SIZES: Tuple[int, ...] = (32, 64, 128, 256, 512, 1024)
+DEFAULT_THREADLENS: Tuple[int, ...] = (8, 16, 32, 48, 64)
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a launch-parameter sweep.
+
+    Attributes
+    ----------
+    operation / mode / rank:
+        What was tuned.
+    block_sizes / threadlens:
+        The sweep axes.
+    times:
+        ``(len(block_sizes), len(threadlens))`` array of simulated times.
+    """
+
+    operation: OperationKind
+    mode: int
+    rank: int
+    block_sizes: Tuple[int, ...]
+    threadlens: Tuple[int, ...]
+    times: np.ndarray
+
+    @property
+    def best(self) -> Tuple[int, int]:
+        """The ``(BLOCK_SIZE, threadlen)`` pair with the lowest simulated time."""
+        i, j = np.unravel_index(int(np.argmin(self.times)), self.times.shape)
+        return self.block_sizes[i], self.threadlens[j]
+
+    @property
+    def best_time(self) -> float:
+        """The lowest simulated time over the sweep."""
+        return float(self.times.min())
+
+    def render(self, *, title: str = "") -> str:
+        """ASCII rendering of the sweep surface (rows: BLOCK_SIZE, cols: threadlen)."""
+        headers = ["BLOCK_SIZE \\ threadlen"] + [str(t) for t in self.threadlens]
+        rows = []
+        for i, bs in enumerate(self.block_sizes):
+            rows.append([bs] + [float(self.times[i, j]) for j in range(len(self.threadlens))])
+        return format_table(headers, rows, title=title or f"{self.operation.value} tuning surface (s)")
+
+
+def tune_unified(
+    tensor: SparseTensor,
+    operation: Union[OperationKind, str],
+    mode: int,
+    *,
+    rank: int = 16,
+    device: DeviceSpec = TITAN_X,
+    block_sizes: Sequence[int] = DEFAULT_BLOCK_SIZES,
+    threadlens: Sequence[int] = DEFAULT_THREADLENS,
+    seed: SeedLike = 0,
+) -> TuningResult:
+    """Sweep (BLOCK_SIZE, threadlen) for a unified kernel on one tensor.
+
+    The F-COO encoding is reused across the sweep (it does not depend on the
+    launch parameters) so the sweep cost is dominated by the kernel model
+    itself.
+    """
+    operation = OperationKind.coerce(operation)
+    mode = check_mode(mode, tensor.order)
+    rank = check_rank(rank)
+    if operation not in (OperationKind.SPTTM, OperationKind.SPMTTKRP):
+        raise ValueError(f"tuning is implemented for SpTTM and SpMTTKRP, not {operation.value}")
+    factors = random_factors(tensor.shape, rank, seed=seed)
+    fcoo = FCOOTensor.from_sparse(tensor, operation, mode)
+
+    times = np.zeros((len(block_sizes), len(threadlens)), dtype=np.float64)
+    for i, block_size in enumerate(block_sizes):
+        for j, threadlen in enumerate(threadlens):
+            if operation is OperationKind.SPTTM:
+                result = unified_spttm(
+                    fcoo,
+                    factors[mode],
+                    mode,
+                    device=device,
+                    block_size=int(block_size),
+                    threadlen=int(threadlen),
+                )
+            else:
+                result = unified_spmttkrp(
+                    fcoo,
+                    factors,
+                    mode,
+                    device=device,
+                    block_size=int(block_size),
+                    threadlen=int(threadlen),
+                )
+            times[i, j] = result.estimated_time_s
+
+    return TuningResult(
+        operation=operation,
+        mode=mode,
+        rank=rank,
+        block_sizes=tuple(int(b) for b in block_sizes),
+        threadlens=tuple(int(t) for t in threadlens),
+        times=times,
+    )

@@ -1,0 +1,59 @@
+"""Experiment harness: one runner per table/figure of the paper's evaluation.
+
+Every runner builds the relevant workloads from :mod:`repro.data`, executes
+the unified kernels and the baselines on the simulated devices, and returns
+a result object with the same rows/series the paper reports plus a
+``render()`` method producing a plain-text table.  The ``benchmarks/``
+directory wraps each runner in a pytest-benchmark entry, and
+``EXPERIMENTS.md`` records the paper-vs-measured comparison.
+
+Runner ↔ paper mapping
+----------------------
+==============================  ===========================================
+runner                          paper artefact
+==============================  ===========================================
+:func:`run_table2`              Table II — COO vs F-COO storage cost
+:func:`platform_report`         Table III — platform configuration
+:func:`run_table4`              Table IV — dataset description
+:func:`run_fig5`                Figure 5 — (BLOCK_SIZE, threadlen) tuning
+:func:`run_table5`              Table V — best launch parameters
+:func:`run_fig6a`               Figure 6a — SpTTM speedup over ParTI-omp
+:func:`run_fig6b`               Figure 6b — SpMTTKRP speedup over ParTI-omp
+:func:`run_fig7`                Figure 7 — mode behaviour on brainq
+:func:`run_fig8`                Figure 8 — rank behaviour of SpTTM
+:func:`run_fig9`                Figure 9 — GPU memory for SpMTTKRP
+:func:`run_fig10`               Figure 10 — CP decomposition breakdown
+==============================  ===========================================
+"""
+
+from repro.bench.platform import platform_report
+from repro.bench.storage import Table2Result, run_table2
+from repro.bench.datasets_table import run_table4
+from repro.bench.tuning import Fig5Result, Table5Result, run_fig5, run_table5
+from repro.bench.speedups import Fig6Result, run_fig6a, run_fig6b
+from repro.bench.modes import Fig7Result, run_fig7
+from repro.bench.ranks import Fig8Result, run_fig8
+from repro.bench.memory import Fig9Result, run_fig9
+from repro.bench.cp_bench import Fig10Result, run_fig10
+
+__all__ = [
+    "platform_report",
+    "Table2Result",
+    "run_table2",
+    "run_table4",
+    "Fig5Result",
+    "Table5Result",
+    "run_fig5",
+    "run_table5",
+    "Fig6Result",
+    "run_fig6a",
+    "run_fig6b",
+    "Fig7Result",
+    "run_fig7",
+    "Fig8Result",
+    "run_fig8",
+    "Fig9Result",
+    "run_fig9",
+    "Fig10Result",
+    "run_fig10",
+]

@@ -1,0 +1,119 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro table2               # one experiment
+    python -m repro fig6b fig9           # several experiments
+    python -m repro all                  # everything
+    python -m repro fig10 --rank 8 --iterations 3
+
+Each experiment prints the same rows/series the paper reports, rendered as a
+plain-text table (see :mod:`repro.bench`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench import (
+    platform_report,
+    run_fig5,
+    run_fig6a,
+    run_fig6b,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_table2,
+    run_table4,
+    run_table5,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _render_fig7(rank: int, iterations: int) -> str:
+    parts = [run_fig7("spttm", rank=rank).render(), run_fig7("spmttkrp", rank=rank).render()]
+    return "\n\n".join(parts)
+
+
+#: experiment name -> callable(rank, iterations) -> rendered text
+EXPERIMENTS: Dict[str, Callable[[int, int], str]] = {
+    "table2": lambda rank, iterations: run_table2().render(),
+    "table3": lambda rank, iterations: platform_report(),
+    "table4": lambda rank, iterations: run_table4(),
+    "fig5": lambda rank, iterations: run_fig5(rank=rank).render(),
+    "table5": lambda rank, iterations: run_table5(rank=rank).render(),
+    "fig6a": lambda rank, iterations: run_fig6a(rank=rank).render(),
+    "fig6b": lambda rank, iterations: run_fig6b(rank=rank).render(),
+    "fig7": _render_fig7,
+    "fig8": lambda rank, iterations: run_fig8().render(),
+    "fig9": lambda rank, iterations: run_fig9(rank=rank).render(),
+    "fig10": lambda rank, iterations: run_fig10(iterations=iterations).render(),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduce the evaluation of 'A Unified Optimization Approach for "
+            "Sparse Tensor Operations on GPUs' (Liu et al., CLUSTER 2017)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiments to run: %s, 'all', or 'list'" % ", ".join(EXPERIMENTS),
+    )
+    parser.add_argument(
+        "--rank",
+        type=int,
+        default=16,
+        help="decomposition rank / factor columns for the kernel experiments (default 16)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=5,
+        help="CP-ALS iterations for fig10 (default 5)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    requested: List[str] = [name.lower() for name in args.experiments]
+    if not requested or requested == ["list"]:
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        print("  all")
+        return 0
+
+    if requested == ["all"]:
+        requested = list(EXPERIMENTS)
+
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"choose from {', '.join(EXPERIMENTS)} or 'all'"
+        )
+
+    for i, name in enumerate(requested):
+        if i:
+            print()
+        print(EXPERIMENTS[name](args.rank, args.iterations))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Multicore CPU cost model used by the ParTI-omp and SPLATT baselines.
+
+The paper's CPU baselines run with 12 OpenMP threads on an Intel Core
+i7-5820K (Table III: 6 physical cores / 12 threads, 3.3 GHz, 56.72 GFLOP/s
+single-precision peak, 68 GB/s of memory bandwidth, 15 MB LLC).  The model
+here mirrors :mod:`repro.gpusim` at lower fidelity — a roofline bound with a
+load-imbalance multiplier and a last-level-cache model for the factor
+matrices — because the CPU numbers only enter the evaluation as the
+*denominator* of the speedup plots (Figure 6) and the SPLATT comparison
+(Figures 7 and 10).
+"""
+
+from repro.cpusim.cpu import CpuSpec, CPU_I7_5820K, CpuCounters, estimate_cpu_time, cpu_profile
+
+__all__ = [
+    "CpuSpec",
+    "CPU_I7_5820K",
+    "CpuCounters",
+    "estimate_cpu_time",
+    "cpu_profile",
+]

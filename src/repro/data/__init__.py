@@ -1,0 +1,34 @@
+"""Datasets: FROSTT I/O, synthetic analogs and the evaluation registry.
+
+The paper evaluates on four FROSTT tensors (Table IV): brainq, nell2,
+delicious and nell1.  Those files are between 11M and 144M non-zeros and are
+not redistributable here, so :mod:`repro.data.synthetic` generates
+scaled-down analogs that preserve each tensor's order, relative mode shape
+and density class, and :mod:`repro.data.registry` exposes them under the
+paper's names together with the original (paper-scale) statistics so the
+benchmark harness can reason about both scales.  Real FROSTT ``.tns`` files
+can be loaded with :func:`repro.data.frostt.read_tns` and substituted
+directly.
+"""
+
+from repro.data.frostt import read_tns, write_tns
+from repro.data.synthetic import (
+    make_brainq_like,
+    make_nell2_like,
+    make_nell1_like,
+    make_delicious_like,
+)
+from repro.data.registry import DatasetSpec, DATASETS, load_dataset, dataset_table
+
+__all__ = [
+    "read_tns",
+    "write_tns",
+    "make_brainq_like",
+    "make_nell2_like",
+    "make_nell1_like",
+    "make_delicious_like",
+    "DatasetSpec",
+    "DATASETS",
+    "load_dataset",
+    "dataset_table",
+]

@@ -1,0 +1,116 @@
+"""Reader/writer for the FROSTT ``.tns`` coordinate text format.
+
+FROSTT (http://frostt.io) distributes sparse tensors as whitespace-separated
+text: each line holds the 1-based coordinates of one non-zero followed by its
+value; lines starting with ``#`` are comments.  The paper's datasets
+(Table IV) come from FROSTT; users with access to the originals can load
+them here and pass the resulting :class:`~repro.tensor.SparseTensor`
+anywhere the synthetic analogs are used.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.tensor.sparse import SparseTensor
+from repro.util.validation import check_shape
+
+__all__ = ["read_tns", "write_tns"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def read_tns(
+    path_or_file: Union[PathLike, io.TextIOBase],
+    *,
+    shape: Optional[Sequence[int]] = None,
+) -> SparseTensor:
+    """Read a FROSTT ``.tns`` file into a :class:`SparseTensor`.
+
+    Parameters
+    ----------
+    path_or_file:
+        File path or an open text file object.
+    shape:
+        Optional explicit tensor shape.  When omitted the shape is inferred
+        as the per-mode maximum coordinate (the FROSTT convention).
+
+    Notes
+    -----
+    Coordinates in ``.tns`` files are 1-based; they are converted to the
+    0-based convention used throughout this library.
+    """
+    if hasattr(path_or_file, "read"):
+        text = path_or_file.read()
+    else:
+        with open(path_or_file, "r", encoding="utf-8") as handle:
+            text = handle.read()
+
+    rows = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parts = stripped.split()
+        if len(parts) < 2:
+            raise ValueError(f"line {lineno}: expected at least one index and a value")
+        rows.append(parts)
+
+    if not rows:
+        if shape is None:
+            raise ValueError("cannot infer the shape of an empty .tns file; pass shape=")
+        return SparseTensor.empty(shape)
+
+    order = len(rows[0]) - 1
+    for lineno, parts in enumerate(rows, start=1):
+        if len(parts) != order + 1:
+            raise ValueError(
+                f"inconsistent column count: expected {order + 1} fields, "
+                f"got {len(parts)} on data line {lineno}"
+            )
+    data = np.array(rows, dtype=np.float64)
+    indices = data[:, :order].astype(np.int64) - 1
+    values = data[:, order]
+    if (indices < 0).any():
+        raise ValueError(".tns coordinates must be 1-based and positive")
+    if shape is None:
+        shape = tuple(int(m) + 1 for m in indices.max(axis=0))
+    else:
+        shape = check_shape(shape)
+        if len(shape) != order:
+            raise ValueError(
+                f"shape has order {len(shape)} but the file has {order} index columns"
+            )
+    return SparseTensor(indices, values, shape, sum_duplicates=True, sort=True)
+
+
+def write_tns(
+    tensor: SparseTensor,
+    path_or_file: Union[PathLike, io.TextIOBase],
+    *,
+    value_format: str = "%.17g",
+    header: Optional[str] = None,
+) -> None:
+    """Write a :class:`SparseTensor` as a FROSTT ``.tns`` file (1-based indices)."""
+    own_handle = False
+    if hasattr(path_or_file, "write"):
+        handle = path_or_file
+    else:
+        handle = open(path_or_file, "w", encoding="utf-8")
+        own_handle = True
+    try:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        indices = np.asarray(tensor.indices) + 1
+        values = np.asarray(tensor.values)
+        for row, value in zip(indices, values):
+            coords = " ".join(str(int(c)) for c in row)
+            handle.write(f"{coords} {value_format % value}\n")
+    finally:
+        if own_handle:
+            handle.close()

@@ -1,0 +1,177 @@
+"""CSF: SPLATT's compressed sparse fiber tree (Smith & Karypis, 2015).
+
+The paper uses SPLATT as its CPU baseline for SpMTTKRP and CP decomposition;
+SPLATT stores the tensor as a tree whose levels correspond to the tensor
+modes in a chosen order.  Level 0 holds the distinct indices of the root
+mode, each of which points at a contiguous range of level-1 nodes, and so on
+down to the leaves which carry the non-zero values.
+
+This generalises CSR: for a third-order tensor ordered ``(i, j, k)`` the tree
+has one node per distinct ``i``, one per distinct ``(i, j)`` fiber, and one
+leaf per non-zero.  SPLATT's MTTKRP walks the tree depth-first, which gives
+good temporal locality on CPUs but — as the paper argues in Section III-A —
+maps poorly onto GPUs and makes the amount of exposed parallelism depend on
+the mode ordering (the root level can be very short for "oddly shaped"
+tensors such as brainq).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensor.sparse import SparseTensor
+from repro.util.validation import check_mode
+
+__all__ = ["CSFTensor"]
+
+
+@dataclass(frozen=True)
+class CSFTensor:
+    """Compressed sparse fiber tree for one mode ordering.
+
+    Attributes
+    ----------
+    shape:
+        Original tensor shape.
+    mode_order:
+        Permutation of the modes; ``mode_order[0]`` is the root level.
+        SPLATT conventionally puts the MTTKRP output mode at the root.
+    fids:
+        One array per level: ``fids[level][n]`` is the index (in mode
+        ``mode_order[level]``) of node ``n`` of that level.
+    fptr:
+        One array per *non-leaf* level: ``fptr[level]`` has
+        ``len(fids[level]) + 1`` entries; node ``n`` of ``level`` owns the
+        children ``fptr[level][n] : fptr[level][n+1]`` of ``level + 1``.
+    values:
+        Leaf values, aligned with ``fids[-1]``.
+    """
+
+    shape: Tuple[int, ...]
+    mode_order: Tuple[int, ...]
+    fids: Tuple[np.ndarray, ...]
+    fptr: Tuple[np.ndarray, ...]
+    values: np.ndarray
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_sparse(cls, tensor: SparseTensor, mode_order: Sequence[int]) -> "CSFTensor":
+        """Build the CSF tree of ``tensor`` with the given level ordering."""
+        mode_order = tuple(check_mode(m, tensor.order) for m in mode_order)
+        if sorted(mode_order) != list(range(tensor.order)):
+            raise ValueError(
+                f"mode_order must be a permutation of 0..{tensor.order - 1}, got {mode_order}"
+            )
+        sorted_tensor = tensor.sort_by_modes(list(mode_order))
+        idx = np.asarray(sorted_tensor.indices)
+        values = np.asarray(sorted_tensor.values, dtype=np.float64).copy()
+        nnz = sorted_tensor.nnz
+        order = tensor.order
+
+        if nnz == 0:
+            fids = tuple(np.empty(0, dtype=np.int64) for _ in range(order))
+            fptr = tuple(np.zeros(1, dtype=np.int64) for _ in range(order - 1))
+            return cls(tensor.shape, mode_order, fids, fptr, values)
+
+        # For every level, a node is a distinct prefix (mode_order[0..level]).
+        # new_prefix[level][z] is True when non-zero z starts a new prefix of
+        # that length.
+        fids_list: List[np.ndarray] = []
+        fptr_list: List[np.ndarray] = []
+        prev_new = np.zeros(nnz, dtype=bool)  # accumulates across levels
+        prev_new[0] = True
+        node_of_nnz_prev: np.ndarray | None = None
+        for level, mode in enumerate(mode_order):
+            col = idx[:, mode]
+            if level == 0:
+                changed = np.concatenate(([True], col[1:] != col[:-1]))
+            else:
+                changed = prev_new.copy()
+                changed[1:] |= col[1:] != col[:-1]
+                changed[0] = True
+            node_of_nnz = np.cumsum(changed, dtype=np.int64) - 1
+            fids_list.append(col[changed].astype(np.int64))
+            if level > 0:
+                assert node_of_nnz_prev is not None
+                # fptr for the previous level: first child node id per parent,
+                # plus the total number of nodes at this level as the sentinel.
+                parent_starts = np.concatenate(
+                    ([True], node_of_nnz_prev[1:] != node_of_nnz_prev[:-1])
+                )
+                ptr = np.concatenate((node_of_nnz[parent_starts], [node_of_nnz[-1] + 1]))
+                fptr_list.append(ptr.astype(np.int64))
+            prev_new = changed
+            node_of_nnz_prev = node_of_nnz
+
+        return cls(
+            shape=tensor.shape,
+            mode_order=mode_order,
+            fids=tuple(fids_list),
+            fptr=tuple(fptr_list),
+            values=values,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def order(self) -> int:
+        """Tensor order (number of tree levels)."""
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-zeros (leaves)."""
+        return int(self.values.shape[0])
+
+    def level_size(self, level: int) -> int:
+        """Number of nodes at a level (level 0 is the root mode)."""
+        if not 0 <= level < self.order:
+            raise ValueError(f"level must be in [0, {self.order}), got {level}")
+        return int(self.fids[level].shape[0])
+
+    def children(self, level: int, node: int) -> Tuple[int, int]:
+        """Half-open child range ``(start, stop)`` of ``node`` at ``level``."""
+        if not 0 <= level < self.order - 1:
+            raise ValueError(f"level must be in [0, {self.order - 1}), got {level}")
+        ptr = self.fptr[level]
+        if not 0 <= node < ptr.shape[0] - 1:
+            raise ValueError(f"node {node} out of range for level {level}")
+        return int(ptr[node]), int(ptr[node + 1])
+
+    def storage_bytes(self, *, index_bytes: int = 4, value_bytes: int = 4) -> int:
+        """Bytes used by the tree (fids + fptr + values) with the given widths."""
+        total = self.nnz * value_bytes
+        for arr in self.fids:
+            total += arr.shape[0] * index_bytes
+        for arr in self.fptr:
+            total += arr.shape[0] * index_bytes
+        return int(total)
+
+    def to_sparse(self) -> SparseTensor:
+        """Expand the tree back to coordinate form (for verification)."""
+        if self.nnz == 0:
+            return SparseTensor.empty(self.shape)
+        order = self.order
+        indices = np.zeros((self.nnz, order), dtype=np.int64)
+        # Leaves: the last level's fids are per-nnz already.
+        indices[:, self.mode_order[-1]] = self.fids[-1]
+        # Walk upward: per level, compute the number of leaves under each
+        # node, then expand that level's node indices down to the leaves.
+        leaves_per_node: List[np.ndarray] = [np.ones(self.nnz, dtype=np.int64)]
+        for level in range(order - 2, -1, -1):
+            ptr = self.fptr[level]
+            child_leaves = leaves_per_node[0]
+            sums = np.add.reduceat(child_leaves, ptr[:-1]) if ptr.shape[0] > 1 else np.zeros(0, dtype=np.int64)
+            leaves_per_node.insert(0, sums.astype(np.int64))
+        for level in range(order - 1):
+            expanded = np.repeat(self.fids[level], leaves_per_node[level])
+            indices[:, self.mode_order[level]] = expanded
+        return SparseTensor(
+            indices,
+            self.values,
+            self.shape,
+            sum_duplicates=False,
+            sort=True,
+        )

@@ -1,0 +1,173 @@
+"""Analytic storage-cost models (paper Table II) and measured sizes.
+
+Table II of the paper reports the per-non-zero storage cost of a third-order
+tensor in COO versus F-COO, assuming 32-bit integer indices and
+single-precision values:
+
+* COO: ``16 × nnz`` bytes — three index arrays plus one value array.
+* F-COO for SpTTM on one mode: ``(8 + 1/8 + 1/(8·threadlen)) × nnz`` bytes —
+  one product-mode index array, the values, the packed bit-flag (1 bit per
+  non-zero) and the packed start-flag (1 bit per partition of ``threadlen``
+  non-zeros).
+* F-COO for SpMTTKRP on one mode: ``(12 + 1/8 + 1/(8·threadlen)) × nnz`` —
+  two product-mode index arrays instead of one.
+
+The functions below generalise those formulas to arbitrary order and are
+checked against the sizes actually measured on
+:class:`~repro.formats.fcoo.FCOOTensor` instances by the test suite and the
+Table II benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.formats.mode_encoding import OperationKind, mode_roles
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "coo_storage_bytes",
+    "fcoo_storage_bytes",
+    "csf_storage_bytes",
+    "StorageReport",
+    "storage_report",
+]
+
+#: Byte widths assumed by the paper's Table II.
+DEFAULT_INDEX_BYTES = 4
+DEFAULT_VALUE_BYTES = 4
+
+
+def coo_storage_bytes(
+    nnz: int,
+    order: int,
+    *,
+    index_bytes: int = DEFAULT_INDEX_BYTES,
+    value_bytes: int = DEFAULT_VALUE_BYTES,
+) -> float:
+    """Bytes needed to store ``nnz`` non-zeros of an ``order``-way tensor in COO.
+
+    ``order`` index arrays plus one value array; for a third-order tensor with
+    the default widths this is the paper's ``16 × nnz``.
+    """
+    nnz = check_positive_int(nnz, "nnz") if nnz else 0
+    order = check_positive_int(order, "order")
+    return float(nnz) * (order * index_bytes + value_bytes)
+
+
+def fcoo_storage_bytes(
+    nnz: int,
+    order: int,
+    operation: Union[OperationKind, str],
+    mode: int,
+    *,
+    threadlen: Optional[int] = None,
+    index_bytes: int = DEFAULT_INDEX_BYTES,
+    value_bytes: int = DEFAULT_VALUE_BYTES,
+) -> float:
+    """Bytes needed to store the tensor in F-COO for one operation/mode.
+
+    Implements the Table II formulas generalised to arbitrary order: one
+    index array per *product mode*, the value array, ``nnz/8`` bytes of
+    bit-flag, and — when ``threadlen`` is given — ``nnz/(8·threadlen)`` bytes
+    of start-flag.
+    """
+    nnz = check_positive_int(nnz, "nnz") if nnz else 0
+    roles = mode_roles(operation, mode, order)
+    num_product = len(roles.product_modes)
+    per_nnz = num_product * index_bytes + value_bytes + 1.0 / 8.0
+    if threadlen is not None:
+        threadlen = check_positive_int(threadlen, "threadlen")
+        per_nnz += 1.0 / (8.0 * threadlen)
+    return float(nnz) * per_nnz
+
+
+def csf_storage_bytes(
+    nnz: int,
+    level_sizes: "list[int] | tuple[int, ...]",
+    *,
+    index_bytes: int = DEFAULT_INDEX_BYTES,
+    value_bytes: int = DEFAULT_VALUE_BYTES,
+) -> float:
+    """Bytes needed by a CSF tree with the given per-level node counts.
+
+    ``level_sizes[-1]`` must equal ``nnz`` (the leaves).  Each level stores
+    its node indices; each non-leaf level additionally stores a pointer array
+    with one extra sentinel entry.
+    """
+    if not level_sizes:
+        raise ValueError("level_sizes must not be empty")
+    if level_sizes[-1] != nnz:
+        raise ValueError(
+            f"the last level must have one node per non-zero ({nnz}), got {level_sizes[-1]}"
+        )
+    total = float(nnz) * value_bytes
+    for size in level_sizes:
+        total += float(size) * index_bytes
+    for size in level_sizes[:-1]:
+        total += float(size + 1) * index_bytes
+    return total
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    """Side-by-side storage comparison for one tensor and one operation.
+
+    Produced by :func:`storage_report`; rendered as one row of the Table II
+    reproduction.
+    """
+
+    operation: OperationKind
+    mode: int
+    nnz: int
+    order: int
+    threadlen: Optional[int]
+    coo_bytes: float
+    fcoo_bytes: float
+
+    @property
+    def coo_bytes_per_nnz(self) -> float:
+        """COO bytes divided by nnz (the paper reports this coefficient)."""
+        return self.coo_bytes / self.nnz if self.nnz else 0.0
+
+    @property
+    def fcoo_bytes_per_nnz(self) -> float:
+        """F-COO bytes divided by nnz."""
+        return self.fcoo_bytes / self.nnz if self.nnz else 0.0
+
+    @property
+    def reduction_factor(self) -> float:
+        """How many times smaller F-COO is than COO."""
+        return self.coo_bytes / self.fcoo_bytes if self.fcoo_bytes else float("inf")
+
+
+def storage_report(
+    nnz: int,
+    order: int,
+    operation: Union[OperationKind, str],
+    mode: int,
+    *,
+    threadlen: Optional[int] = None,
+    index_bytes: int = DEFAULT_INDEX_BYTES,
+    value_bytes: int = DEFAULT_VALUE_BYTES,
+) -> StorageReport:
+    """Build a :class:`StorageReport` comparing COO and F-COO for one case."""
+    op = OperationKind.coerce(operation)
+    return StorageReport(
+        operation=op,
+        mode=mode,
+        nnz=nnz,
+        order=order,
+        threadlen=threadlen,
+        coo_bytes=coo_storage_bytes(nnz, order, index_bytes=index_bytes, value_bytes=value_bytes),
+        fcoo_bytes=fcoo_storage_bytes(
+            nnz,
+            order,
+            op,
+            mode,
+            threadlen=threadlen,
+            index_bytes=index_bytes,
+            value_bytes=value_bytes,
+        ),
+    )

@@ -1,0 +1,58 @@
+"""A deterministic GPU execution/cost model (the "simulated Titan X").
+
+The paper evaluates CUDA kernels on an NVIDIA GeForce GTX Titan X.  This
+reproduction has no GPU, so every kernel in :mod:`repro.kernels` runs its
+mathematics as vectorised NumPy and *charges* its work to the cost model in
+this subpackage, which converts operation counts into an estimated execution
+time for a configurable device.
+
+The model is intentionally first-order — the paper's results are driven by
+memory traffic, cache behaviour, atomic contention, load balance and
+occupancy, not by instruction-level effects — but each of those first-order
+effects is modelled explicitly:
+
+* :mod:`~repro.gpusim.device` — device specifications (default: the Titan X
+  of Table III) and occupancy limits.
+* :mod:`~repro.gpusim.launch` — launch configurations (grid/block/threadlen)
+  and occupancy/utilisation computation.
+* :mod:`~repro.gpusim.counters` — the ledger of work a kernel performs
+  (FLOPs, coalesced global traffic, atomics, imbalance, launches).
+* :mod:`~repro.gpusim.memory` — global-memory coalescing and the read-only
+  data-cache model used for factor-matrix accesses.
+* :mod:`~repro.gpusim.atomics` — atomic-update contention model.
+* :mod:`~repro.gpusim.scan` — the segmented-scan primitive (numeric result
+  plus cost contribution).
+* :mod:`~repro.gpusim.timing` — conversion of a counter ledger into
+  estimated kernel time on a device.
+"""
+
+from repro.gpusim.device import DeviceSpec, TITAN_X, scaled_device
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.counters import KernelCounters, KernelProfile
+from repro.gpusim.memory import (
+    AccessPattern,
+    coalesced_traffic_bytes,
+    readonly_cache_traffic,
+)
+from repro.gpusim.atomics import atomic_contention_factor, atomic_cost_ops
+from repro.gpusim.scan import segment_reduce, segmented_scan_counters
+from repro.gpusim.timing import estimate_kernel_time, OutOfDeviceMemory, check_device_fit
+
+__all__ = [
+    "DeviceSpec",
+    "TITAN_X",
+    "scaled_device",
+    "LaunchConfig",
+    "KernelCounters",
+    "KernelProfile",
+    "AccessPattern",
+    "coalesced_traffic_bytes",
+    "readonly_cache_traffic",
+    "atomic_contention_factor",
+    "atomic_cost_ops",
+    "segment_reduce",
+    "segmented_scan_counters",
+    "estimate_kernel_time",
+    "OutOfDeviceMemory",
+    "check_device_fit",
+]

@@ -1,0 +1,80 @@
+"""Atomic-update contention model.
+
+ParTI's COO-based SpMTTKRP lets every non-zero atomically accumulate its
+contribution into the output factor row it maps to.  When many non-zeros
+share an output row — which is the normal case, since an output row receives
+one update per non-zero of its slice — those atomics serialise at the memory
+subsystem.  The paper identifies this as the main cost of the baseline and
+the thing the segmented scan removes (Sections I, III-B, IV-D).
+
+The model here charges each atomic operation a *serialisation factor* equal
+to the average number of concurrently in-flight updates that target the same
+address, capped by how many updates can actually be in flight at once
+(roughly the warp size: conflicting lanes of a warp fully serialise, while
+conflicts across warps overlap with other work).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec
+
+__all__ = ["atomic_contention_factor", "atomic_cost_ops"]
+
+
+def atomic_contention_factor(
+    updates_per_address: Union[np.ndarray, float],
+    device: DeviceSpec,
+) -> float:
+    """Average serialisation factor for a set of atomic updates.
+
+    Parameters
+    ----------
+    updates_per_address:
+        Either the full histogram (updates per distinct target address) or a
+        precomputed mean.  The *update-weighted* mean conflict degree is
+        used: an address receiving ``c`` updates contributes ``c`` updates
+        each experiencing ``c``-way conflict, so the weighted mean is
+        ``sum(c^2) / sum(c)``.
+    device:
+        Supplies the cap (``atomic_max_conflict_penalty``).
+
+    Returns
+    -------
+    float
+        A factor ``>= 1`` by which the atomic throughput is derated.
+    """
+    if np.isscalar(updates_per_address):
+        mean_conflict = float(updates_per_address)
+        if mean_conflict < 0:
+            raise ValueError("updates_per_address must be non-negative")
+    else:
+        counts = np.asarray(updates_per_address, dtype=np.float64)
+        if counts.size == 0:
+            return 1.0
+        if (counts < 0).any():
+            raise ValueError("updates_per_address entries must be non-negative")
+        total = counts.sum()
+        if total == 0:
+            return 1.0
+        mean_conflict = float((counts**2).sum() / total)
+    return float(np.clip(mean_conflict, 1.0, device.atomic_max_conflict_penalty))
+
+
+def atomic_cost_ops(
+    num_atomics: float,
+    updates_per_address: Union[np.ndarray, float],
+    device: DeviceSpec,
+) -> float:
+    """Serialised atomic-operation count charged to the timing model.
+
+    ``num_atomics`` raw atomics are multiplied by the contention factor; the
+    timing model divides the result by the device's conflict-free atomic
+    throughput.
+    """
+    if num_atomics < 0:
+        raise ValueError(f"num_atomics must be non-negative, got {num_atomics}")
+    return float(num_atomics) * atomic_contention_factor(updates_per_address, device)

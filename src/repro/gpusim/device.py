@@ -1,0 +1,179 @@
+"""Device specifications for the simulated GPU.
+
+The default device reproduces the NVIDIA GeForce GTX Titan X (Maxwell) used
+by the paper (Table III): 3072 CUDA cores at ~1 GHz, 12 GB of GDDR5 at
+336 GB/s, 3 MB of L2 and 24 SMs with a 48 KB read-only data cache each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["DeviceSpec", "TITAN_X", "scaled_device"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a GPU used by the cost model.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    num_sms:
+        Number of streaming multiprocessors.
+    cores_per_sm:
+        CUDA cores per SM (single-precision lanes).
+    clock_ghz:
+        Core clock in GHz.
+    warp_size:
+        Threads per warp.
+    max_threads_per_block:
+        Hardware limit on the 1-D block size.
+    max_threads_per_sm:
+        Resident-thread limit per SM (determines occupancy).
+    max_blocks_per_sm:
+        Resident-block limit per SM.
+    shared_mem_per_block_bytes:
+        Shared memory available to one block.
+    global_mem_bytes:
+        Device memory capacity (what Figure 9 / the OOM checks compare
+        against).
+    mem_bandwidth_gbps:
+        Peak global-memory bandwidth in GB/s.
+    achievable_bandwidth_fraction:
+        Fraction of peak bandwidth that well-coalesced streaming kernels
+        actually reach (DRAM efficiency); sparse kernels rarely exceed
+        ~75 % of peak even when perfectly coalesced.
+    l2_bytes:
+        Last-level cache size.
+    readonly_cache_bytes_per_sm:
+        Read-only data cache (texture path) per SM — what the unified
+        kernels use for factor-matrix rows.
+    memory_transaction_bytes:
+        Granularity of a global-memory transaction (128-byte cache lines).
+    global_latency_cycles:
+        Latency of an L2/DRAM access; used for the uncoalesced penalty.
+    atomic_ops_per_cycle:
+        Global atomics retired per cycle when there is no address conflict.
+    atomic_max_conflict_penalty:
+        Upper bound on the serialisation factor charged to same-address
+        atomics.  Lanes of a warp that collide serialise fully (32x), but the
+        L2 atomic units coalesce part of the cross-warp traffic, so the
+        effective penalty observed on Maxwell-class parts is roughly half a
+        warp; the default of 16 is calibrated to that behaviour.
+    kernel_launch_overhead_s:
+        Fixed host-side cost per kernel launch.
+    """
+
+    name: str
+    num_sms: int
+    cores_per_sm: int
+    clock_ghz: float
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 32
+    shared_mem_per_block_bytes: int = 48 * 1024
+    global_mem_bytes: int = 12 * 1024**3
+    mem_bandwidth_gbps: float = 336.0
+    achievable_bandwidth_fraction: float = 0.75
+    l2_bytes: int = 3 * 1024**2
+    readonly_cache_bytes_per_sm: int = 48 * 1024
+    memory_transaction_bytes: int = 128
+    global_latency_cycles: int = 400
+    atomic_ops_per_cycle: float = 64.0
+    atomic_max_conflict_penalty: float = 16.0
+    kernel_launch_overhead_s: float = 5e-6
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_cores(self) -> int:
+        """Total single-precision lanes on the device."""
+        return self.num_sms * self.cores_per_sm
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak single-precision FLOP/s (2 FLOPs per lane per cycle, FMA)."""
+        return self.total_cores * self.clock_ghz * 1e9 * 2.0
+
+    @property
+    def peak_bandwidth_bytes_per_s(self) -> float:
+        """Peak memory bandwidth in bytes/s."""
+        return self.mem_bandwidth_gbps * 1e9
+
+    @property
+    def achievable_bandwidth_bytes_per_s(self) -> float:
+        """Sustained streaming bandwidth in bytes/s."""
+        return self.peak_bandwidth_bytes_per_s * self.achievable_bandwidth_fraction
+
+    @property
+    def max_resident_threads(self) -> int:
+        """Threads resident device-wide at full occupancy."""
+        return self.num_sms * self.max_threads_per_sm
+
+    @property
+    def readonly_cache_bytes_total(self) -> int:
+        """Aggregate read-only data cache across all SMs."""
+        return self.num_sms * self.readonly_cache_bytes_per_sm
+
+    @property
+    def clock_hz(self) -> float:
+        """Core clock in Hz."""
+        return self.clock_ghz * 1e9
+
+    @property
+    def atomic_ops_per_second(self) -> float:
+        """Conflict-free global atomic throughput in ops/s."""
+        return self.atomic_ops_per_cycle * self.clock_hz
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` if the specification is inconsistent."""
+        positive_fields = [
+            ("num_sms", self.num_sms),
+            ("cores_per_sm", self.cores_per_sm),
+            ("clock_ghz", self.clock_ghz),
+            ("warp_size", self.warp_size),
+            ("max_threads_per_block", self.max_threads_per_block),
+            ("max_threads_per_sm", self.max_threads_per_sm),
+            ("global_mem_bytes", self.global_mem_bytes),
+            ("mem_bandwidth_gbps", self.mem_bandwidth_gbps),
+            ("memory_transaction_bytes", self.memory_transaction_bytes),
+        ]
+        for name, value in positive_fields:
+            if value <= 0:
+                raise ValueError(f"DeviceSpec.{name} must be positive, got {value}")
+        if not 0 < self.achievable_bandwidth_fraction <= 1:
+            raise ValueError(
+                "achievable_bandwidth_fraction must be in (0, 1], got "
+                f"{self.achievable_bandwidth_fraction}"
+            )
+        if self.max_threads_per_block > self.max_threads_per_sm:
+            raise ValueError("max_threads_per_block cannot exceed max_threads_per_sm")
+
+
+#: The GPU of the paper's Table III: NVIDIA GeForce GTX Titan X (Maxwell,
+#: GM200): 24 SMs × 128 cores = 3072 cores at ~1.0 GHz, 12 GB @ 336 GB/s,
+#: 3 MB L2.
+TITAN_X = DeviceSpec(
+    name="NVIDIA GeForce GTX Titan X (simulated)",
+    num_sms=24,
+    cores_per_sm=128,
+    clock_ghz=1.0,
+)
+
+
+def scaled_device(base: DeviceSpec, memory_scale: float, *, name_suffix: str = "scaled") -> DeviceSpec:
+    """Return ``base`` with its memory capacity scaled by ``memory_scale``.
+
+    The paper's datasets have 10^7–10^8 non-zeros; the synthetic analogs in
+    :mod:`repro.data` are generated at laptop scale.  To preserve the paper's
+    capacity effects (ParTI-GPU running out of memory on nell1/delicious for
+    SpMTTKRP) the experiment harness shrinks the device memory by the same
+    factor the dataset was shrunk.  Compute and bandwidth are left untouched:
+    they cancel in the speedup ratios the paper reports.
+    """
+    if memory_scale <= 0:
+        raise ValueError(f"memory_scale must be positive, got {memory_scale}")
+    new_mem = max(1, int(round(base.global_mem_bytes * memory_scale)))
+    return replace(base, global_mem_bytes=new_mem, name=f"{base.name} [{name_suffix}]")

@@ -1,0 +1,161 @@
+"""The segmented-scan primitive.
+
+The unified kernels reduce per-non-zero partial products into per-segment
+results (one per fiber for SpTTM, one per slice for SpMTTKRP) with a
+segmented scan driven by the F-COO bit-flags (paper Section IV-D, citing
+Sengupta et al. and the StreamScan adjacent-synchronisation scheme of Yan et
+al.).  This removes the atomic updates the COO baseline needs: only the
+partial sums that straddle a *block* boundary require a cross-block carry.
+
+Two things are provided here:
+
+* :func:`segment_reduce` — the numeric result: a vectorised, deterministic
+  segment-sum used by the simulated unified kernels (the segmented scan's
+  final value per segment is exactly the segment sum).
+* :func:`segmented_scan_counters` — the work ledger of performing that scan
+  on the GPU with warp shuffles inside warps, shared memory across warps of
+  a block and adjacent synchronisation across blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.launch import LaunchConfig
+from repro.util.validation import check_positive_int
+
+__all__ = ["segment_reduce", "segmented_scan_counters"]
+
+
+def segment_reduce(
+    values: np.ndarray,
+    segment_ids: np.ndarray,
+    num_segments: int,
+) -> np.ndarray:
+    """Sum ``values`` within each segment.
+
+    Parameters
+    ----------
+    values:
+        ``(n,)`` or ``(n, r)`` array of per-element partial results.
+    segment_ids:
+        ``(n,)`` non-decreasing integer array assigning each element to a
+        segment (the cumulative sum of the F-COO bit-flag, minus one).
+    num_segments:
+        Total number of segments (rows of the output).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(num_segments,)`` or ``(num_segments, r)`` array of segment sums.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    segment_ids = np.asarray(segment_ids)
+    num_segments = check_positive_int(num_segments, "num_segments") if num_segments else 0
+    if segment_ids.ndim != 1:
+        raise ValueError(f"segment_ids must be 1-D, got shape {segment_ids.shape}")
+    if values.shape[0] != segment_ids.shape[0]:
+        raise ValueError(
+            f"values and segment_ids must agree on the first dimension, "
+            f"got {values.shape[0]} and {segment_ids.shape[0]}"
+        )
+    if values.shape[0] == 0:
+        shape = (num_segments,) if values.ndim == 1 else (num_segments, values.shape[1])
+        return np.zeros(shape, dtype=np.float64)
+    if segment_ids.min() < 0 or segment_ids.max() >= num_segments:
+        raise ValueError("segment_ids out of range for num_segments")
+
+    if values.ndim == 1:
+        out = np.zeros(num_segments, dtype=np.float64)
+        np.add.at(out, segment_ids, values)
+        return out
+    if values.ndim == 2:
+        out = np.zeros((num_segments, values.shape[1]), dtype=np.float64)
+        np.add.at(out, segment_ids, values)
+        return out
+    raise ValueError(f"values must be 1-D or 2-D, got ndim={values.ndim}")
+
+
+def segmented_scan_counters(
+    num_elements: int,
+    num_segments: int,
+    rank: int,
+    launch: LaunchConfig,
+    device: DeviceSpec,
+    *,
+    fused: bool = True,
+    element_bytes: int = 4,
+) -> KernelCounters:
+    """Work ledger of a warp-shuffle segmented scan over the partial products.
+
+    Parameters
+    ----------
+    num_elements:
+        Number of per-thread partial results entering the scan (one per
+        non-zero partition element, per launched column group).
+    num_segments:
+        Number of reduction segments (fibers/slices).
+    rank:
+        Factor columns processed (the grid's y extent); partial results are
+        ``rank`` values wide in aggregate across the grid.
+    launch:
+        The launch configuration (supplies block size for the carry count).
+    device:
+        Target device.
+    fused:
+        When ``True`` (the unified kernels) the scan runs in the same kernel
+        as the product stage: partial results live in registers/shared
+        memory and only the per-block carries touch global memory.  When
+        ``False`` the scan is a separate kernel pass: partial results are
+        written to and re-read from global memory (this is what a
+        non-fused implementation would pay and is used by the fusion
+        ablation benchmark).
+    element_bytes:
+        Size of one partial result.
+    """
+    if num_elements < 0 or num_segments < 0:
+        raise ValueError("num_elements and num_segments must be non-negative")
+    rank = check_positive_int(rank, "rank")
+    if num_elements == 0:
+        return KernelCounters()
+
+    warp = device.warp_size
+    # log2(warp) shuffle steps per element within warps, then a per-warp and
+    # per-block combine: ~2*log2(block) ops per element overall.  Each op is
+    # an add plus a flag test; charge 2 FLOPs.
+    steps = np.log2(max(warp, 2)) + np.log2(max(launch.block_size // warp, 2))
+    flops = 2.0 * float(num_elements) * rank * steps
+
+    # Shared-memory traffic: one value per warp per combine step.
+    warps_per_block = max(launch.block_size // warp, 1)
+    smem_bytes = float(launch.num_blocks) * warps_per_block * element_bytes * 2.0
+
+    counters = KernelCounters(
+        flops=flops,
+        smem_bytes=smem_bytes,
+        active_threads=float(min(num_elements, launch.total_threads)),
+        kernel_launches=0 if fused else 1,
+    )
+
+    # Cross-block carries: each block may need to push one partial segment
+    # sum per column to its right neighbour (adjacent synchronisation).
+    carries = float(launch.grid_x) * rank
+    counters.gmem_write_bytes += carries * element_bytes
+    counters.gmem_read_bytes += carries * element_bytes
+    counters.atomic_ops += carries
+    counters.atomic_serialized_ops += carries  # carries target distinct flags
+
+    if not fused:
+        # Partial results spill to global memory between the product kernel
+        # and the scan kernel.
+        spill = float(num_elements) * rank * element_bytes
+        counters.gmem_write_bytes += spill
+        counters.gmem_read_bytes += spill
+
+    # Final per-segment results are written by the scan stage.
+    counters.gmem_write_bytes += float(num_segments) * rank * element_bytes
+    return counters

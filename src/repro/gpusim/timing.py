@@ -1,0 +1,135 @@
+"""Conversion of a kernel's work ledger into an estimated execution time.
+
+The timing model is a roofline-style bound with three serialised components:
+
+``time = (max(compute, memory) + atomics) * imbalance + launch overhead + PCIe``
+
+* **compute** — FLOPs divided by the device's peak throughput scaled by the
+  achieved utilisation (occupancy × active-thread fill).
+* **memory** — effective global traffic divided by the achievable bandwidth,
+  also derated by utilisation (a device that is 2 % occupied cannot saturate
+  DRAM either — this is what makes ParTI's 540-fiber launch slow in the
+  Figure 7 reproduction).
+* **atomics** — serialised atomic operations divided by the conflict-free
+  atomic throughput; serialisation with the rest of the kernel is the
+  conservative choice and reflects that heavily-contended atomics stall the
+  issuing warps.
+* **imbalance** — a statically-partitioned kernel finishes when its busiest
+  thread does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.gpusim.counters import KernelCounters, KernelProfile
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.launch import LaunchConfig
+
+__all__ = ["estimate_kernel_time", "OutOfDeviceMemory", "check_device_fit"]
+
+
+class OutOfDeviceMemory(RuntimeError):
+    """Raised when a kernel's operands do not fit in device global memory.
+
+    The paper reports exactly this failure for ParTI-GPU's SpMTTKRP on the
+    nell1 and delicious tensors (Section V-A); the benchmark harness catches
+    the exception and reports "OOM" for that configuration, as the paper
+    does.
+    """
+
+    def __init__(self, required_bytes: float, available_bytes: float, what: str = "") -> None:
+        self.required_bytes = float(required_bytes)
+        self.available_bytes = float(available_bytes)
+        msg = (
+            f"{what or 'kernel operands'} require {required_bytes / 1e9:.2f} GB "
+            f"but the device has {available_bytes / 1e9:.2f} GB"
+        )
+        super().__init__(msg)
+
+
+def check_device_fit(required_bytes: float, device: DeviceSpec, *, what: str = "") -> None:
+    """Raise :class:`OutOfDeviceMemory` when ``required_bytes`` exceeds capacity."""
+    if required_bytes < 0:
+        raise ValueError(f"required_bytes must be non-negative, got {required_bytes}")
+    if required_bytes > device.global_mem_bytes:
+        raise OutOfDeviceMemory(required_bytes, device.global_mem_bytes, what=what)
+
+
+def estimate_kernel_time(
+    counters: KernelCounters,
+    launch: LaunchConfig,
+    device: DeviceSpec,
+    *,
+    include_transfers: bool = True,
+) -> Tuple[float, Dict[str, float]]:
+    """Estimate the execution time of a kernel ledger on a device.
+
+    Returns the total time in seconds plus a named breakdown
+    (``compute`` / ``memory`` / ``atomic`` / ``launch`` / ``transfer``).
+    """
+    util = launch.utilization(device, counters.active_threads)
+    if util <= 0.0:
+        util = 1e-6
+
+    compute_time = counters.flops / (device.peak_flops * util)
+    # Memory bandwidth needs roughly half the device's resident-thread
+    # capacity in flight to be saturated (memory-level parallelism); below
+    # that the achieved bandwidth falls off proportionally.  This is what
+    # makes a launch with only a few hundred active threads (ParTI's
+    # fiber-parallel SpTTM on brainq's mode-2) slow even though its traffic
+    # is small.
+    bandwidth_util = min(1.0, util / 0.5)
+    bandwidth_util = max(bandwidth_util, 0.05)
+    memory_time = counters.gmem_total_bytes / (
+        device.achievable_bandwidth_bytes_per_s * bandwidth_util
+    )
+    # Shared-memory traffic is an order of magnitude faster than DRAM; charge
+    # it at 8x the global bandwidth so it only matters when it is huge.
+    memory_time += counters.smem_bytes / (device.achievable_bandwidth_bytes_per_s * 8.0)
+    atomic_time = counters.atomic_serialized_ops / device.atomic_ops_per_second
+    launch_time = counters.kernel_launches * device.kernel_launch_overhead_s
+
+    core_time = (max(compute_time, memory_time) + atomic_time) * counters.imbalance_factor
+    total = core_time + launch_time
+
+    transfer_time = 0.0
+    if include_transfers:
+        pcie_bandwidth = 12e9  # PCIe 3.0 x16 effective
+        transfer_time = (
+            counters.host_to_device_bytes + counters.device_to_host_bytes
+        ) / pcie_bandwidth
+        total += transfer_time
+
+    breakdown = {
+        "compute": compute_time * counters.imbalance_factor,
+        "memory": memory_time * counters.imbalance_factor,
+        "atomic": atomic_time * counters.imbalance_factor,
+        "launch": launch_time,
+        "transfer": transfer_time,
+        "utilization": util,
+    }
+    return total, breakdown
+
+
+def profile_from_counters(
+    name: str,
+    counters: KernelCounters,
+    launch: LaunchConfig,
+    device: DeviceSpec,
+    *,
+    device_memory_bytes: float = 0.0,
+    include_transfers: bool = True,
+) -> KernelProfile:
+    """Convenience wrapper building a :class:`KernelProfile` in one call."""
+    check_device_fit(device_memory_bytes, device, what=name)
+    total, breakdown = estimate_kernel_time(
+        counters, launch, device, include_transfers=include_transfers
+    )
+    return KernelProfile(
+        name=name,
+        counters=counters,
+        estimated_time_s=total,
+        device_memory_bytes=device_memory_bytes,
+        breakdown=breakdown,
+    )

@@ -1,0 +1,20 @@
+"""Sparse tensor operation kernels.
+
+Three families of kernels are provided, all numerically verified against the
+dense oracles in :mod:`repro.tensor.ops`:
+
+* :mod:`repro.kernels.reference` — straightforward COO implementations with
+  no performance model; the ground truth used by the test suite.
+* :mod:`repro.kernels.unified` — the paper's contribution: F-COO based
+  SpTTM, one-shot SpMTTKRP and SpTTMc with segmented-scan reduction,
+  read-only-cache factor access and kernel fusion, executed against the
+  simulated GPU of :mod:`repro.gpusim`.
+* :mod:`repro.kernels.baselines` — the comparison points of the evaluation:
+  ParTI-GPU (fiber-parallel SpTTM; two-step COO SpMTTKRP with atomics),
+  ParTI-omp (the same algorithms on the multicore CPU model) and SPLATT's
+  CSF-based CPU MTTKRP.
+"""
+
+from repro.kernels.common import SpTTMResult, MTTKRPResult, TTMcResult
+
+__all__ = ["SpTTMResult", "MTTKRPResult", "TTMcResult"]

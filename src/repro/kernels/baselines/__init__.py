@@ -1,0 +1,23 @@
+"""Baseline implementations the paper compares against.
+
+* :mod:`repro.kernels.baselines.parti_gpu` — ParTI!'s GPU kernels:
+  fiber-parallel SpTTM (Li et al., IA^3 2016) and the two-step COO
+  SpMTTKRP with atomic updates and an intermediate semi-sparse tensor.
+* :mod:`repro.kernels.baselines.parti_omp` — the same algorithms on the
+  multicore CPU model (the "ParTI-omp" bars of Figure 6).
+* :mod:`repro.kernels.baselines.splatt` — SPLATT's CSF-based CPU MTTKRP
+  (Smith et al., IPDPS 2015), the strongest CPU baseline and the comparison
+  point for the CP decomposition (Figure 10).
+"""
+
+from repro.kernels.baselines.parti_gpu import parti_gpu_spttm, parti_gpu_spmttkrp
+from repro.kernels.baselines.parti_omp import parti_omp_spttm, parti_omp_spmttkrp
+from repro.kernels.baselines.splatt import splatt_mttkrp
+
+__all__ = [
+    "parti_gpu_spttm",
+    "parti_gpu_spmttkrp",
+    "parti_omp_spttm",
+    "parti_omp_spmttkrp",
+    "splatt_mttkrp",
+]

@@ -1,0 +1,9 @@
+"""Reference sparse kernels (correctness oracles, no performance model)."""
+
+from repro.kernels.reference.coo_reference import (
+    reference_spttm,
+    reference_mttkrp,
+    reference_ttmc,
+)
+
+__all__ = ["reference_spttm", "reference_mttkrp", "reference_ttmc"]

@@ -1,0 +1,120 @@
+"""Straightforward COO implementations of SpTTM, SpMTTKRP and SpTTMc.
+
+These operate directly on :class:`repro.tensor.SparseTensor` coordinates with
+vectorised NumPy and no cost accounting.  They scale to the synthetic dataset
+sizes used in the benchmarks (unlike the dense oracles in
+:mod:`repro.tensor.ops`, which require densifying the tensor) and serve as an
+intermediate correctness tier: the dense oracle validates these on small
+tensors, and these validate the simulated kernels on large ones.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.formats.semisparse import SemiSparseTensor
+from repro.tensor.sparse import SparseTensor
+from repro.kernels.common import validate_factor
+from repro.util.validation import check_mode
+
+__all__ = ["reference_spttm", "reference_mttkrp", "reference_ttmc"]
+
+
+def reference_spttm(tensor: SparseTensor, matrix: np.ndarray, mode: int) -> SemiSparseTensor:
+    """COO reference SpTTM: ``Y = X ×_mode U`` as a semi-sparse tensor.
+
+    The output keeps one dense fiber (of length ``R``, the column count of
+    ``U``) per non-empty mode-``mode`` fiber of the input.
+    """
+    mode = check_mode(mode, tensor.order)
+    matrix = validate_factor(matrix, tensor.shape[mode], "matrix")
+    rank = matrix.shape[1]
+    out_shape = list(tensor.shape)
+    out_shape[mode] = rank
+
+    other = [m for m in range(tensor.order) if m != mode]
+    if tensor.nnz == 0:
+        return SemiSparseTensor(
+            shape=tuple(out_shape),
+            dense_mode=mode,
+            fiber_coords=np.empty((0, tensor.order - 1), dtype=np.int64),
+            fiber_values=np.empty((0, rank), dtype=np.float64),
+        )
+
+    idx = np.asarray(tensor.indices)
+    other_coords = idx[:, other]
+    # Identify fibers: unique rows of the non-product coordinates.
+    uniq, inverse = np.unique(other_coords, axis=0, return_inverse=True)
+    partial = np.asarray(tensor.values)[:, None] * matrix[idx[:, mode], :]
+    fiber_values = np.zeros((uniq.shape[0], rank), dtype=np.float64)
+    np.add.at(fiber_values, inverse, partial)
+    return SemiSparseTensor(
+        shape=tuple(out_shape),
+        dense_mode=mode,
+        fiber_coords=uniq.astype(np.int64),
+        fiber_values=fiber_values,
+    )
+
+
+def reference_mttkrp(
+    tensor: SparseTensor, factors: Sequence[np.ndarray], mode: int
+) -> np.ndarray:
+    """COO reference MTTKRP along ``mode`` for a tensor of any order.
+
+    ``factors`` holds one matrix per mode (the one at ``mode`` is ignored);
+    the result has shape ``(shape[mode], R)``.
+    """
+    mode = check_mode(mode, tensor.order)
+    if len(factors) != tensor.order:
+        raise ValueError(f"need one factor per mode ({tensor.order}), got {len(factors)}")
+    other = [m for m in range(tensor.order) if m != mode]
+    ranks = {np.asarray(factors[m]).shape[1] for m in other}
+    if len(ranks) != 1:
+        raise ValueError(f"all factors must share one rank, got {sorted(ranks)}")
+    rank = ranks.pop()
+    mats = [validate_factor(factors[m], tensor.shape[m], f"factors[{m}]") for m in other]
+
+    out = np.zeros((tensor.shape[mode], rank), dtype=np.float64)
+    if tensor.nnz == 0:
+        return out
+    idx = np.asarray(tensor.indices)
+    partial = np.asarray(tensor.values)[:, None] * np.ones((1, rank))
+    for m, mat in zip(other, mats):
+        partial = partial * mat[idx[:, m], :]
+    np.add.at(out, idx[:, mode], partial)
+    return out
+
+
+def reference_ttmc(
+    tensor: SparseTensor, factors: Sequence[np.ndarray], mode: int
+) -> np.ndarray:
+    """COO reference TTMc along ``mode`` (the Tucker kernel, Equation 4).
+
+    Returns the mode-``mode`` unfolding of ``X ×_{m != mode} U_m``, of shape
+    ``(shape[mode], prod_{m != mode} R_m)``.  The Kronecker row ordering
+    matches :func:`repro.tensor.ops.ttmc_dense`.
+    """
+    mode = check_mode(mode, tensor.order)
+    if len(factors) != tensor.order:
+        raise ValueError(f"need one factor per mode ({tensor.order}), got {len(factors)}")
+    other = [m for m in range(tensor.order) if m != mode]
+    mats = [validate_factor(factors[m], tensor.shape[m], f"factors[{m}]") for m in other]
+    out_cols = 1
+    for mat in mats:
+        out_cols *= mat.shape[1]
+    out = np.zeros((tensor.shape[mode], out_cols), dtype=np.float64)
+    if tensor.nnz == 0:
+        return out
+
+    idx = np.asarray(tensor.indices)
+    # Build the per-non-zero Kronecker product of the selected factor rows.
+    # The unfolding convention has earlier modes varying fastest, so the
+    # Kronecker chain is built from the *last* remaining mode outward.
+    partial = np.asarray(tensor.values)[:, None]
+    for m, mat in zip(reversed(other), reversed(mats)):
+        rows = mat[idx[:, m], :]
+        partial = (partial[:, :, None] * rows[:, None, :]).reshape(tensor.nnz, -1)
+    np.add.at(out, idx[:, mode], partial)
+    return out

@@ -1,0 +1,27 @@
+"""The unified F-COO kernels (the paper's contribution, Section IV).
+
+All three kernels share the same skeleton:
+
+1. every thread owns ``threadlen`` consecutive non-zeros of the F-COO
+   encoded tensor (perfect load balance regardless of the sparsity
+   structure);
+2. each non-zero's product-mode indices select rows of the dense factor
+   matrices (served by the read-only data cache) and a Hadamard (SpMTTKRP),
+   Kronecker (SpTTMc) or scalar (SpTTM) product is formed and scaled by the
+   non-zero value;
+3. partial products are reduced into per-segment results (one per fiber or
+   slice) by a warp-shuffle segmented scan driven by the F-COO bit-flags —
+   no atomic updates except the per-block carries of the adjacent
+   synchronisation scheme;
+4. the product, scan and accumulation stages are fused into a single kernel
+   launch so intermediate data never travels through global memory.
+
+The kernels return numerically exact results (vectorised NumPy) together
+with a :class:`repro.gpusim.KernelProfile` describing the simulated cost.
+"""
+
+from repro.kernels.unified.spttm import unified_spttm
+from repro.kernels.unified.spmttkrp import unified_spmttkrp
+from repro.kernels.unified.spttmc import unified_spttmc
+
+__all__ = ["unified_spttm", "unified_spmttkrp", "unified_spttmc"]

@@ -1,0 +1,151 @@
+"""Unified SpTTM: sparse tensor-times-matrix on the F-COO format.
+
+Computes ``Y = X ×_mode U`` (paper Equation 3) where ``X`` is sparse and
+``U`` dense.  The result is semi-sparse: one dense fiber of length ``R`` per
+non-empty fiber of ``X`` along ``mode``.
+
+Algorithm (paper Section IV-D, Figure 4):
+
+* the tensor is F-COO encoded for SpTTM on ``mode`` — product-mode indices
+  (``mode`` itself) stored, the other modes compressed to the bit-flag;
+* every thread takes ``threadlen`` consecutive non-zeros and multiplies each
+  value by the factor row ``U[k, :]`` fetched through the read-only cache;
+* a segmented scan over the bit-flags reduces the partial fibers, and the
+  per-fiber results are written out coalesced;
+* everything runs in one fused kernel launch — no intermediate data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.formats.fcoo import FCOOTensor
+from repro.formats.mode_encoding import OperationKind
+from repro.formats.semisparse import SemiSparseTensor
+from repro.gpusim.device import DeviceSpec, TITAN_X
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.scan import segment_reduce
+from repro.gpusim.timing import profile_from_counters
+from repro.kernels.common import SpTTMResult, validate_factor
+from repro.kernels.unified._model import (
+    unified_device_footprint,
+    unified_kernel_counters,
+)
+from repro.tensor.sparse import SparseTensor
+from repro.util.validation import check_mode
+
+__all__ = ["unified_spttm"]
+
+
+def unified_spttm(
+    tensor: Union[SparseTensor, FCOOTensor],
+    matrix: np.ndarray,
+    mode: int,
+    *,
+    device: DeviceSpec = TITAN_X,
+    block_size: int = 128,
+    threadlen: int = 8,
+    fused: bool = True,
+) -> SpTTMResult:
+    """Compute SpTTM with the unified F-COO algorithm on the simulated GPU.
+
+    Parameters
+    ----------
+    tensor:
+        The sparse input, either as a :class:`SparseTensor` (encoded
+        on the fly) or as an :class:`FCOOTensor` already encoded for SpTTM
+        on ``mode`` (the CP/Tucker drivers pre-encode once per mode).
+    matrix:
+        Dense factor ``U`` of shape ``(I_mode, R)``.
+    mode:
+        Product mode (0-based).
+    device:
+        Simulated GPU.
+    block_size, threadlen:
+        The tunable launch parameters of Figure 5 / Table V.
+    fused:
+        Keep the product/scan/accumulate stages in one kernel (the unified
+        default); ``False`` models the unfused variant for the ablation
+        benchmark.
+
+    Returns
+    -------
+    SpTTMResult
+        The semi-sparse result and the simulated kernel profile.
+    """
+    if isinstance(tensor, FCOOTensor):
+        fcoo = tensor
+        if fcoo.operation is not OperationKind.SPTTM or fcoo.mode != check_mode(mode, fcoo.order):
+            raise ValueError(
+                f"the provided FCOOTensor is encoded for {fcoo.operation.value} on mode "
+                f"{fcoo.mode}, not SpTTM on mode {mode}"
+            )
+    else:
+        mode = check_mode(mode, tensor.order)
+        fcoo = FCOOTensor.from_sparse(tensor, OperationKind.SPTTM, mode)
+
+    shape = fcoo.shape
+    matrix = validate_factor(matrix, shape[fcoo.mode], "matrix")
+    rank = matrix.shape[1]
+
+    out_shape = list(shape)
+    out_shape[fcoo.mode] = rank
+
+    # ------------------------------------------------------------------ #
+    # Numerical result (what the GPU kernel would produce).
+    # ------------------------------------------------------------------ #
+    if fcoo.nnz == 0:
+        output = SemiSparseTensor(
+            shape=tuple(out_shape),
+            dense_mode=fcoo.mode,
+            fiber_coords=np.empty((0, fcoo.order - 1), dtype=np.int64),
+            fiber_values=np.empty((0, rank), dtype=np.float64),
+        )
+        launch = LaunchConfig(block_size=block_size, grid_x=1, grid_y=rank, threadlen=threadlen)
+        profile = profile_from_counters(
+            f"unified-spttm-mode{fcoo.mode}",
+            unified_kernel_counters(fcoo, [], rank, 0, rank, launch, device, fused=fused),
+            launch,
+            device,
+        )
+        return SpTTMResult(output=output, profile=profile)
+
+    product_idx = fcoo.product_mode_indices(0).astype(np.int64)
+    partial = np.asarray(fcoo.values, dtype=np.float64)[:, None] * matrix[product_idx, :]
+    fiber_values = segment_reduce(partial, fcoo.segment_ids, fcoo.num_segments)
+
+    output = SemiSparseTensor(
+        shape=tuple(out_shape),
+        dense_mode=fcoo.mode,
+        fiber_coords=fcoo.segment_index_coords,
+        fiber_values=fiber_values,
+    )
+
+    # ------------------------------------------------------------------ #
+    # Simulated cost.
+    # ------------------------------------------------------------------ #
+    launch = LaunchConfig.for_nnz(fcoo.nnz, rank, block_size=block_size, threadlen=threadlen)
+    counters = unified_kernel_counters(
+        fcoo,
+        [product_idx],
+        rank,
+        output_rows=fcoo.num_segments,
+        output_width=rank,
+        launch=launch,
+        device=device,
+        flops_per_nnz_per_column=2.0,
+        fused=fused,
+    )
+    factor_bytes = matrix.shape[0] * rank * 4.0
+    output_bytes = fcoo.num_segments * rank * 4.0 + fcoo.num_segments * (fcoo.order - 1) * 4.0
+    footprint = unified_device_footprint(fcoo, launch, factor_bytes, output_bytes)
+    profile = profile_from_counters(
+        f"unified-spttm-mode{fcoo.mode}",
+        counters,
+        launch,
+        device,
+        device_memory_bytes=footprint,
+    )
+    return SpTTMResult(output=output, profile=profile)

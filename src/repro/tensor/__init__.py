@@ -1,0 +1,41 @@
+"""Sparse/dense tensor algebra substrate.
+
+This subpackage provides the mathematical foundation every other part of the
+library builds on:
+
+* :class:`~repro.tensor.sparse.SparseTensor` — the coordinate (COO) master
+  representation of a sparse tensor.  All storage formats in
+  :mod:`repro.formats` are derived from it and all kernels can be checked
+  against it.
+* dense matricization/folding helpers (:mod:`repro.tensor.dense`) following
+  the Kolda–Bader unfolding convention used by the paper (Figure 1).
+* matrix products used throughout tensor algebra
+  (:mod:`repro.tensor.products`): Kronecker, Khatri–Rao and Hadamard.
+* dense reference implementations of TTM, MTTKRP and TTMc
+  (:mod:`repro.tensor.ops`) used as correctness oracles in the test suite.
+"""
+
+from repro.tensor.sparse import SparseTensor
+from repro.tensor.dense import unfold_dense, fold_dense
+from repro.tensor.products import khatri_rao, kronecker, hadamard
+from repro.tensor.ops import (
+    ttm_dense,
+    mttkrp_dense,
+    ttmc_dense,
+    cp_reconstruct,
+)
+from repro.tensor.random import random_sparse_tensor
+
+__all__ = [
+    "SparseTensor",
+    "unfold_dense",
+    "fold_dense",
+    "khatri_rao",
+    "kronecker",
+    "hadamard",
+    "ttm_dense",
+    "mttkrp_dense",
+    "ttmc_dense",
+    "cp_reconstruct",
+    "random_sparse_tensor",
+]

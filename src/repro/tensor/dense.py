@@ -1,0 +1,73 @@
+"""Dense matricization (unfolding) and its inverse (folding).
+
+The convention follows Kolda & Bader ("Tensor Decompositions and
+Applications", SIAM Review 2009), which is also the convention of the
+paper's Figure 1 and Equation (6): the mode-``n`` unfolding ``X_(n)`` places
+element ``(i_0, ..., i_{N-1})`` in row ``i_n`` and column
+
+``sum_{m != n} i_m * prod_{l < m, l != n} I_l``
+
+i.e. earlier modes vary fastest along the columns.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import check_mode, check_shape
+
+__all__ = ["unfold_dense", "fold_dense", "unfold_shape"]
+
+
+def unfold_shape(shape: Sequence[int], mode: int) -> Tuple[int, int]:
+    """Shape of the mode-``mode`` unfolding of a tensor with ``shape``."""
+    shape = check_shape(shape)
+    mode = check_mode(mode, len(shape))
+    rows = shape[mode]
+    cols = 1
+    for m, s in enumerate(shape):
+        if m != mode:
+            cols *= s
+    return rows, cols
+
+
+def unfold_dense(array: np.ndarray, mode: int) -> np.ndarray:
+    """Matricize a dense tensor along ``mode``.
+
+    Equivalent to ``np.moveaxis(array, mode, 0).reshape(I_mode, -1, order="F")``
+    — the Fortran-order reshape makes the *earlier* remaining modes vary
+    fastest, matching :func:`unfold_shape` and
+    :meth:`repro.tensor.SparseTensor.unfold`.
+    """
+    array = np.asarray(array)
+    mode = check_mode(mode, array.ndim)
+    moved = np.moveaxis(array, mode, 0)
+    return moved.reshape(array.shape[mode], -1, order="F")
+
+
+def fold_dense(matrix: np.ndarray, mode: int, shape: Sequence[int]) -> np.ndarray:
+    """Inverse of :func:`unfold_dense`.
+
+    Parameters
+    ----------
+    matrix:
+        The unfolded matrix of shape ``unfold_shape(shape, mode)``.
+    mode:
+        The mode that was unfolded.
+    shape:
+        The full tensor shape to restore.
+    """
+    shape = check_shape(shape)
+    mode = check_mode(mode, len(shape))
+    matrix = np.asarray(matrix)
+    expected = unfold_shape(shape, mode)
+    if matrix.shape != expected:
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match unfolding shape {expected} "
+            f"for tensor shape {tuple(shape)} on mode {mode}"
+        )
+    other = [s for m, s in enumerate(shape) if m != mode]
+    moved = matrix.reshape([shape[mode]] + other, order="F")
+    return np.moveaxis(moved, 0, mode)

@@ -1,0 +1,160 @@
+"""Dense reference implementations of the tensor operations in the paper.
+
+These are the *oracles*: small, obviously-correct implementations working on
+dense ndarrays, used by the test suite to validate every sparse kernel
+(unified and baseline alike).  They are not meant to be fast and refuse to
+run on tensors that would not fit in memory when densified.
+
+Operations
+----------
+* :func:`ttm_dense` — Tensor-Times-Matrix on one mode (paper Equation 3).
+* :func:`mttkrp_dense` — Matricized-Tensor-Times-Khatri-Rao-Product
+  (paper Equations 5/6), for arbitrary order and arbitrary target mode.
+* :func:`ttmc_dense` — TTM-chain as used by Tucker/HOOI (paper Equation 4).
+* :func:`cp_reconstruct` — reconstruct a dense tensor from CP factors,
+  used to measure decomposition fit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.tensor.dense import fold_dense, unfold_dense
+from repro.tensor.products import khatri_rao
+from repro.util.validation import check_mode
+
+__all__ = ["ttm_dense", "mttkrp_dense", "ttmc_dense", "cp_reconstruct"]
+
+
+def ttm_dense(tensor: np.ndarray, matrix: np.ndarray, mode: int, *, transpose: bool = False) -> np.ndarray:
+    """Mode-``mode`` tensor-times-matrix product on dense data.
+
+    Computes ``Y = X ×_mode U`` where, following the paper's Equation (3),
+    ``Y(i_0, ..., :, ..., i_{N-1}) = Σ_t X(..., t, ...) U(t, :)``.  The
+    ``mode`` dimension of ``X`` (size ``I_mode``) is therefore replaced by
+    the column dimension of ``U``.
+
+    Parameters
+    ----------
+    tensor:
+        Dense input tensor.
+    matrix:
+        Dense factor ``U`` of shape ``(I_mode, R)`` (or ``(R, I_mode)`` with
+        ``transpose=True``).
+    mode:
+        The product mode.
+    transpose:
+        If ``True`` multiply with ``U^T`` instead of ``U``.
+    """
+    tensor = np.asarray(tensor, dtype=np.float64)
+    matrix = np.asarray(matrix, dtype=np.float64)
+    mode = check_mode(mode, tensor.ndim)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+    op = matrix.T if transpose else matrix
+    if op.shape[0] != tensor.shape[mode]:
+        raise ValueError(
+            f"matrix rows ({op.shape[0]}) must equal tensor mode-{mode} size "
+            f"({tensor.shape[mode]})"
+        )
+    unfolded = unfold_dense(tensor, mode)  # (I_mode, prod_others)
+    result = op.T @ unfolded  # (R, prod_others)
+    new_shape = list(tensor.shape)
+    new_shape[mode] = op.shape[1]
+    return fold_dense(result, mode, new_shape)
+
+
+def mttkrp_dense(tensor: np.ndarray, factors: Sequence[np.ndarray], mode: int) -> np.ndarray:
+    """Dense MTTKRP along ``mode``.
+
+    ``factors`` is the full list of ``N`` factor matrices (one per mode, each
+    of shape ``(I_m, R)``); the factor at ``mode`` is ignored, matching the
+    convention of CP-ALS where it is the one being recomputed.
+
+    Returns ``X_(mode) · (A_{N-1} ⊙ ... ⊙ A_{mode+1} ⊙ A_{mode-1} ⊙ ... ⊙ A_0)``
+    of shape ``(I_mode, R)`` — the paper's Equation (5) generalised to any
+    mode and order.
+    """
+    tensor = np.asarray(tensor, dtype=np.float64)
+    mode = check_mode(mode, tensor.ndim)
+    if len(factors) != tensor.ndim:
+        raise ValueError(
+            f"need one factor per mode ({tensor.ndim}), got {len(factors)}"
+        )
+    ranks = {np.asarray(f).shape[1] for m, f in enumerate(factors) if m != mode}
+    if len(ranks) != 1:
+        raise ValueError(f"all factors must share the same rank, got ranks {sorted(ranks)}")
+    for m, f in enumerate(factors):
+        f = np.asarray(f)
+        if m != mode and f.shape[0] != tensor.shape[m]:
+            raise ValueError(
+                f"factor {m} has {f.shape[0]} rows but tensor mode {m} has size {tensor.shape[m]}"
+            )
+    other = [m for m in range(tensor.ndim) if m != mode]
+    # Khatri-Rao chain ordered so that earlier modes vary fastest in the rows,
+    # matching the unfolding convention (see repro.tensor.products).
+    kr: Optional[np.ndarray] = None
+    for m in reversed(other):
+        f = np.asarray(factors[m], dtype=np.float64)
+        kr = f if kr is None else khatri_rao(kr, f)
+    assert kr is not None
+    return unfold_dense(tensor, mode) @ kr
+
+
+def ttmc_dense(tensor: np.ndarray, factors: Sequence[np.ndarray], mode: int) -> np.ndarray:
+    """Dense TTM-chain (the paper's Equation 4), returned in unfolded form.
+
+    Multiplies the tensor by every factor except the one at ``mode`` (each
+    along its own mode) and returns the mode-``mode`` unfolding of the
+    result, of shape ``(I_mode, prod_{m != mode} R_m)``.  This is the kernel
+    at the heart of the HOOI / Tucker algorithm.
+    """
+    tensor = np.asarray(tensor, dtype=np.float64)
+    mode = check_mode(mode, tensor.ndim)
+    if len(factors) != tensor.ndim:
+        raise ValueError(
+            f"need one factor per mode ({tensor.ndim}), got {len(factors)}"
+        )
+    result = tensor
+    for m in range(tensor.ndim):
+        if m == mode:
+            continue
+        f = np.asarray(factors[m], dtype=np.float64)
+        if f.shape[0] != tensor.shape[m]:
+            raise ValueError(
+                f"factor {m} has {f.shape[0]} rows but tensor mode {m} has size {tensor.shape[m]}"
+            )
+        result = ttm_dense(result, f, m)
+    return unfold_dense(result, mode)
+
+
+def cp_reconstruct(factors: Sequence[np.ndarray], weights: Optional[np.ndarray] = None) -> np.ndarray:
+    """Reconstruct the dense tensor represented by CP factors.
+
+    ``X ≈ Σ_r weights[r] · a_r ∘ b_r ∘ c_r ∘ ...`` where ``∘`` is the outer
+    product.  Used to compute decomposition fit in tests and examples.
+    """
+    factors = [np.asarray(f, dtype=np.float64) for f in factors]
+    if not factors:
+        raise ValueError("cp_reconstruct needs at least one factor")
+    rank = factors[0].shape[1]
+    for i, f in enumerate(factors):
+        if f.ndim != 2 or f.shape[1] != rank:
+            raise ValueError(f"factor {i} must have shape (I_{i}, {rank}), got {f.shape}")
+    if weights is None:
+        weights = np.ones(rank, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (rank,):
+        raise ValueError(f"weights must have shape ({rank},), got {weights.shape}")
+
+    shape = tuple(f.shape[0] for f in factors)
+    out = np.zeros(shape, dtype=np.float64)
+    for r in range(rank):
+        component = weights[r]
+        outer = factors[0][:, r]
+        for f in factors[1:]:
+            outer = np.multiply.outer(outer, f[:, r])
+        out += component * outer
+    return out

@@ -1,0 +1,80 @@
+"""Matrix products used in tensor algebra: Kronecker, Khatri–Rao, Hadamard.
+
+The index conventions here must agree with :mod:`repro.tensor.dense` so that
+identities such as ``M = X_(0) (C ⊙ B)`` (the paper's Equation 5, written
+0-based) hold exactly; the test suite checks them on random inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["kronecker", "khatri_rao", "hadamard"]
+
+
+def kronecker(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Kronecker product of two matrices (paper Equation 1).
+
+    ``kronecker(A, B)[i*K + k, j*L + l] == A[i, j] * B[k, l]`` for
+    ``A ∈ R^{I×J}`` and ``B ∈ R^{K×L}``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(
+            f"kronecker expects 2-D matrices, got shapes {a.shape} and {b.shape}"
+        )
+    return np.kron(a, b)
+
+
+def khatri_rao(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Column-wise Kronecker (Khatri–Rao) product (paper Equation 2).
+
+    For ``A ∈ R^{I×R}`` and ``B ∈ R^{J×R}`` the result has shape ``(I*J, R)``
+    with ``khatri_rao(A, B)[i*J + j, r] == A[i, r] * B[j, r]``.
+
+    This row ordering matches the Kolda unfolding convention used by
+    :func:`repro.tensor.dense.unfold_dense`: for a third-order tensor,
+    ``X_(0) @ khatri_rao(C, B)`` computes the mode-0 MTTKRP where column
+    ``z`` of ``X_(0)`` corresponds to ``(j, k)`` with ``z = k*J + j``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(
+            f"khatri_rao expects 2-D matrices, got shapes {a.shape} and {b.shape}"
+        )
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(
+            f"khatri_rao operands must share the column count, got {a.shape} and {b.shape}"
+        )
+    i, r = a.shape
+    j, _ = b.shape
+    # Broadcasting: (I, 1, R) * (1, J, R) -> (I, J, R) -> (I*J, R), with the
+    # J (second operand) index varying fastest, i.e. row = i*J + j.
+    return (a[:, None, :] * b[None, :, :]).reshape(i * j, r)
+
+
+def khatri_rao_multi(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Khatri–Rao product of a list of matrices, left-associated.
+
+    ``khatri_rao_multi([A, B, C]) == khatri_rao(khatri_rao(A, B), C)``.
+    Provided for the higher-order MTTKRP reference path.
+    """
+    if len(matrices) == 0:
+        raise ValueError("khatri_rao_multi needs at least one matrix")
+    out = np.asarray(matrices[0], dtype=np.float64)
+    for m in matrices[1:]:
+        out = khatri_rao(out, m)
+    return out
+
+
+def hadamard(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise (Hadamard) product with shape checking."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"hadamard operands must share shape, got {a.shape} and {b.shape}")
+    return a * b

@@ -1,0 +1,113 @@
+"""Random sparse-tensor generation.
+
+The low-level generator here draws coordinates from configurable per-mode
+distributions; the dataset-specific analogs of the paper's FROSTT tensors
+(brainq, nell1, nell2, delicious) are built on top of it in
+:mod:`repro.data.synthetic`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensor.sparse import SparseTensor
+from repro.util.rng import SeedLike, as_rng, spawn_rngs
+from repro.util.validation import check_positive_int, check_shape
+
+__all__ = ["random_sparse_tensor", "random_factors"]
+
+
+def random_sparse_tensor(
+    shape: Sequence[int],
+    nnz: int,
+    *,
+    seed: SeedLike = None,
+    distribution: str = "uniform",
+    concentration: float = 1.0,
+    value_low: float = 0.1,
+    value_high: float = 1.0,
+    ensure_no_empty_first_mode: bool = False,
+) -> SparseTensor:
+    """Generate a random sparse tensor with approximately ``nnz`` non-zeros.
+
+    Parameters
+    ----------
+    shape:
+        Tensor dimensions.
+    nnz:
+        Number of coordinates drawn.  Duplicates are merged, so the resulting
+        tensor can have slightly fewer stored non-zeros (significant only for
+        very dense shapes — exactly the regime of the ``brainq`` analog).
+    distribution:
+        ``"uniform"`` draws every mode index uniformly.  ``"power"`` draws
+        indices from a Zipf-like power-law so a few slices/fibers are heavy —
+        this mimics the skewed real-world tensors (nell, delicious) where
+        fiber-level parallelism suffers load imbalance.
+    concentration:
+        Exponent of the power-law (ignored for ``"uniform"``); larger means
+        more skew.
+    value_low, value_high:
+        Non-zero values are drawn uniformly from this interval (kept away
+        from zero so tests can rely on the pattern not collapsing).
+    ensure_no_empty_first_mode:
+        When set, every index of mode 0 appears at least once (the paper
+        notes the output mode of MTTKRP is dense because a sparse tensor
+        "can not have empty slices in the i-dimension").
+    """
+    shape = check_shape(shape)
+    nnz = check_positive_int(nnz, "nnz")
+    if distribution not in ("uniform", "power"):
+        raise ValueError(f"unknown distribution {distribution!r}")
+    rngs = spawn_rngs(seed, len(shape) + 1)
+    value_rng = rngs[-1]
+
+    columns = []
+    for mode, (dim, rng) in enumerate(zip(shape, rngs[:-1])):
+        if distribution == "uniform":
+            idx = rng.integers(0, dim, size=nnz)
+        else:
+            idx = _power_law_indices(rng, dim, nnz, concentration)
+        columns.append(idx.astype(np.int64))
+    indices = np.stack(columns, axis=1)
+
+    if ensure_no_empty_first_mode and shape[0] <= nnz:
+        # Overwrite the first `shape[0]` draws' mode-0 index with a permutation
+        # covering every slice.
+        indices[: shape[0], 0] = np.arange(shape[0], dtype=np.int64)
+
+    values = value_rng.uniform(value_low, value_high, size=nnz)
+    return SparseTensor(indices, values, shape, sum_duplicates=True, sort=True)
+
+
+def random_factors(
+    shape: Sequence[int],
+    rank: int,
+    *,
+    seed: SeedLike = None,
+    scale: float = 1.0,
+) -> Tuple[np.ndarray, ...]:
+    """Generate one dense factor matrix per mode, each of shape ``(I_m, rank)``.
+
+    Entries are uniform in ``[0, scale)`` — non-negative factors keep CP-ALS
+    well behaved on the synthetic workloads.
+    """
+    shape = check_shape(shape)
+    rank = check_positive_int(rank, "rank")
+    rng = as_rng(seed)
+    return tuple(rng.uniform(0.0, scale, size=(dim, rank)) for dim in shape)
+
+
+def _power_law_indices(
+    rng: np.random.Generator, dim: int, count: int, concentration: float
+) -> np.ndarray:
+    """Draw ``count`` indices in ``[0, dim)`` from a power-law distribution."""
+    if concentration <= 0:
+        raise ValueError(f"concentration must be positive, got {concentration}")
+    ranks = np.arange(1, dim + 1, dtype=np.float64)
+    weights = ranks ** (-concentration)
+    weights /= weights.sum()
+    # Permute so the heavy indices are not always the numerically smallest.
+    perm = rng.permutation(dim)
+    return perm[rng.choice(dim, size=count, p=weights)]

@@ -1,0 +1,52 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts a ``seed`` argument which
+may be ``None``, an integer, or an already-constructed
+:class:`numpy.random.Generator`.  :func:`as_rng` normalises all three into a
+``Generator`` so downstream code never touches the legacy ``RandomState`` API.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+__all__ = ["as_rng", "spawn_rngs"]
+
+
+def as_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` gives a fresh nondeterministic generator, an ``int`` a
+    deterministic one, and an existing ``Generator`` is passed through
+    untouched (so callers can share one stream).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        f"seed must be None, an int, a SeedSequence or a Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> List[np.random.Generator]:
+    """Spawn ``n`` independent generators from one seed.
+
+    Used by workload generators that build several independent index streams
+    (one per tensor mode) so that changing one mode's distribution does not
+    perturb the others.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children deterministically from the parent's bit generator.
+        seeds = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+# Allow running the tests from a source checkout without installation.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:  # pragma: no cover - environment dependent
+    sys.path.insert(0, _SRC)
+
+from repro.tensor.random import random_factors, random_sparse_tensor  # noqa: E402
+from repro.tensor.sparse import SparseTensor  # noqa: E402
+
+
+@pytest.fixture
+def small_tensor() -> SparseTensor:
+    """A small third-order tensor that can be densified in tests."""
+    return random_sparse_tensor((8, 9, 10), 150, seed=42)
+
+
+@pytest.fixture
+def small_factors(small_tensor) -> list:
+    """Rank-4 factors matching ``small_tensor``."""
+    return [np.asarray(f) for f in random_factors(small_tensor.shape, 4, seed=7)]
+
+
+@pytest.fixture
+def skewed_tensor() -> SparseTensor:
+    """A power-law tensor with uneven fibers (stress for the baselines)."""
+    return random_sparse_tensor(
+        (30, 50, 40), 600, seed=11, distribution="power", concentration=1.2
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_tensor() -> SparseTensor:
+    """A tensor large enough that GPU launch overheads are amortised.
+
+    Timing-relationship tests (GPU vs CPU, unified vs baselines) use this
+    instead of the tiny fixtures: on a few hundred non-zeros any GPU loses to
+    any CPU simply because of launch overhead, which is realistic but not the
+    regime the paper (or this library) targets.
+    """
+    return random_sparse_tensor(
+        (60, 500, 40), 30_000, seed=17, distribution="power", concentration=0.9
+    )
+
+
+@pytest.fixture
+def fourth_order_tensor() -> SparseTensor:
+    """A fourth-order tensor to exercise the higher-order code paths."""
+    return random_sparse_tensor((5, 6, 7, 4), 100, seed=13)
+
+
+@pytest.fixture
+def tiny_dense_tensor() -> SparseTensor:
+    """The 2x2x2 tensor of the paper's Figure 1 (values 1..8)."""
+    coords = []
+    values = []
+    value = 1.0
+    # Figure 1 orders the values with i fastest, then j, then k.
+    for k in range(2):
+        for j in range(2):
+            for i in range(2):
+                coords.append((i, j, k))
+                values.append(value)
+                value += 1.0
+    return SparseTensor(np.array(coords), np.array(values), (2, 2, 2))

@@ -1,0 +1,124 @@
+"""Tests for CP-ALS (Algorithm 1) with both engines."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.cp import CPResult, SplattCPUEngine, UnifiedGPUEngine, cp_als
+from repro.tensor.ops import cp_reconstruct
+from repro.tensor.random import random_factors, random_sparse_tensor
+from repro.tensor.sparse import SparseTensor
+
+
+@pytest.fixture
+def low_rank_tensor():
+    """A tensor that is exactly rank 3, stored sparsely (fully recoverable)."""
+    rng = np.random.default_rng(0)
+    factors = [rng.random((12, 3)), rng.random((14, 3)), rng.random((10, 3))]
+    return SparseTensor.from_dense(cp_reconstruct(factors))
+
+
+class TestCPAlgorithm:
+    def test_fit_improves_monotonically(self, skewed_tensor):
+        result = cp_als(skewed_tensor, 4, max_iterations=6, tolerance=0.0, seed=1)
+        assert len(result.fits) == 6
+        diffs = np.diff(result.fits)
+        assert (diffs >= -1e-8).all()
+
+    def test_factor_shapes_and_weights(self, skewed_tensor):
+        rank = 5
+        result = cp_als(skewed_tensor, rank, max_iterations=2, seed=2)
+        assert len(result.factors) == skewed_tensor.order
+        for m, f in enumerate(result.factors):
+            assert f.shape == (skewed_tensor.shape[m], rank)
+        assert result.weights.shape == (rank,)
+        assert (result.weights > 0).all()
+
+    def test_factors_have_unit_columns(self, skewed_tensor):
+        result = cp_als(skewed_tensor, 3, max_iterations=2, seed=3)
+        for f in result.factors:
+            np.testing.assert_allclose(np.linalg.norm(f, axis=0), 1.0, rtol=1e-8)
+
+    def test_engines_agree_numerically(self, skewed_tensor):
+        unified = cp_als(skewed_tensor, 3, engine=UnifiedGPUEngine(), max_iterations=3, seed=4)
+        splatt = cp_als(skewed_tensor, 3, engine=SplattCPUEngine(), max_iterations=3, seed=4)
+        assert unified.final_fit == pytest.approx(splatt.final_fit, rel=1e-4)
+
+    def test_early_stopping_on_tolerance(self, skewed_tensor):
+        result = cp_als(skewed_tensor, 3, max_iterations=50, tolerance=1e-2, seed=5)
+        assert result.iterations < 50
+
+    def test_recovers_low_rank_structure(self, low_rank_tensor):
+        result = cp_als(low_rank_tensor, 3, max_iterations=40, tolerance=1e-9, seed=6)
+        assert result.final_fit is not None
+        assert result.final_fit > 0.95
+
+    def test_initial_factors_respected(self, skewed_tensor):
+        init = [np.asarray(f) for f in random_factors(skewed_tensor.shape, 3, seed=7)]
+        a = cp_als(skewed_tensor, 3, max_iterations=2, initial_factors=init)
+        b = cp_als(skewed_tensor, 3, max_iterations=2, initial_factors=init)
+        for fa, fb in zip(a.factors, b.factors):
+            np.testing.assert_allclose(fa, fb)
+
+    def test_invalid_initial_factors(self, skewed_tensor):
+        with pytest.raises(ValueError):
+            cp_als(skewed_tensor, 3, initial_factors=[np.ones((2, 3))])
+
+    def test_zero_tensor_rejected(self):
+        with pytest.raises(ValueError):
+            cp_als(SparseTensor.empty((3, 4, 5)), 2)
+
+    def test_compute_fit_disabled(self, skewed_tensor):
+        result = cp_als(skewed_tensor, 3, max_iterations=2, compute_fit=False)
+        assert result.fits == []
+        assert result.final_fit is None
+
+
+class TestCPTimings:
+    def test_timings_accumulate_per_mode(self, skewed_tensor):
+        iterations = 4
+        result = cp_als(
+            skewed_tensor, 4, max_iterations=iterations, tolerance=0.0, compute_fit=False
+        )
+        assert set(result.mttkrp_time_by_mode) == {0, 1, 2}
+        assert all(t > 0 for t in result.mttkrp_time_by_mode.values())
+        assert result.other_time_s > 0
+        assert result.total_time_s == pytest.approx(
+            sum(result.mttkrp_time_by_mode.values()) + result.other_time_s
+        )
+
+    def test_unified_modes_balanced(self, skewed_tensor):
+        result = cp_als(skewed_tensor, 4, max_iterations=3, tolerance=0.0, compute_fit=False)
+        times = list(result.mttkrp_time_by_mode.values())
+        assert max(times) / min(times) < 2.0
+
+    def test_unified_faster_than_splatt(self, medium_tensor):
+        unified = cp_als(
+            medium_tensor, 4, engine=UnifiedGPUEngine(), max_iterations=3,
+            tolerance=0.0, compute_fit=False,
+        )
+        splatt = cp_als(
+            medium_tensor, 4, engine=SplattCPUEngine(), max_iterations=3,
+            tolerance=0.0, compute_fit=False,
+        )
+        assert unified.total_time_s < splatt.total_time_s
+
+    def test_setup_time_recorded(self, skewed_tensor):
+        result = cp_als(skewed_tensor, 3, max_iterations=1, compute_fit=False)
+        assert result.setup_time_s > 0
+
+    def test_per_mode_launch_parameters(self, skewed_tensor):
+        engine = UnifiedGPUEngine(per_mode_params={0: (64, 16), 1: (128, 8), 2: (256, 32)})
+        result = cp_als(skewed_tensor, 3, engine=engine, max_iterations=1, compute_fit=False)
+        assert isinstance(result, CPResult)
+
+
+class TestEngineGuards:
+    def test_mttkrp_before_prepare_raises(self, skewed_tensor, small_factors):
+        engine = UnifiedGPUEngine()
+        with pytest.raises(RuntimeError):
+            engine.mttkrp(small_factors, 0)
+
+    def test_splatt_mttkrp_before_prepare_raises(self, small_factors):
+        engine = SplattCPUEngine()
+        with pytest.raises(RuntimeError):
+            engine.mttkrp(small_factors, 0)

@@ -1,0 +1,37 @@
+"""Tests for factor-column normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.normalization import normalize_columns
+
+
+class TestNormalizeColumns:
+    def test_unit_norms(self):
+        rng = np.random.default_rng(0)
+        m = rng.random((20, 5))
+        normalized, weights = normalize_columns(m)
+        np.testing.assert_allclose(np.linalg.norm(normalized, axis=0), np.ones(5))
+        np.testing.assert_allclose(normalized * weights, m)
+
+    def test_weights_are_column_norms(self):
+        m = np.array([[3.0, 0.0], [4.0, 2.0]])
+        _, weights = normalize_columns(m)
+        np.testing.assert_allclose(weights, [5.0, 2.0])
+
+    def test_zero_column_untouched(self):
+        m = np.zeros((4, 2))
+        m[:, 1] = 1.0
+        normalized, weights = normalize_columns(m)
+        assert weights[0] == 1.0
+        np.testing.assert_allclose(normalized[:, 0], 0.0)
+
+    def test_inf_norm(self):
+        m = np.array([[1.0], [-4.0], [2.0]])
+        normalized, weights = normalize_columns(m, ord=np.inf)
+        assert weights[0] == pytest.approx(4.0)
+        assert np.abs(normalized).max() == pytest.approx(1.0)
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError):
+            normalize_columns(np.ones(5))

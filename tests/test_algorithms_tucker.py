@@ -1,0 +1,74 @@
+"""Tests for the Tucker/HOOI decomposition built on unified SpTTMc."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.tucker import tucker_hooi
+from repro.tensor.sparse import SparseTensor
+from repro.tensor.ops import ttm_dense
+from repro.tensor.random import random_sparse_tensor
+
+
+@pytest.fixture
+def low_multilinear_rank_tensor():
+    """A tensor with exact multilinear rank (2, 2, 2)."""
+    rng = np.random.default_rng(0)
+    core = rng.random((2, 2, 2))
+    factors = [np.linalg.qr(rng.standard_normal((s, 2)))[0] for s in (10, 12, 9)]
+    dense = core
+    for m, f in enumerate(factors):
+        # Expand mode m from rank 2 to the full size: G x_m U == ttm with U^T.
+        dense = ttm_dense(dense, f.T, m)
+    return SparseTensor.from_dense(dense, tol=1e-12)
+
+
+class TestTuckerHOOI:
+    def test_fit_improves(self, skewed_tensor):
+        result = tucker_hooi(skewed_tensor, (5, 5, 5), max_iterations=4, tolerance=0.0)
+        assert len(result.fits) == 4
+        assert (np.diff(result.fits) >= -1e-8).all()
+
+    def test_shapes(self, skewed_tensor):
+        ranks = (4, 6, 5)
+        result = tucker_hooi(skewed_tensor, ranks, max_iterations=2)
+        assert result.core.shape == ranks
+        for m, f in enumerate(result.factors):
+            assert f.shape == (skewed_tensor.shape[m], ranks[m])
+
+    def test_factors_orthonormal(self, skewed_tensor):
+        result = tucker_hooi(skewed_tensor, (3, 3, 3), max_iterations=2)
+        for f in result.factors:
+            np.testing.assert_allclose(f.T @ f, np.eye(f.shape[1]), atol=1e-8)
+
+    def test_recovers_exact_low_rank(self, low_multilinear_rank_tensor):
+        result = tucker_hooi(
+            low_multilinear_rank_tensor, (2, 2, 2), max_iterations=6, tolerance=1e-10
+        )
+        # The kernels store values in device single precision, so the recovered
+        # fit is exact only to float32 accuracy.
+        assert result.final_fit == pytest.approx(1.0, abs=1e-3)
+
+    def test_reconstruction_matches_fit(self, skewed_tensor):
+        ranks = (6, 6, 6)
+        result = tucker_hooi(skewed_tensor, ranks, max_iterations=3, tolerance=0.0)
+        dense = skewed_tensor.to_dense()
+        approx = result.core
+        for m, f in enumerate(result.factors):
+            approx = ttm_dense(approx, f.T, m)
+        fit = 1.0 - np.linalg.norm(dense - approx) / np.linalg.norm(dense)
+        assert fit == pytest.approx(result.final_fit, abs=1e-6)
+
+    def test_timings_recorded(self, skewed_tensor):
+        result = tucker_hooi(skewed_tensor, (3, 3, 3), max_iterations=2)
+        assert set(result.ttmc_time_by_mode) == {0, 1, 2}
+        assert result.total_time_s > 0
+
+    def test_rank_validation(self, skewed_tensor):
+        with pytest.raises(ValueError):
+            tucker_hooi(skewed_tensor, (100, 3, 3))
+        with pytest.raises(ValueError):
+            tucker_hooi(skewed_tensor, (3, 3))
+
+    def test_zero_tensor_rejected(self):
+        with pytest.raises(ValueError):
+            tucker_hooi(SparseTensor.empty((4, 4, 4)), (2, 2, 2))

@@ -1,0 +1,61 @@
+"""Tests for the (BLOCK_SIZE, threadlen) auto-tuner."""
+
+import numpy as np
+import pytest
+
+from repro.autotune import tune_unified
+from repro.formats.mode_encoding import OperationKind
+from repro.tensor.random import random_sparse_tensor
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return random_sparse_tensor((40, 300, 30), 15_000, seed=0, distribution="power")
+
+
+class TestTuner:
+    def test_surface_shape(self, tensor):
+        result = tune_unified(
+            tensor,
+            "spmttkrp",
+            0,
+            rank=8,
+            block_sizes=(64, 128),
+            threadlens=(8, 16, 32),
+        )
+        assert result.times.shape == (2, 3)
+        assert (result.times > 0).all()
+
+    def test_best_is_minimum(self, tensor):
+        result = tune_unified(
+            tensor, "spttm", 2, rank=8, block_sizes=(64, 256), threadlens=(8, 64)
+        )
+        best_bs, best_tl = result.best
+        i = result.block_sizes.index(best_bs)
+        j = result.threadlens.index(best_tl)
+        assert result.times[i, j] == result.best_time
+        assert result.best_time == result.times.min()
+
+    def test_deterministic(self, tensor):
+        kwargs = dict(rank=4, block_sizes=(64, 128), threadlens=(8, 16))
+        a = tune_unified(tensor, "spmttkrp", 0, **kwargs)
+        b = tune_unified(tensor, "spmttkrp", 0, **kwargs)
+        np.testing.assert_allclose(a.times, b.times)
+
+    def test_operation_enum_accepted(self, tensor):
+        result = tune_unified(
+            tensor, OperationKind.SPTTM, 2, rank=4, block_sizes=(64,), threadlens=(8,)
+        )
+        assert result.best == (64, 8)
+
+    def test_render_contains_axes(self, tensor):
+        result = tune_unified(
+            tensor, "spmttkrp", 0, rank=4, block_sizes=(64, 128), threadlens=(8, 16)
+        )
+        text = result.render()
+        assert "BLOCK_SIZE" in text
+        assert "128" in text
+
+    def test_unsupported_operation(self, tensor):
+        with pytest.raises(ValueError):
+            tune_unified(tensor, "spttmc", 0, rank=4)

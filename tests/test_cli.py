@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list_default(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_list_explicit(self, capsys):
+        assert main(["list"]) == 0
+        assert "table2" in capsys.readouterr().out
+
+    def test_single_experiment(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "F-COO" in out
+
+    def test_platform_table(self, capsys):
+        assert main(["table3"]) == 0
+        assert "Titan X" in capsys.readouterr().out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["table3", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Titan X" in out and "brainq" in out
+
+    def test_rank_option(self, capsys):
+        assert main(["fig9", "--rank", "8"]) == 0
+        assert "rank=8" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["figure42"])
+        assert exc.value.code != 0
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_registry_covers_all_bench_artifacts(self):
+        expected = {
+            "table2", "table3", "table4", "table5",
+            "fig5", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10",
+        }
+        assert set(EXPERIMENTS) == expected

@@ -1,0 +1,116 @@
+"""Tests for repro.formats.semisparse.SemiSparseTensor (sCOO)."""
+
+import numpy as np
+import pytest
+
+from repro.formats.semisparse import SemiSparseTensor
+from repro.kernels.reference.coo_reference import reference_spttm
+from repro.tensor.ops import ttm_dense
+from repro.tensor.random import random_sparse_tensor
+
+
+def make_semisparse(dense_mode=2):
+    coords = np.array([[0, 0], [1, 2], [2, 1]])
+    values = np.arange(12.0).reshape(3, 4)
+    shape = [3, 3, 3]
+    shape[dense_mode] = 4
+    return SemiSparseTensor(
+        shape=tuple(shape), dense_mode=dense_mode, fiber_coords=coords, fiber_values=values
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        t = make_semisparse()
+        assert t.num_fibers == 3
+        assert t.fiber_length == 4
+        assert t.sparse_modes == (0, 1)
+
+    def test_coordinate_bounds_checked(self):
+        with pytest.raises(ValueError):
+            SemiSparseTensor(
+                shape=(2, 2, 4),
+                dense_mode=2,
+                fiber_coords=np.array([[5, 0]]),
+                fiber_values=np.ones((1, 4)),
+            )
+
+    def test_value_shape_checked(self):
+        with pytest.raises(ValueError):
+            SemiSparseTensor(
+                shape=(2, 2, 4),
+                dense_mode=2,
+                fiber_coords=np.array([[0, 0]]),
+                fiber_values=np.ones((1, 3)),
+            )
+
+    def test_coord_column_count_checked(self):
+        with pytest.raises(ValueError):
+            SemiSparseTensor(
+                shape=(2, 2, 4),
+                dense_mode=2,
+                fiber_coords=np.array([[0]]),
+                fiber_values=np.ones((1, 4)),
+            )
+
+
+class TestConversions:
+    @pytest.mark.parametrize("dense_mode", [0, 1, 2])
+    def test_to_dense_places_fibers(self, dense_mode):
+        t = make_semisparse(dense_mode)
+        dense = t.to_dense()
+        for f in range(t.num_fibers):
+            index = [None] * 3
+            for pos, m in enumerate(t.sparse_modes):
+                index[m] = int(t.fiber_coords[f, pos])
+            index[dense_mode] = slice(None)
+            np.testing.assert_allclose(dense[tuple(index)], t.fiber_values[f])
+
+    @pytest.mark.parametrize("dense_mode", [0, 1, 2])
+    def test_to_sparse_matches_to_dense(self, dense_mode):
+        t = make_semisparse(dense_mode)
+        np.testing.assert_allclose(t.to_sparse().to_dense(), t.to_dense())
+
+    def test_spttm_output_matches_dense_ttm(self, small_tensor):
+        rng = np.random.default_rng(0)
+        for mode in range(3):
+            u = rng.random((small_tensor.shape[mode], 5))
+            out = reference_spttm(small_tensor, u, mode)
+            np.testing.assert_allclose(
+                out.to_dense(), ttm_dense(small_tensor.to_dense(), u, mode), atol=1e-12
+            )
+
+    def test_storage_bytes(self):
+        t = make_semisparse()
+        assert t.storage_bytes() == 3 * 2 * 4 + 3 * 4 * 4
+
+
+class TestComparison:
+    def test_allclose_self(self):
+        t = make_semisparse()
+        assert t.allclose(t)
+
+    def test_allclose_reordered_fibers(self):
+        t = make_semisparse()
+        perm = np.array([2, 0, 1])
+        other = SemiSparseTensor(
+            shape=t.shape,
+            dense_mode=t.dense_mode,
+            fiber_coords=t.fiber_coords[perm],
+            fiber_values=t.fiber_values[perm],
+        )
+        assert t.allclose(other)
+
+    def test_allclose_detects_differences(self):
+        t = make_semisparse()
+        other = SemiSparseTensor(
+            shape=t.shape,
+            dense_mode=t.dense_mode,
+            fiber_coords=t.fiber_coords,
+            fiber_values=t.fiber_values * 2.0,
+        )
+        assert not t.allclose(other)
+
+    def test_allclose_type_error(self):
+        with pytest.raises(TypeError):
+            make_semisparse().allclose(42)

@@ -1,0 +1,80 @@
+"""Tests for the Table II storage-cost model."""
+
+import pytest
+
+from repro.formats.mode_encoding import OperationKind
+from repro.formats.storage_cost import (
+    coo_storage_bytes,
+    csf_storage_bytes,
+    fcoo_storage_bytes,
+    storage_report,
+)
+
+
+class TestCOOCost:
+    def test_paper_value_third_order(self):
+        # Table II: 16 bytes per non-zero for a 3-order tensor.
+        assert coo_storage_bytes(1000, 3) == 16 * 1000
+
+    def test_order_dependence(self):
+        assert coo_storage_bytes(10, 4) == 10 * (4 * 4 + 4)
+
+    def test_custom_widths(self):
+        assert coo_storage_bytes(10, 3, index_bytes=8, value_bytes=8) == 10 * 32
+
+
+class TestFCOOCost:
+    def test_paper_spttm_formula(self):
+        # Table II: (8 + 1/8 + 1/(8*threadlen)) * nnz for SpTTM on mode-3.
+        nnz, threadlen = 1000, 8
+        expected = (8 + 1 / 8 + 1 / (8 * threadlen)) * nnz
+        got = fcoo_storage_bytes(nnz, 3, OperationKind.SPTTM, 2, threadlen=threadlen)
+        assert got == pytest.approx(expected)
+
+    def test_paper_spmttkrp_formula(self):
+        nnz, threadlen = 1000, 16
+        expected = (12 + 1 / 8 + 1 / (8 * threadlen)) * nnz
+        got = fcoo_storage_bytes(nnz, 3, "spmttkrp", 0, threadlen=threadlen)
+        assert got == pytest.approx(expected)
+
+    def test_without_start_flag(self):
+        assert fcoo_storage_bytes(800, 3, "spttm", 2) == pytest.approx((8 + 1 / 8) * 800)
+
+    def test_always_cheaper_than_coo(self):
+        for op, mode in [("spttm", 2), ("spmttkrp", 0), ("spttmc", 0)]:
+            for threadlen in (1, 8, 64):
+                assert fcoo_storage_bytes(500, 3, op, mode, threadlen=threadlen) < coo_storage_bytes(
+                    500, 3
+                )
+
+    def test_higher_order(self):
+        # 4-order SpMTTKRP keeps 3 product-mode index arrays.
+        got = fcoo_storage_bytes(100, 4, "spmttkrp", 0)
+        assert got == pytest.approx((16 + 1 / 8) * 100)
+
+
+class TestCSFCost:
+    def test_basic(self):
+        total = csf_storage_bytes(12, [2, 3, 12])
+        # fids: (2+3+12)*4, fptr: (3+4)*4, values: 12*4
+        assert total == (2 + 3 + 12) * 4 + (3 + 4) * 4 + 12 * 4
+
+    def test_leaf_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            csf_storage_bytes(10, [2, 3, 12])
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ValueError):
+            csf_storage_bytes(10, [])
+
+
+class TestStorageReport:
+    def test_report_fields(self):
+        report = storage_report(1000, 3, "spmttkrp", 0, threadlen=8)
+        assert report.coo_bytes_per_nnz == pytest.approx(16.0)
+        assert report.fcoo_bytes_per_nnz == pytest.approx(12 + 1 / 8 + 1 / 64)
+        assert report.reduction_factor > 1.0
+
+    def test_spttm_reduction_close_to_two(self):
+        report = storage_report(10_000, 3, "spttm", 2, threadlen=8)
+        assert report.reduction_factor == pytest.approx(16 / (8 + 1 / 8 + 1 / 64), rel=1e-6)

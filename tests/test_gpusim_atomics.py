@@ -1,0 +1,58 @@
+"""Tests for the atomic-contention model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.atomics import atomic_contention_factor, atomic_cost_ops
+from repro.gpusim.device import TITAN_X
+
+
+class TestContentionFactor:
+    def test_no_conflicts(self):
+        counts = np.ones(1000)
+        assert atomic_contention_factor(counts, TITAN_X) == pytest.approx(1.0)
+
+    def test_full_conflict_caps(self):
+        counts = np.array([1_000_000.0])
+        assert atomic_contention_factor(counts, TITAN_X) == pytest.approx(
+            TITAN_X.atomic_max_conflict_penalty
+        )
+
+    def test_weighted_mean(self):
+        # Two addresses: one with 3 updates, one with 1 -> weighted mean 2.5.
+        counts = np.array([3.0, 1.0])
+        assert atomic_contention_factor(counts, TITAN_X) == pytest.approx((9 + 1) / 4)
+
+    def test_scalar_input(self):
+        assert atomic_contention_factor(4.0, TITAN_X) == pytest.approx(4.0)
+
+    def test_empty_histogram(self):
+        assert atomic_contention_factor(np.empty(0), TITAN_X) == 1.0
+
+    def test_monotone_in_skew(self):
+        uniform = np.full(100, 10.0)
+        skewed = np.concatenate([np.full(10, 91.0), np.full(90, 1.0)])
+        assert atomic_contention_factor(skewed, TITAN_X) > atomic_contention_factor(
+            uniform, TITAN_X
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            atomic_contention_factor(np.array([-1.0]), TITAN_X)
+        with pytest.raises(ValueError):
+            atomic_contention_factor(-2.0, TITAN_X)
+
+
+class TestAtomicCost:
+    def test_scales_with_count(self):
+        counts = np.full(10, 50.0)
+        assert atomic_cost_ops(1000, counts, TITAN_X) == pytest.approx(
+            2 * atomic_cost_ops(500, counts, TITAN_X)
+        )
+
+    def test_at_least_raw_count(self):
+        assert atomic_cost_ops(100, np.ones(100), TITAN_X) >= 100
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            atomic_cost_ops(-1, np.ones(2), TITAN_X)

@@ -1,0 +1,68 @@
+"""Tests for repro.gpusim.device."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpusim.device import DeviceSpec, TITAN_X, scaled_device
+
+
+class TestTitanX:
+    """The default device must match the paper's Table III."""
+
+    def test_core_count(self):
+        assert TITAN_X.total_cores == 3072
+
+    def test_peak_flops_about_6_tflops(self):
+        assert TITAN_X.peak_flops == pytest.approx(6144e9, rel=1e-6)
+
+    def test_memory_capacity(self):
+        assert TITAN_X.global_mem_bytes == 12 * 1024**3
+
+    def test_bandwidth(self):
+        assert TITAN_X.peak_bandwidth_bytes_per_s == pytest.approx(336e9)
+        assert TITAN_X.achievable_bandwidth_bytes_per_s < TITAN_X.peak_bandwidth_bytes_per_s
+
+    def test_l2(self):
+        assert TITAN_X.l2_bytes == 3 * 1024**2
+
+    def test_validate_passes(self):
+        TITAN_X.validate()
+
+    def test_resident_threads(self):
+        assert TITAN_X.max_resident_threads == 24 * 2048
+
+    def test_atomic_throughput_positive(self):
+        assert TITAN_X.atomic_ops_per_second > 0
+
+
+class TestValidation:
+    def test_negative_sms_rejected(self):
+        bad = dataclasses.replace(TITAN_X, num_sms=0)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_bandwidth_fraction_range(self):
+        bad = dataclasses.replace(TITAN_X, achievable_bandwidth_fraction=1.5)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_block_threads_limit(self):
+        bad = dataclasses.replace(TITAN_X, max_threads_per_block=4096)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+class TestScaledDevice:
+    def test_memory_scaled(self):
+        half = scaled_device(TITAN_X, 0.5)
+        assert half.global_mem_bytes == TITAN_X.global_mem_bytes // 2
+
+    def test_compute_untouched(self):
+        small = scaled_device(TITAN_X, 0.01)
+        assert small.peak_flops == TITAN_X.peak_flops
+        assert small.mem_bandwidth_gbps == TITAN_X.mem_bandwidth_gbps
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            scaled_device(TITAN_X, 0.0)

@@ -1,0 +1,94 @@
+"""Tests for the segmented-scan primitive."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.device import TITAN_X
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.scan import segment_reduce, segmented_scan_counters
+
+
+class TestSegmentReduce:
+    def test_one_dimensional(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        ids = np.array([0, 0, 1, 1, 1])
+        np.testing.assert_allclose(segment_reduce(values, ids, 2), [3.0, 12.0])
+
+    def test_two_dimensional(self):
+        values = np.arange(12.0).reshape(6, 2)
+        ids = np.array([0, 0, 0, 1, 1, 2])
+        out = segment_reduce(values, ids, 3)
+        np.testing.assert_allclose(out[0], values[:3].sum(axis=0))
+        np.testing.assert_allclose(out[2], values[5])
+
+    def test_empty_segments_are_zero(self):
+        values = np.array([1.0])
+        out = segment_reduce(values, np.array([2]), 4)
+        np.testing.assert_allclose(out, [0.0, 0.0, 1.0, 0.0])
+
+    def test_empty_input(self):
+        out = segment_reduce(np.empty((0, 3)), np.empty(0, dtype=int), 2)
+        assert out.shape == (2, 3)
+        assert (out == 0).all()
+
+    def test_matches_serial_oracle(self):
+        rng = np.random.default_rng(0)
+        values = rng.random((200, 4))
+        ids = np.sort(rng.integers(0, 17, size=200))
+        expected = np.zeros((17, 4))
+        for v, s in zip(values, ids):
+            expected[s] += v
+        np.testing.assert_allclose(segment_reduce(values, ids, 17), expected)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            segment_reduce(np.ones(3), np.zeros(4, dtype=int), 1)
+
+    def test_out_of_range_segment(self):
+        with pytest.raises(ValueError):
+            segment_reduce(np.ones(3), np.array([0, 1, 5]), 2)
+
+    def test_three_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            segment_reduce(np.ones((2, 2, 2)), np.array([0, 1]), 2)
+
+
+class TestScanCounters:
+    def _launch(self):
+        return LaunchConfig.for_nnz(100_000, 16, block_size=128, threadlen=8)
+
+    def test_returns_counters(self):
+        c = segmented_scan_counters(100_000, 5_000, 16, self._launch(), TITAN_X)
+        assert isinstance(c, KernelCounters)
+        assert c.flops > 0
+
+    def test_fused_avoids_spill(self):
+        fused = segmented_scan_counters(100_000, 5_000, 16, self._launch(), TITAN_X, fused=True)
+        unfused = segmented_scan_counters(
+            100_000, 5_000, 16, self._launch(), TITAN_X, fused=False
+        )
+        assert unfused.gmem_total_bytes > fused.gmem_total_bytes
+        assert unfused.kernel_launches > fused.kernel_launches
+
+    def test_carry_atomics_scale_with_blocks(self):
+        small = segmented_scan_counters(
+            1_000, 100, 4, LaunchConfig.for_nnz(1_000, 4, block_size=128, threadlen=8), TITAN_X
+        )
+        large = segmented_scan_counters(
+            1_000_000,
+            100,
+            4,
+            LaunchConfig.for_nnz(1_000_000, 4, block_size=128, threadlen=8),
+            TITAN_X,
+        )
+        assert large.atomic_ops > small.atomic_ops
+
+    def test_zero_elements(self):
+        c = segmented_scan_counters(0, 0, 4, self._launch(), TITAN_X)
+        assert c.flops == 0.0
+        assert c.gmem_total_bytes == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            segmented_scan_counters(-1, 0, 4, self._launch(), TITAN_X)

@@ -1,0 +1,120 @@
+"""Tests for the kernel timing model.
+
+The absolute times are model outputs, but the *monotonicity* relations here
+are what drive every figure of the reproduction: more traffic, more atomics,
+more imbalance or fewer active threads must never make a kernel faster.
+"""
+
+import pytest
+
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.device import TITAN_X
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.timing import (
+    OutOfDeviceMemory,
+    check_device_fit,
+    estimate_kernel_time,
+    profile_from_counters,
+)
+
+
+def big_launch():
+    return LaunchConfig.for_nnz(10_000_000, 16, block_size=256, threadlen=8)
+
+
+def time_of(counters, launch=None):
+    total, _ = estimate_kernel_time(counters, launch or big_launch(), TITAN_X)
+    return total
+
+
+class TestMonotonicity:
+    def test_more_memory_traffic_is_slower(self):
+        base = KernelCounters(gmem_read_bytes=1e8, active_threads=1e6)
+        more = KernelCounters(gmem_read_bytes=5e8, active_threads=1e6)
+        assert time_of(more) > time_of(base)
+
+    def test_more_flops_is_not_faster(self):
+        base = KernelCounters(flops=1e9, active_threads=1e6)
+        more = KernelCounters(flops=1e11, active_threads=1e6)
+        assert time_of(more) >= time_of(base)
+
+    def test_more_atomics_is_slower(self):
+        base = KernelCounters(gmem_read_bytes=1e8, atomic_serialized_ops=1e6, active_threads=1e6)
+        more = KernelCounters(gmem_read_bytes=1e8, atomic_serialized_ops=1e9, active_threads=1e6)
+        assert time_of(more) > time_of(base)
+
+    def test_imbalance_multiplies(self):
+        balanced = KernelCounters(gmem_read_bytes=1e8, active_threads=1e6, imbalance_factor=1.0)
+        skewed = KernelCounters(gmem_read_bytes=1e8, active_threads=1e6, imbalance_factor=4.0)
+        assert time_of(skewed) == pytest.approx(4 * time_of(balanced), rel=0.05)
+
+    def test_fewer_active_threads_is_slower(self):
+        busy = KernelCounters(gmem_read_bytes=1e8, active_threads=1e6)
+        idle = KernelCounters(gmem_read_bytes=1e8, active_threads=500)
+        assert time_of(idle) > time_of(busy)
+
+    def test_launch_overhead_additive(self):
+        none = KernelCounters(gmem_read_bytes=1e6, active_threads=1e6, kernel_launches=0)
+        ten = KernelCounters(gmem_read_bytes=1e6, active_threads=1e6, kernel_launches=10)
+        assert time_of(ten) - time_of(none) == pytest.approx(
+            10 * TITAN_X.kernel_launch_overhead_s, rel=0.01
+        )
+
+    def test_transfers_charged_when_requested(self):
+        c = KernelCounters(host_to_device_bytes=1.2e10, active_threads=1e6)
+        with_transfer, _ = estimate_kernel_time(c, big_launch(), TITAN_X, include_transfers=True)
+        without, _ = estimate_kernel_time(c, big_launch(), TITAN_X, include_transfers=False)
+        assert with_transfer > without + 0.5
+
+
+class TestBreakdown:
+    def test_breakdown_keys(self):
+        _, breakdown = estimate_kernel_time(
+            KernelCounters(gmem_read_bytes=1e8, active_threads=1e6), big_launch(), TITAN_X
+        )
+        for key in ("compute", "memory", "atomic", "launch", "transfer", "utilization"):
+            assert key in breakdown
+
+    def test_memory_bound_kernel_dominated_by_memory(self):
+        total, breakdown = estimate_kernel_time(
+            KernelCounters(gmem_read_bytes=1e9, flops=1e6, active_threads=1e6),
+            big_launch(),
+            TITAN_X,
+        )
+        assert breakdown["memory"] == pytest.approx(total, rel=0.2)
+
+
+class TestDeviceFit:
+    def test_fits(self):
+        check_device_fit(1e9, TITAN_X)
+
+    def test_out_of_memory(self):
+        with pytest.raises(OutOfDeviceMemory) as exc:
+            check_device_fit(20e9, TITAN_X, what="test operands")
+        assert exc.value.required_bytes == pytest.approx(20e9)
+        assert "test operands" in str(exc.value)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_device_fit(-1.0, TITAN_X)
+
+    def test_profile_from_counters_checks_fit(self):
+        with pytest.raises(OutOfDeviceMemory):
+            profile_from_counters(
+                "big",
+                KernelCounters(active_threads=1e6),
+                big_launch(),
+                TITAN_X,
+                device_memory_bytes=1e12,
+            )
+
+    def test_profile_from_counters_builds_profile(self):
+        profile = profile_from_counters(
+            "ok",
+            KernelCounters(gmem_read_bytes=1e6, active_threads=1e6),
+            big_launch(),
+            TITAN_X,
+            device_memory_bytes=1e6,
+        )
+        assert profile.name == "ok"
+        assert profile.estimated_time_s > 0

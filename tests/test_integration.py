@@ -1,0 +1,104 @@
+"""End-to-end integration tests across the full stack.
+
+These exercise the public API exactly as the examples and the benchmark
+harness do: datasets -> formats -> kernels -> algorithms -> reported shapes.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    SparseTensor,
+    cp_als,
+    load_dataset,
+    random_factors,
+    tucker_hooi,
+    unified_spmttkrp,
+    unified_spttm,
+)
+from repro.algorithms.cp import SplattCPUEngine, UnifiedGPUEngine
+from repro.kernels.baselines import parti_gpu_spmttkrp, parti_omp_spmttkrp, splatt_mttkrp
+from repro.kernels.reference import reference_mttkrp
+
+
+class TestPublicAPI:
+    def test_version_and_exports(self):
+        assert isinstance(repro.__version__, str)
+        for name in ("SparseTensor", "FCOOTensor", "unified_spmttkrp", "cp_als", "TITAN_X"):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    def test_quickstart_snippet(self):
+        """The snippet from the package docstring must keep working."""
+        X = SparseTensor(
+            np.array([[0, 1, 2], [1, 0, 1]]), np.array([1.0, 2.0]), (2, 2, 3)
+        )
+        factors = random_factors(X.shape, rank=4, seed=0)
+        result = unified_spmttkrp(X, factors, mode=0)
+        assert result.output.shape == (2, 4)
+
+
+class TestDatasetKernelsAgree:
+    """All four implementations must agree numerically on a registry dataset."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        tensor = load_dataset("brainq")
+        factors = [np.asarray(f) for f in random_factors(tensor.shape, 8, seed=1)]
+        return tensor, factors
+
+    def test_all_mttkrp_implementations_agree(self, workload):
+        tensor, factors = workload
+        reference = reference_mttkrp(tensor, factors, 0)
+        unified = unified_spmttkrp(tensor, factors, 0).output
+        parti_gpu = parti_gpu_spmttkrp(tensor, factors, 0).output
+        parti_omp = parti_omp_spmttkrp(tensor, factors, 0).output
+        splatt = splatt_mttkrp(tensor, factors, 0).output
+        np.testing.assert_allclose(unified, reference, rtol=1e-3, atol=1e-4)
+        np.testing.assert_allclose(parti_gpu, reference, rtol=1e-10, atol=1e-10)
+        np.testing.assert_allclose(parti_omp, reference, rtol=1e-10, atol=1e-10)
+        np.testing.assert_allclose(splatt, reference, rtol=1e-10, atol=1e-10)
+
+    def test_headline_performance_shape(self, workload):
+        """Unified beats ParTI-GPU and the CPU baselines on SpMTTKRP (Fig. 6b)."""
+        tensor, factors = workload
+        unified_t = unified_spmttkrp(tensor, factors, 0).estimated_time_s
+        parti_gpu_t = parti_gpu_spmttkrp(tensor, factors, 0).estimated_time_s
+        parti_omp_t = parti_omp_spmttkrp(tensor, factors, 0).estimated_time_s
+        splatt_t = splatt_mttkrp(tensor, factors, 0).estimated_time_s
+        assert unified_t < parti_gpu_t
+        assert unified_t < splatt_t < parti_omp_t
+
+
+class TestEndToEndDecompositions:
+    def test_cp_on_registry_dataset(self):
+        tensor = load_dataset("brainq")
+        result = cp_als(tensor, 4, max_iterations=2, tolerance=0.0, seed=0)
+        assert result.iterations == 2
+        assert result.final_fit is not None
+        assert 0.0 < result.final_fit <= 1.0
+        assert result.total_time_s > 0
+
+    def test_cp_engines_same_fit_different_times(self, medium_tensor):
+        unified = cp_als(
+            medium_tensor, 4, engine=UnifiedGPUEngine(), max_iterations=2, tolerance=0.0, seed=3
+        )
+        splatt = cp_als(
+            medium_tensor, 4, engine=SplattCPUEngine(), max_iterations=2, tolerance=0.0, seed=3
+        )
+        assert unified.final_fit == pytest.approx(splatt.final_fit, rel=1e-4)
+        assert unified.total_time_s < splatt.total_time_s
+
+    def test_tucker_on_medium_tensor(self, medium_tensor):
+        result = tucker_hooi(medium_tensor, (4, 4, 4), max_iterations=2, tolerance=0.0)
+        assert result.core.shape == (4, 4, 4)
+        assert len(result.fits) == 2
+
+    def test_spttm_feeds_into_further_processing(self, medium_tensor):
+        """SpTTM output (semi-sparse) can be densified and reused downstream."""
+        u = np.asarray(random_factors(medium_tensor.shape, 4, seed=5)[2])
+        out = unified_spttm(medium_tensor, u, 2).output
+        collapsed = out.to_sparse()
+        assert collapsed.shape == (medium_tensor.shape[0], medium_tensor.shape[1], 4)
+        assert collapsed.nnz > 0

@@ -1,0 +1,70 @@
+"""Tests for the ParTI-omp CPU baseline kernels."""
+
+import numpy as np
+import pytest
+
+from repro.cpusim.cpu import CPU_I7_5820K
+from repro.kernels.baselines.parti_omp import parti_omp_spmttkrp, parti_omp_spttm
+from repro.kernels.unified import unified_spmttkrp, unified_spttm
+from repro.tensor.ops import mttkrp_dense, ttm_dense
+from repro.tensor.random import random_factors
+
+
+class TestCorrectness:
+    def test_spttm_matches_dense(self, small_tensor, small_factors):
+        dense = small_tensor.to_dense()
+        for mode in range(3):
+            result = parti_omp_spttm(small_tensor, small_factors[mode], mode)
+            np.testing.assert_allclose(
+                result.output.to_dense(), ttm_dense(dense, small_factors[mode], mode), atol=1e-10
+            )
+
+    def test_spmttkrp_matches_dense(self, small_tensor, small_factors):
+        dense = small_tensor.to_dense()
+        for mode in range(3):
+            result = parti_omp_spmttkrp(small_tensor, small_factors, mode)
+            np.testing.assert_allclose(
+                result.output, mttkrp_dense(dense, small_factors, mode), atol=1e-10
+            )
+
+
+class TestProfile:
+    def test_threads_speed_up_spttm(self, skewed_tensor):
+        u = random_factors(skewed_tensor.shape, 8, seed=0)[2]
+        one = parti_omp_spttm(skewed_tensor, u, 2, num_threads=1)
+        twelve = parti_omp_spttm(skewed_tensor, u, 2, num_threads=12)
+        assert twelve.estimated_time_s < one.estimated_time_s
+
+    def test_threads_speed_up_spmttkrp(self, skewed_tensor):
+        factors = random_factors(skewed_tensor.shape, 8, seed=1)
+        one = parti_omp_spmttkrp(skewed_tensor, factors, 0, num_threads=1)
+        twelve = parti_omp_spmttkrp(skewed_tensor, factors, 0, num_threads=12)
+        assert twelve.estimated_time_s < one.estimated_time_s
+
+    def test_gpu_unified_faster_than_cpu(self, medium_tensor):
+        """The Figure 6 relationship: the unified GPU kernel beats ParTI-omp
+        (on workloads large enough to amortise kernel launches)."""
+        factors = random_factors(medium_tensor.shape, 16, seed=2)
+        cpu_time = parti_omp_spmttkrp(medium_tensor, factors, 0).estimated_time_s
+        gpu_time = unified_spmttkrp(medium_tensor, factors, 0).estimated_time_s
+        assert gpu_time < cpu_time
+
+        u = factors[2]
+        cpu_time = parti_omp_spttm(medium_tensor, u, 2).estimated_time_s
+        gpu_time = unified_spttm(medium_tensor, u, 2).estimated_time_s
+        assert gpu_time < cpu_time
+
+    def test_default_thread_count_is_cpu_threads(self, skewed_tensor):
+        u = random_factors(skewed_tensor.shape, 4, seed=3)[2]
+        result = parti_omp_spttm(skewed_tensor, u, 2)
+        assert result.profile.breakdown["threads"] <= CPU_I7_5820K.threads
+
+    def test_two_step_charges_intermediate_traffic(self, skewed_tensor):
+        factors = random_factors(skewed_tensor.shape, 8, seed=4)
+        mttkrp = parti_omp_spmttkrp(skewed_tensor, factors, 0)
+        spttm = parti_omp_spttm(skewed_tensor, factors[2], 2)
+        # The two-step MTTKRP moves more data than one SpTTM at equal rank.
+        assert (
+            mttkrp.profile.counters.mem_total_bytes
+            > spttm.profile.counters.mem_total_bytes
+        )

@@ -1,0 +1,83 @@
+"""Tests for the SPLATT CSF-based CPU MTTKRP baseline."""
+
+import numpy as np
+import pytest
+
+from repro.formats.csf import CSFTensor
+from repro.kernels.baselines.splatt import splatt_csf_mode_order, splatt_mttkrp
+from repro.kernels.baselines.parti_omp import parti_omp_spmttkrp
+from repro.tensor.ops import mttkrp_dense
+from repro.tensor.random import random_factors, random_sparse_tensor
+
+
+class TestModeOrder:
+    def test_root_first(self, small_tensor):
+        order = splatt_csf_mode_order(small_tensor, 1)
+        assert order[0] == 1
+        assert sorted(order) == [0, 1, 2]
+
+    def test_remaining_sorted_by_size(self):
+        tensor = random_sparse_tensor((100, 5, 50), 200, seed=0)
+        assert splatt_csf_mode_order(tensor, 0) == (0, 1, 2)
+        assert splatt_csf_mode_order(tensor, 1) == (1, 2, 0)
+
+
+class TestCorrectness:
+    def test_matches_dense_every_mode(self, small_tensor, small_factors):
+        dense = small_tensor.to_dense()
+        for mode in range(3):
+            result = splatt_mttkrp(small_tensor, small_factors, mode)
+            np.testing.assert_allclose(
+                result.output, mttkrp_dense(dense, small_factors, mode), atol=1e-10
+            )
+
+    def test_with_shared_csf_tree(self, small_tensor, small_factors):
+        csf = CSFTensor.from_sparse(small_tensor, splatt_csf_mode_order(small_tensor, 0))
+        dense = small_tensor.to_dense()
+        for mode in range(3):
+            result = splatt_mttkrp(small_tensor, small_factors, mode, csf=csf)
+            np.testing.assert_allclose(
+                result.output, mttkrp_dense(dense, small_factors, mode), atol=1e-10
+            )
+
+    def test_fourth_order(self, fourth_order_tensor):
+        rng = np.random.default_rng(0)
+        factors = [rng.random((s, 2)) for s in fourth_order_tensor.shape]
+        dense = fourth_order_tensor.to_dense()
+        for mode in range(4):
+            result = splatt_mttkrp(fourth_order_tensor, factors, mode)
+            np.testing.assert_allclose(
+                result.output, mttkrp_dense(dense, factors, mode), atol=1e-10
+            )
+
+
+class TestProfile:
+    def test_faster_than_parti_omp(self, skewed_tensor):
+        """SPLATT is the stronger CPU baseline in Figure 6b."""
+        factors = random_factors(skewed_tensor.shape, 16, seed=1)
+        splatt_time = splatt_mttkrp(skewed_tensor, factors, 0).estimated_time_s
+        parti_time = parti_omp_spmttkrp(skewed_tensor, factors, 0).estimated_time_s
+        assert splatt_time < parti_time
+
+    def test_root_mode_cheaper_than_non_root(self):
+        """Operating on the tree's root benefits from fiber factorisation;
+        other modes do not (the Figure 7b / Figure 10 mode sensitivity)."""
+        tensor = random_sparse_tensor((40, 300, 30), 20_000, seed=2)
+        factors = random_factors(tensor.shape, 16, seed=3)
+        csf = CSFTensor.from_sparse(tensor, splatt_csf_mode_order(tensor, 0))
+        on_root = splatt_mttkrp(tensor, factors, 0, csf=csf)
+        off_root = splatt_mttkrp(tensor, factors, 1, csf=csf)
+        assert on_root.profile.counters.flops < off_root.profile.counters.flops
+
+    def test_thread_scaling(self, skewed_tensor):
+        factors = random_factors(skewed_tensor.shape, 8, seed=4)
+        one = splatt_mttkrp(skewed_tensor, factors, 0, num_threads=1)
+        many = splatt_mttkrp(skewed_tensor, factors, 0, num_threads=12)
+        assert many.estimated_time_s < one.estimated_time_s
+
+    def test_parallelism_limited_by_root_slices(self):
+        # Root mode with very few slices cannot use all 12 threads.
+        tensor = random_sparse_tensor((3, 200, 200), 5_000, seed=5)
+        factors = random_factors(tensor.shape, 8, seed=6)
+        result = splatt_mttkrp(tensor, factors, 0, csf_root_mode=0)
+        assert result.profile.breakdown["threads"] <= 3

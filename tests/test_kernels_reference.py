@@ -1,0 +1,97 @@
+"""Tests for the COO reference kernels against the dense oracles."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.reference import reference_mttkrp, reference_spttm, reference_ttmc
+from repro.tensor.ops import mttkrp_dense, ttm_dense, ttmc_dense
+from repro.tensor.sparse import SparseTensor
+
+
+class TestReferenceSpTTM:
+    def test_matches_dense_every_mode(self, small_tensor, small_factors):
+        dense = small_tensor.to_dense()
+        for mode in range(3):
+            out = reference_spttm(small_tensor, small_factors[mode], mode)
+            np.testing.assert_allclose(
+                out.to_dense(), ttm_dense(dense, small_factors[mode], mode), atol=1e-12
+            )
+
+    def test_output_is_semisparse_with_right_fibers(self, small_tensor, small_factors):
+        out = reference_spttm(small_tensor, small_factors[2], 2)
+        assert out.dense_mode == 2
+        assert out.num_fibers == small_tensor.num_fibers(2)
+        assert out.fiber_length == small_factors[2].shape[1]
+
+    def test_empty_tensor(self):
+        empty = SparseTensor.empty((4, 5, 6))
+        out = reference_spttm(empty, np.ones((6, 3)), 2)
+        assert out.num_fibers == 0
+
+    def test_factor_shape_mismatch(self, small_tensor):
+        with pytest.raises(ValueError):
+            reference_spttm(small_tensor, np.ones((3, 2)), 0)
+
+
+class TestReferenceMTTKRP:
+    def test_matches_dense_every_mode(self, small_tensor, small_factors):
+        dense = small_tensor.to_dense()
+        for mode in range(3):
+            np.testing.assert_allclose(
+                reference_mttkrp(small_tensor, small_factors, mode),
+                mttkrp_dense(dense, small_factors, mode),
+                atol=1e-12,
+            )
+
+    def test_fourth_order(self, fourth_order_tensor):
+        rng = np.random.default_rng(0)
+        factors = [rng.random((s, 3)) for s in fourth_order_tensor.shape]
+        dense = fourth_order_tensor.to_dense()
+        for mode in range(4):
+            np.testing.assert_allclose(
+                reference_mttkrp(fourth_order_tensor, factors, mode),
+                mttkrp_dense(dense, factors, mode),
+                atol=1e-12,
+            )
+
+    def test_empty_tensor(self):
+        empty = SparseTensor.empty((4, 5, 6))
+        out = reference_mttkrp(empty, [np.ones((s, 2)) for s in (4, 5, 6)], 0)
+        assert out.shape == (4, 2)
+        assert (out == 0).all()
+
+    def test_wrong_factor_count(self, small_tensor, small_factors):
+        with pytest.raises(ValueError):
+            reference_mttkrp(small_tensor, small_factors[:2], 0)
+
+    def test_rank_mismatch(self, small_tensor, small_factors):
+        bad = list(small_factors)
+        bad[2] = np.ones((small_tensor.shape[2], 7))
+        with pytest.raises(ValueError):
+            reference_mttkrp(small_tensor, bad, 0)
+
+
+class TestReferenceTTMc:
+    def test_matches_dense_every_mode(self, small_tensor, small_factors):
+        dense = small_tensor.to_dense()
+        for mode in range(3):
+            np.testing.assert_allclose(
+                reference_ttmc(small_tensor, small_factors, mode),
+                ttmc_dense(dense, small_factors, mode),
+                atol=1e-12,
+            )
+
+    def test_mixed_ranks(self, small_tensor):
+        rng = np.random.default_rng(1)
+        factors = [rng.random((s, r)) for s, r in zip(small_tensor.shape, (2, 3, 4))]
+        out = reference_ttmc(small_tensor, factors, 0)
+        assert out.shape == (small_tensor.shape[0], 3 * 4)
+        np.testing.assert_allclose(
+            out, ttmc_dense(small_tensor.to_dense(), factors, 0), atol=1e-12
+        )
+
+    def test_empty_tensor(self):
+        empty = SparseTensor.empty((3, 4, 5))
+        out = reference_ttmc(empty, [np.ones((s, 2)) for s in (3, 4, 5)], 1)
+        assert out.shape == (4, 4)
+        assert (out == 0).all()

@@ -1,0 +1,211 @@
+"""Property-based tests (hypothesis) for the core data structures and kernels.
+
+These cover the invariants the rest of the system leans on:
+
+* F-COO and CSF encodings are lossless for arbitrary sparse tensors;
+* the segmented scan equals a serial segment sum;
+* the unified kernels agree with the dense oracles for arbitrary inputs;
+* the Khatri-Rao / unfolding identity behind Equation (5) holds;
+* the Table II storage formulas agree with the measured structures.
+"""
+
+from typing import Tuple
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.formats.csf import CSFTensor
+from repro.formats.fcoo import FCOOTensor
+from repro.formats.mode_encoding import OperationKind, mode_roles
+from repro.formats.storage_cost import fcoo_storage_bytes
+from repro.gpusim.scan import segment_reduce
+from repro.kernels.unified import unified_spmttkrp, unified_spttm
+from repro.tensor.dense import fold_dense, unfold_dense
+from repro.tensor.ops import mttkrp_dense, ttm_dense
+from repro.tensor.products import khatri_rao
+from repro.tensor.sparse import SparseTensor
+
+# ---------------------------------------------------------------------- #
+# Strategies
+# ---------------------------------------------------------------------- #
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def sparse_tensors(draw, max_dim=8, max_order=4, max_nnz=60) -> SparseTensor:
+    """Random small sparse tensors of order 2..max_order."""
+    order = draw(st.integers(min_value=2, max_value=max_order))
+    shape = tuple(draw(st.integers(min_value=1, max_value=max_dim)) for _ in range(order))
+    nnz = draw(st.integers(min_value=1, max_value=max_nnz))
+    rng_seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(rng_seed)
+    indices = np.stack([rng.integers(0, s, size=nnz) for s in shape], axis=1)
+    values = rng.uniform(0.25, 2.0, size=nnz)
+    return SparseTensor(indices, values, shape)
+
+
+@st.composite
+def tensors_with_mode(draw) -> Tuple[SparseTensor, int]:
+    tensor = draw(sparse_tensors())
+    mode = draw(st.integers(min_value=0, max_value=tensor.order - 1))
+    return tensor, mode
+
+
+def make_factors(tensor: SparseTensor, rank: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return [rng.uniform(0.1, 1.0, size=(s, rank)) for s in tensor.shape]
+
+
+# ---------------------------------------------------------------------- #
+# Format round trips
+# ---------------------------------------------------------------------- #
+
+
+class TestFormatProperties:
+    @SETTINGS
+    @given(tensors_with_mode(), st.sampled_from(list(OperationKind)))
+    def test_fcoo_round_trip(self, tensor_mode, operation):
+        tensor, mode = tensor_mode
+        fcoo = FCOOTensor.from_sparse(tensor, operation, mode)
+        assert fcoo.to_sparse().allclose(tensor, rtol=1e-6, atol=1e-6)
+
+    @SETTINGS
+    @given(tensors_with_mode(), st.sampled_from(list(OperationKind)))
+    def test_fcoo_segment_structure(self, tensor_mode, operation):
+        tensor, mode = tensor_mode
+        fcoo = FCOOTensor.from_sparse(tensor, operation, mode)
+        # Exactly one bit per segment and segment ids are a prefix sum of bf.
+        assert int(fcoo.bf.sum()) == fcoo.num_segments
+        np.testing.assert_array_equal(np.cumsum(fcoo.bf) - 1, fcoo.segment_ids)
+        # Segment sizes total the non-zero count.
+        assert int(fcoo.segment_sizes().sum()) == fcoo.nnz
+
+    @SETTINGS
+    @given(tensors_with_mode(), st.integers(min_value=1, max_value=32))
+    def test_fcoo_storage_model(self, tensor_mode, threadlen):
+        tensor, mode = tensor_mode
+        fcoo = FCOOTensor.from_sparse(tensor, "spmttkrp", mode)
+        model = fcoo_storage_bytes(fcoo.nnz, tensor.order, "spmttkrp", mode, threadlen=threadlen)
+        measured = fcoo.storage_bytes(threadlen)
+        # Packing the flag bits rounds up to whole bytes.
+        assert model <= measured <= model + 2 + 1 / 8 * 0 + 2
+
+    @SETTINGS
+    @given(tensors_with_mode())
+    def test_csf_round_trip(self, tensor_mode):
+        tensor, root = tensor_mode
+        order = (root,) + tuple(m for m in range(tensor.order) if m != root)
+        csf = CSFTensor.from_sparse(tensor, order)
+        assert csf.to_sparse().allclose(tensor)
+
+    @SETTINGS
+    @given(tensors_with_mode())
+    def test_mode_roles_partition(self, tensor_mode):
+        tensor, mode = tensor_mode
+        for op in OperationKind:
+            roles = mode_roles(op, mode, tensor.order)
+            assert sorted(roles.product_modes + roles.index_modes) == list(range(tensor.order))
+
+
+# ---------------------------------------------------------------------- #
+# Scan and dense-algebra identities
+# ---------------------------------------------------------------------- #
+
+
+class TestNumericProperties:
+    @SETTINGS
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_segment_reduce_matches_serial(self, n, num_segments, width, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.standard_normal((n, width))
+        ids = np.sort(rng.integers(0, num_segments, size=n))
+        expected = np.zeros((num_segments, width))
+        for v, s in zip(values, ids):
+            expected[s] += v
+        np.testing.assert_allclose(segment_reduce(values, ids, num_segments), expected, atol=1e-9)
+
+    @SETTINGS
+    @given(sparse_tensors(max_order=3))
+    def test_unfold_fold_round_trip(self, tensor):
+        dense = tensor.to_dense()
+        for mode in range(tensor.order):
+            np.testing.assert_allclose(
+                fold_dense(unfold_dense(dense, mode), mode, dense.shape), dense
+            )
+
+    @SETTINGS
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_mttkrp_khatri_rao_identity(self, i, j, k, rank, seed):
+        """Equation (5): MTTKRP == X_(0) (C ⊙ B) for arbitrary dense data."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((i, j, k))
+        b = rng.standard_normal((j, rank))
+        c = rng.standard_normal((k, rank))
+        a = rng.standard_normal((i, rank))
+        direct = mttkrp_dense(x, [a, b, c], 0)
+        via_kr = unfold_dense(x, 0) @ khatri_rao(c, b)
+        np.testing.assert_allclose(direct, via_kr, atol=1e-9)
+
+
+# ---------------------------------------------------------------------- #
+# Kernels vs oracles
+# ---------------------------------------------------------------------- #
+
+
+class TestKernelProperties:
+    @SETTINGS
+    @given(tensors_with_mode(), st.integers(min_value=1, max_value=5))
+    def test_unified_spttm_matches_oracle(self, tensor_mode, rank):
+        tensor, mode = tensor_mode
+        factors = make_factors(tensor, rank)
+        result = unified_spttm(tensor, factors[mode], mode)
+        expected = ttm_dense(tensor.to_dense(), factors[mode], mode)
+        np.testing.assert_allclose(result.output.to_dense(), expected, rtol=1e-4, atol=1e-5)
+
+    @SETTINGS
+    @given(tensors_with_mode(), st.integers(min_value=1, max_value=5))
+    def test_unified_spmttkrp_matches_oracle(self, tensor_mode, rank):
+        tensor, mode = tensor_mode
+        factors = make_factors(tensor, rank)
+        result = unified_spmttkrp(tensor, factors, mode)
+        expected = mttkrp_dense(tensor.to_dense(), factors, mode)
+        np.testing.assert_allclose(result.output, expected, rtol=1e-4, atol=1e-5)
+
+    @SETTINGS
+    @given(tensors_with_mode(), st.integers(min_value=1, max_value=4))
+    def test_unified_kernels_are_linear_in_the_tensor(self, tensor_mode, rank):
+        """Both kernels are linear maps of the tensor values."""
+        tensor, mode = tensor_mode
+        factors = make_factors(tensor, rank)
+        scaled = tensor.scale(2.5)
+
+        base = unified_spmttkrp(tensor, factors, mode).output
+        scaled_out = unified_spmttkrp(scaled, factors, mode).output
+        np.testing.assert_allclose(scaled_out, 2.5 * base, rtol=1e-4, atol=1e-5)
+
+        base_ttm = unified_spttm(tensor, factors[mode], mode).output
+        scaled_ttm = unified_spttm(scaled, factors[mode], mode).output
+        np.testing.assert_allclose(
+            scaled_ttm.canonicalized().fiber_values,
+            2.5 * base_ttm.canonicalized().fiber_values,
+            rtol=1e-4,
+            atol=1e-5,
+        )

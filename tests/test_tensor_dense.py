@@ -1,0 +1,61 @@
+"""Tests for repro.tensor.dense (matricization)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.dense import fold_dense, unfold_dense, unfold_shape
+
+
+class TestUnfoldShape:
+    def test_third_order(self):
+        assert unfold_shape((2, 3, 4), 0) == (2, 12)
+        assert unfold_shape((2, 3, 4), 1) == (3, 8)
+        assert unfold_shape((2, 3, 4), 2) == (4, 6)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            unfold_shape((2, 3), 5)
+
+
+class TestUnfoldDense:
+    def test_paper_figure1_convention(self, tiny_dense_tensor):
+        """The 2x2x2 example of Figure 1 must unfold exactly as printed."""
+        dense = tiny_dense_tensor.to_dense()
+        x1 = unfold_dense(dense, 0)
+        np.testing.assert_allclose(x1, [[1, 3, 5, 7], [2, 4, 6, 8]])
+        x2 = unfold_dense(dense, 1)
+        np.testing.assert_allclose(x2, [[1, 2, 5, 6], [3, 4, 7, 8]])
+        x3 = unfold_dense(dense, 2)
+        np.testing.assert_allclose(x3, [[1, 2, 3, 4], [5, 6, 7, 8]])
+
+    def test_element_mapping(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((3, 4, 5))
+        x1 = unfold_dense(x, 1)
+        # Element (i, j, k) lands at row j, column i + k*3 for mode-1 unfold.
+        for i, j, k in [(0, 0, 0), (2, 3, 4), (1, 2, 3)]:
+            assert x1[j, i + k * 3] == pytest.approx(x[i, j, k])
+
+    def test_shapes(self):
+        x = np.zeros((2, 3, 4, 5))
+        for mode in range(4):
+            assert unfold_dense(x, mode).shape == unfold_shape(x.shape, mode)
+
+
+class TestFoldDense:
+    def test_round_trip_all_modes(self):
+        rng = np.random.default_rng(1)
+        x = rng.random((4, 3, 6))
+        for mode in range(3):
+            restored = fold_dense(unfold_dense(x, mode), mode, x.shape)
+            np.testing.assert_allclose(restored, x)
+
+    def test_round_trip_fourth_order(self):
+        rng = np.random.default_rng(2)
+        x = rng.random((2, 3, 4, 5))
+        for mode in range(4):
+            np.testing.assert_allclose(fold_dense(unfold_dense(x, mode), mode, x.shape), x)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            fold_dense(np.zeros((2, 5)), 0, (2, 3, 4))

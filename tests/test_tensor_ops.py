@@ -1,0 +1,130 @@
+"""Tests for the dense reference operations in repro.tensor.ops."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.dense import unfold_dense
+from repro.tensor.ops import cp_reconstruct, mttkrp_dense, ttm_dense, ttmc_dense
+from repro.tensor.products import khatri_rao
+
+
+@pytest.fixture
+def dense_tensor():
+    rng = np.random.default_rng(0)
+    return rng.random((4, 5, 6))
+
+
+@pytest.fixture
+def factors(dense_tensor):
+    rng = np.random.default_rng(1)
+    return [rng.random((s, 3)) for s in dense_tensor.shape]
+
+
+class TestTTM:
+    def test_tensordot_equivalence_every_mode(self, dense_tensor):
+        rng = np.random.default_rng(2)
+        for mode in range(3):
+            u = rng.random((dense_tensor.shape[mode], 2))
+            result = ttm_dense(dense_tensor, u, mode)
+            expected = np.moveaxis(
+                np.tensordot(dense_tensor, u, axes=([mode], [0])), -1, mode
+            )
+            np.testing.assert_allclose(result, expected)
+
+    def test_paper_equation3(self, dense_tensor):
+        """Y(i, j, :) = sum_k X(i, j, k) U(k, :) for mode 2."""
+        rng = np.random.default_rng(3)
+        u = rng.random((6, 4))
+        y = ttm_dense(dense_tensor, u, 2)
+        manual = np.zeros((4, 5, 4))
+        for k in range(6):
+            manual += dense_tensor[:, :, k][:, :, None] * u[k, None, None, :]
+        np.testing.assert_allclose(y, manual)
+
+    def test_transpose_flag(self, dense_tensor):
+        rng = np.random.default_rng(4)
+        u = rng.random((3, dense_tensor.shape[0]))
+        np.testing.assert_allclose(
+            ttm_dense(dense_tensor, u, 0, transpose=True),
+            ttm_dense(dense_tensor, u.T, 0),
+        )
+
+    def test_shape_mismatch(self, dense_tensor):
+        with pytest.raises(ValueError):
+            ttm_dense(dense_tensor, np.ones((3, 2)), 0)
+
+    def test_output_shape(self, dense_tensor):
+        u = np.ones((5, 7))
+        assert ttm_dense(dense_tensor, u, 1).shape == (4, 7, 6)
+
+
+class TestMTTKRP:
+    def test_matches_khatri_rao_formulation(self, dense_tensor, factors):
+        for mode in range(3):
+            other = [m for m in range(3) if m != mode]
+            kr = None
+            for m in reversed(other):
+                kr = factors[m] if kr is None else khatri_rao(kr, factors[m])
+            expected = unfold_dense(dense_tensor, mode) @ kr
+            np.testing.assert_allclose(mttkrp_dense(dense_tensor, factors, mode), expected)
+
+    def test_matches_einsum_third_order(self, dense_tensor, factors):
+        expected = np.einsum("ijk,jr,kr->ir", dense_tensor, factors[1], factors[2])
+        np.testing.assert_allclose(mttkrp_dense(dense_tensor, factors, 0), expected)
+
+    def test_fourth_order(self):
+        rng = np.random.default_rng(5)
+        x = rng.random((3, 4, 2, 5))
+        factors = [rng.random((s, 2)) for s in x.shape]
+        expected = np.einsum("ijkl,jr,kr,lr->ir", x, factors[1], factors[2], factors[3])
+        np.testing.assert_allclose(mttkrp_dense(x, factors, 0), expected)
+
+    def test_wrong_factor_count(self, dense_tensor, factors):
+        with pytest.raises(ValueError):
+            mttkrp_dense(dense_tensor, factors[:2], 0)
+
+    def test_rank_mismatch(self, dense_tensor, factors):
+        bad = list(factors)
+        bad[1] = np.ones((5, 7))
+        with pytest.raises(ValueError):
+            mttkrp_dense(dense_tensor, bad, 0)
+
+
+class TestTTMc:
+    def test_matches_einsum(self, dense_tensor, factors):
+        expected = np.einsum("ijk,jr,ks->irs", dense_tensor, factors[1], factors[2])
+        expected = expected.reshape(4, -1, order="F")
+        np.testing.assert_allclose(ttmc_dense(dense_tensor, factors, 0), expected)
+
+    def test_output_shape(self, dense_tensor, factors):
+        assert ttmc_dense(dense_tensor, factors, 1).shape == (5, 9)
+
+    def test_wrong_factor_count(self, dense_tensor):
+        with pytest.raises(ValueError):
+            ttmc_dense(dense_tensor, [np.ones((4, 2))], 0)
+
+
+class TestCPReconstruct:
+    def test_rank_one(self):
+        a = np.array([[1.0], [2.0]])
+        b = np.array([[3.0], [4.0]])
+        c = np.array([[5.0], [6.0]])
+        x = cp_reconstruct([a, b, c])
+        assert x[1, 0, 1] == pytest.approx(2 * 3 * 6)
+
+    def test_weights(self):
+        a = np.ones((2, 2))
+        b = np.ones((3, 2))
+        x = cp_reconstruct([a, b], weights=np.array([2.0, 3.0]))
+        np.testing.assert_allclose(x, np.full((2, 3), 5.0))
+
+    def test_matches_einsum(self):
+        rng = np.random.default_rng(6)
+        factors = [rng.random((4, 3)), rng.random((5, 3)), rng.random((6, 3))]
+        weights = rng.random(3)
+        expected = np.einsum("r,ir,jr,kr->ijk", weights, *factors)
+        np.testing.assert_allclose(cp_reconstruct(factors, weights), expected)
+
+    def test_bad_weights(self):
+        with pytest.raises(ValueError):
+            cp_reconstruct([np.ones((2, 2))], weights=np.ones(3))

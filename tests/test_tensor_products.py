@@ -1,0 +1,80 @@
+"""Tests for repro.tensor.products (Kronecker, Khatri-Rao, Hadamard)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.dense import unfold_dense
+from repro.tensor.products import hadamard, khatri_rao, kronecker
+from repro.tensor.products import khatri_rao_multi
+
+
+class TestKronecker:
+    def test_matches_definition(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([[0.0, 1.0], [1.0, 0.0]])
+        k = kronecker(a, b)
+        assert k.shape == (4, 4)
+        np.testing.assert_allclose(k[:2, :2], a[0, 0] * b)
+        np.testing.assert_allclose(k[2:, 2:], a[1, 1] * b)
+
+    def test_element_formula(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((3, 2))
+        b = rng.random((4, 5))
+        k = kronecker(a, b)
+        for i, j, p, q in [(0, 0, 0, 0), (2, 1, 3, 4), (1, 0, 2, 3)]:
+            assert k[i * 4 + p, j * 5 + q] == pytest.approx(a[i, j] * b[p, q])
+
+    def test_rejects_vectors(self):
+        with pytest.raises(ValueError):
+            kronecker(np.ones(3), np.ones((2, 2)))
+
+
+class TestKhatriRao:
+    def test_shape(self):
+        a = np.ones((3, 4))
+        b = np.ones((5, 4))
+        assert khatri_rao(a, b).shape == (15, 4)
+
+    def test_columns_are_kron_of_columns(self):
+        rng = np.random.default_rng(1)
+        a = rng.random((3, 4))
+        b = rng.random((5, 4))
+        kr = khatri_rao(a, b)
+        for r in range(4):
+            np.testing.assert_allclose(kr[:, r], np.kron(a[:, r], b[:, r]))
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            khatri_rao(np.ones((3, 2)), np.ones((4, 3)))
+
+    def test_mttkrp_identity(self):
+        """X_(0) @ khatri_rao(C, B) equals the MTTKRP (Equation 5)."""
+        rng = np.random.default_rng(2)
+        x = rng.random((4, 5, 6))
+        b = rng.random((5, 3))
+        c = rng.random((6, 3))
+        direct = np.einsum("ijk,jr,kr->ir", x, b, c)
+        via_kr = unfold_dense(x, 0) @ khatri_rao(c, b)
+        np.testing.assert_allclose(via_kr, direct)
+
+    def test_multi_left_associated(self):
+        rng = np.random.default_rng(3)
+        mats = [rng.random((3, 2)), rng.random((4, 2)), rng.random((5, 2))]
+        expected = khatri_rao(khatri_rao(mats[0], mats[1]), mats[2])
+        np.testing.assert_allclose(khatri_rao_multi(mats), expected)
+
+    def test_multi_empty_rejected(self):
+        with pytest.raises(ValueError):
+            khatri_rao_multi([])
+
+
+class TestHadamard:
+    def test_elementwise(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([[2.0, 0.5], [1.0, 2.0]])
+        np.testing.assert_allclose(hadamard(a, b), a * b)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hadamard(np.ones((2, 2)), np.ones((3, 2)))

@@ -1,0 +1,76 @@
+"""Tests for repro.tensor.random."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.random import random_factors, random_sparse_tensor
+
+
+class TestRandomSparseTensor:
+    def test_shape_and_bounds(self):
+        t = random_sparse_tensor((10, 20, 30), 500, seed=0)
+        assert t.shape == (10, 20, 30)
+        idx = np.asarray(t.indices)
+        assert (idx >= 0).all()
+        assert (idx < np.array([10, 20, 30])).all()
+
+    def test_nnz_at_most_requested(self):
+        t = random_sparse_tensor((10, 20, 30), 500, seed=0)
+        assert 0 < t.nnz <= 500
+
+    def test_deterministic(self):
+        a = random_sparse_tensor((10, 10, 10), 200, seed=5)
+        b = random_sparse_tensor((10, 10, 10), 200, seed=5)
+        assert a.allclose(b)
+
+    def test_seeds_differ(self):
+        a = random_sparse_tensor((10, 10, 10), 200, seed=5)
+        b = random_sparse_tensor((10, 10, 10), 200, seed=6)
+        assert not a.allclose(b)
+
+    def test_power_law_is_skewed(self):
+        uniform = random_sparse_tensor((1000, 50, 50), 5000, seed=1, distribution="uniform")
+        power = random_sparse_tensor(
+            (1000, 50, 50), 5000, seed=1, distribution="power", concentration=1.5
+        )
+        # The power-law tensor concentrates non-zeros on fewer slices.
+        assert power.num_slices(0) < uniform.num_slices(0)
+        assert power.slice_counts(0).max() > uniform.slice_counts(0).max()
+
+    def test_ensure_no_empty_first_mode(self):
+        t = random_sparse_tensor((20, 30, 30), 200, seed=2, ensure_no_empty_first_mode=True)
+        assert t.num_slices(0) == 20
+
+    def test_values_in_range(self):
+        t = random_sparse_tensor((5, 5, 5), 50, seed=3, value_low=0.5, value_high=2.0)
+        vals = np.asarray(t.values)
+        # Duplicate merging can push values above value_high but never below.
+        assert (vals >= 0.5).all()
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            random_sparse_tensor((5, 5), 10, distribution="gaussian")
+
+    def test_invalid_concentration(self):
+        with pytest.raises(ValueError):
+            random_sparse_tensor((5, 5), 10, distribution="power", concentration=0.0)
+
+
+class TestRandomFactors:
+    def test_shapes(self):
+        factors = random_factors((4, 5, 6), 3, seed=0)
+        assert [f.shape for f in factors] == [(4, 3), (5, 3), (6, 3)]
+
+    def test_deterministic(self):
+        a = random_factors((4, 5), 2, seed=1)
+        b = random_factors((4, 5), 2, seed=1)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_scale(self):
+        factors = random_factors((100,), 4, seed=2, scale=0.1)
+        assert factors[0].max() <= 0.1
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            random_factors((4, 5), 0)

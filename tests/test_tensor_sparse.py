@@ -1,0 +1,201 @@
+"""Tests for repro.tensor.sparse.SparseTensor."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.sparse import SparseTensor
+
+
+def make_simple():
+    indices = np.array([[0, 0, 0], [1, 1, 1], [0, 1, 2]])
+    values = np.array([1.0, 2.0, 3.0])
+    return SparseTensor(indices, values, (2, 2, 3))
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        t = make_simple()
+        assert t.shape == (2, 2, 3)
+        assert t.order == 3
+        assert t.nnz == 3
+        assert t.size == 12
+        assert t.density == pytest.approx(3 / 12)
+
+    def test_duplicates_are_summed(self):
+        indices = np.array([[0, 0], [0, 0], [1, 1]])
+        t = SparseTensor(indices, np.array([1.0, 2.0, 5.0]), (2, 2))
+        assert t.nnz == 2
+        assert t.to_coords_dict()[(0, 0)] == pytest.approx(3.0)
+
+    def test_sorted_lexicographically(self):
+        indices = np.array([[1, 1, 1], [0, 0, 0]])
+        t = SparseTensor(indices, np.array([2.0, 1.0]), (2, 2, 2))
+        np.testing.assert_array_equal(np.asarray(t.indices)[0], [0, 0, 0])
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError, match="out of bounds"):
+            SparseTensor(np.array([[0, 5]]), np.array([1.0]), (2, 3))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            SparseTensor(np.array([[0, -1]]), np.array([1.0]), (2, 3))
+
+    def test_mismatched_values_rejected(self):
+        with pytest.raises(ValueError):
+            SparseTensor(np.array([[0, 0]]), np.array([1.0, 2.0]), (2, 2))
+
+    def test_wrong_index_columns_rejected(self):
+        with pytest.raises(ValueError):
+            SparseTensor(np.array([[0, 0]]), np.array([1.0]), (2, 2, 2))
+
+    def test_non_numeric_values_rejected(self):
+        with pytest.raises(TypeError):
+            SparseTensor(np.array([[0, 0]]), np.array(["a"]), (2, 2))
+
+    def test_empty_tensor(self):
+        t = SparseTensor.empty((3, 4))
+        assert t.nnz == 0
+        assert t.density == 0.0
+        assert t.to_dense().shape == (3, 4)
+
+    def test_from_dense_round_trip(self):
+        rng = np.random.default_rng(0)
+        dense = rng.random((4, 5, 3))
+        dense[dense < 0.6] = 0.0
+        t = SparseTensor.from_dense(dense)
+        np.testing.assert_allclose(t.to_dense(), dense)
+
+    def test_from_dense_tolerance(self):
+        dense = np.array([[1e-12, 1.0], [0.0, 2.0]])
+        t = SparseTensor.from_dense(dense, tol=1e-9)
+        assert t.nnz == 2
+
+    def test_indices_are_read_only(self):
+        t = make_simple()
+        with pytest.raises(ValueError):
+            t.indices[0, 0] = 5
+        with pytest.raises(ValueError):
+            t.values[0] = 5.0
+
+
+class TestConversions:
+    def test_to_dense(self):
+        t = make_simple()
+        dense = t.to_dense()
+        assert dense[0, 0, 0] == 1.0
+        assert dense[1, 1, 1] == 2.0
+        assert dense[0, 1, 2] == 3.0
+        assert dense.sum() == pytest.approx(6.0)
+
+    def test_to_dense_refuses_huge(self):
+        t = SparseTensor(np.array([[0, 0, 0]]), np.array([1.0]), (10**4, 10**4, 10**4))
+        with pytest.raises(MemoryError):
+            t.to_dense()
+
+    def test_unfold_matches_dense_unfold(self):
+        from repro.tensor.dense import unfold_dense
+
+        t = make_simple()
+        dense = t.to_dense()
+        for mode in range(3):
+            sparse_unfold = t.unfold(mode).toarray()
+            np.testing.assert_allclose(sparse_unfold, unfold_dense(dense, mode))
+
+    def test_unfolded_column_indices_bounds(self):
+        t = make_simple()
+        cols = t.unfolded_column_indices(0)
+        assert cols.max() < 2 * 3
+        assert cols.min() >= 0
+
+
+class TestReordering:
+    def test_sort_by_modes_keeps_content(self):
+        t = make_simple()
+        sorted_t = t.sort_by_modes([2, 1, 0])
+        assert sorted_t.allclose(t)
+
+    def test_sort_by_modes_primary_key(self):
+        t = make_simple()
+        sorted_t = t.sort_by_modes([2, 0, 1])
+        k = np.asarray(sorted_t.indices)[:, 2]
+        assert (np.diff(k) >= 0).all()
+
+    def test_sort_invalid_permutation(self):
+        t = make_simple()
+        with pytest.raises(ValueError):
+            t.sort_by_modes([0, 0, 1])
+
+    def test_permute_modes(self):
+        t = make_simple()
+        p = t.permute_modes([2, 0, 1])
+        assert p.shape == (3, 2, 2)
+        np.testing.assert_allclose(p.to_dense(), np.moveaxis(t.to_dense(), [0, 1, 2], [1, 2, 0]))
+
+    def test_permute_invalid(self):
+        with pytest.raises(ValueError):
+            make_simple().permute_modes([0, 1])
+
+    def test_scale(self):
+        t = make_simple()
+        np.testing.assert_allclose(t.scale(2.0).to_dense(), 2.0 * t.to_dense())
+
+    def test_astype(self):
+        t = make_simple().astype(np.float32)
+        assert t.nnz == 3
+
+
+class TestStructureQueries:
+    def test_fiber_counts_sum_to_nnz(self):
+        t = make_simple()
+        for mode in range(3):
+            assert t.fiber_counts(mode).sum() == t.nnz
+
+    def test_num_fibers_matches_distinct(self):
+        t = make_simple()
+        # Mode-2 fibers are identified by (i, j): (0,0), (1,1), (0,1).
+        assert t.num_fibers(2) == 3
+
+    def test_slice_counts(self):
+        t = make_simple()
+        assert t.slice_counts(0).sum() == t.nnz
+        assert t.num_slices(0) == 2
+
+    def test_norm(self):
+        t = make_simple()
+        assert t.norm() == pytest.approx(np.sqrt(1 + 4 + 9))
+
+    def test_empty_structure_queries(self):
+        t = SparseTensor.empty((4, 5, 6))
+        assert t.num_fibers(0) == 0
+        assert t.num_slices(1) == 0
+        assert t.norm() == 0.0
+
+
+class TestComparison:
+    def test_allclose_self(self):
+        t = make_simple()
+        assert t.allclose(t)
+
+    def test_allclose_ignores_ordering(self):
+        indices = np.array([[0, 1, 2], [1, 1, 1], [0, 0, 0]])
+        other = SparseTensor(indices, np.array([3.0, 2.0, 1.0]), (2, 2, 3), sort=False)
+        assert make_simple().allclose(other)
+
+    def test_allclose_detects_value_difference(self):
+        t = make_simple()
+        other = SparseTensor(np.asarray(t.indices), np.asarray(t.values) * 1.1, t.shape)
+        assert not t.allclose(other)
+
+    def test_allclose_detects_shape_difference(self):
+        t = make_simple()
+        other = SparseTensor(np.asarray(t.indices), np.asarray(t.values), (2, 2, 4))
+        assert not t.allclose(other)
+
+    def test_allclose_ignores_explicit_zeros(self):
+        a = SparseTensor(np.array([[0, 0], [1, 1]]), np.array([1.0, 0.0]), (2, 2))
+        b = SparseTensor(np.array([[0, 0]]), np.array([1.0]), (2, 2))
+        assert a.allclose(b)
+
+    def test_allclose_type_error(self):
+        with pytest.raises(TypeError):
+            make_simple().allclose("not a tensor")

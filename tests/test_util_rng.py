@@ -1,0 +1,58 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = as_rng(123).integers(0, 1000, size=10)
+        b = as_rng(123).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).integers(0, 1_000_000, size=20)
+        b = as_rng(2).integers(0, 1_000_000, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        gen = as_rng(np.random.SeedSequence(5))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_children_are_independent(self):
+        a, b = spawn_rngs(7, 2)
+        assert not np.array_equal(
+            a.integers(0, 10**6, size=50), b.integers(0, 10**6, size=50)
+        )
+
+    def test_deterministic_given_seed(self):
+        first = [g.integers(0, 10**6, size=5) for g in spawn_rngs(3, 3)]
+        second = [g.integers(0, 10**6, size=5) for g in spawn_rngs(3, 3)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(0), 2)
+        assert len(children) == 2
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, 0)

@@ -1,0 +1,36 @@
+"""Tests for repro.util.timing."""
+
+import pytest
+
+from repro.util.timing import Timer
+
+
+class TestTimer:
+    def test_lap_records_positive_time(self):
+        t = Timer()
+        with t.lap("work"):
+            sum(range(1000))
+        assert t.laps["work"] >= 0.0
+
+    def test_laps_accumulate(self):
+        t = Timer()
+        t.add("a", 1.0)
+        t.add("a", 2.0)
+        assert t.laps["a"] == pytest.approx(3.0)
+
+    def test_total(self):
+        t = Timer()
+        t.add("a", 1.0)
+        t.add("b", 0.5)
+        assert t.total == pytest.approx(1.5)
+
+    def test_as_dict_preserves_order(self):
+        t = Timer()
+        t.add("first", 1.0)
+        t.add("second", 2.0)
+        assert list(t.as_dict()) == ["first", "second"]
+
+    def test_negative_rejected(self):
+        t = Timer()
+        with pytest.raises(ValueError):
+            t.add("x", -1.0)
