@@ -1,0 +1,35 @@
+"""Out-of-core streaming: transfer/compute overlap vs a no-overlap baseline.
+
+The paper partitions over-capacity tensors and overlaps host-to-device
+copies with compute via CUDA streams (Section IV-D) but publishes no
+dedicated figure for it; this benchmark wraps the extension runner
+:func:`repro.bench.streaming.run_streaming` and checks the pipeline
+invariants: multi-stream execution beats the serial baseline and lands
+between the ideal-overlap and no-overlap bounds.
+"""
+
+import pytest
+
+from bench_common import run_once
+from repro.bench.streaming import run_streaming
+
+
+@pytest.mark.benchmark(group="streaming")
+def test_streaming_overlap(benchmark):
+    result = run_once(benchmark, run_streaming, rank=16)
+    print()
+    print(result.render())
+
+    by_dataset = {}
+    for row in result.rows:
+        by_dataset.setdefault(row.dataset, {})[row.num_streams] = row
+
+    for dataset, rows in by_dataset.items():
+        serial = rows[1]
+        overlapped = rows[2]
+        # The pipelined schedule must land strictly between full overlap
+        # (max of the totals) and no overlap (their sum).
+        assert overlapped.ideal_s < overlapped.streamed_s < overlapped.serial_s, dataset
+        # Overlap must beat the single-stream baseline's makespan.
+        assert overlapped.streamed_s < serial.streamed_s, dataset
+        assert serial.overlap_speedup == pytest.approx(1.0)

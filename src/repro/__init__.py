@@ -4,7 +4,9 @@ Operations on GPUs" (Liu, Wen, Sarwate, Mehri Dehnavi; IEEE CLUSTER 2017).
 The package implements:
 
 * the F-COO storage format and the unified SpTTM / SpMTTKRP / SpTTMc GPU
-  kernels built on it (:mod:`repro.formats`, :mod:`repro.kernels.unified`);
+  kernels built on it (:mod:`repro.formats`, :mod:`repro.kernels.unified`),
+  including the out-of-core streamed execution path for tensors larger than
+  device memory (:mod:`repro.kernels.unified.streaming`);
 * the substrates those kernels need — sparse tensor algebra
   (:mod:`repro.tensor`), a deterministic GPU execution/cost model
   (:mod:`repro.gpusim`), a multicore CPU model (:mod:`repro.cpusim`);
@@ -41,6 +43,7 @@ from repro.tensor.random import random_factors
 from repro.formats import (
     COOTensor,
     FCOOTensor,
+    FCOOChunk,
     CSFTensor,
     SemiSparseTensor,
     OperationKind,
@@ -48,7 +51,12 @@ from repro.formats import (
 )
 from repro.gpusim import DeviceSpec, TITAN_X, LaunchConfig, OutOfDeviceMemory
 from repro.cpusim import CpuSpec, CPU_I7_5820K
-from repro.kernels.unified import unified_spttm, unified_spmttkrp, unified_spttmc
+from repro.kernels.unified import (
+    StreamedExecution,
+    unified_spttm,
+    unified_spmttkrp,
+    unified_spttmc,
+)
 from repro.kernels.baselines import (
     parti_gpu_spttm,
     parti_gpu_spmttkrp,
@@ -83,6 +91,7 @@ __all__ = [
     # storage formats
     "COOTensor",
     "FCOOTensor",
+    "FCOOChunk",
     "CSFTensor",
     "SemiSparseTensor",
     "OperationKind",
@@ -98,6 +107,7 @@ __all__ = [
     "unified_spttm",
     "unified_spmttkrp",
     "unified_spttmc",
+    "StreamedExecution",
     "parti_gpu_spttm",
     "parti_gpu_spmttkrp",
     "parti_omp_spttm",

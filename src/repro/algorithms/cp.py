@@ -36,7 +36,8 @@ from repro.formats.mode_encoding import OperationKind
 from repro.gpusim.device import DeviceSpec, TITAN_X
 from repro.kernels.baselines.splatt import splatt_csf_mode_order, splatt_mttkrp
 from repro.kernels.common import MTTKRPResult
-from repro.kernels.unified.spmttkrp import unified_spmttkrp
+from repro.kernels.unified.spmttkrp import spmttkrp_footprint, unified_spmttkrp
+from repro.kernels.unified.streaming import should_stream
 from repro.tensor.random import random_factors
 from repro.tensor.sparse import SparseTensor
 from repro.util.rng import SeedLike
@@ -76,12 +77,21 @@ class UnifiedGPUEngine:
         mode (the auto-tuner of Figure 5 / Table V produces these).
     per_mode_params:
         Optional ``{mode: (block_size, threadlen)}`` mapping.
+    streamed / num_streams / chunk_nnz:
+        Out-of-core controls forwarded to every MTTKRP.  The default
+        (``streamed=None``) auto-falls back to the chunked streaming path
+        when a mode's F-COO encoding does not fit in device memory, so
+        CP-ALS completes on over-capacity tensors instead of raising
+        :class:`~repro.gpusim.timing.OutOfDeviceMemory`.
     """
 
     device: DeviceSpec = TITAN_X
     block_size: int = 128
     threadlen: int = 8
     per_mode_params: Optional[Dict[int, Tuple[int, int]]] = None
+    streamed: Optional[bool] = None
+    num_streams: int = 2
+    chunk_nnz: Optional[int] = None
     name: str = "unified-gpu"
 
     def __post_init__(self) -> None:
@@ -92,20 +102,34 @@ class UnifiedGPUEngine:
         """Encode F-COO for every mode on the host and transfer once to the GPU.
 
         The paper performs exactly this preprocessing so that no format
-        conversion or host transfer happens inside a CP iteration.
+        conversion or host transfer happens inside a CP iteration.  An
+        encoding that will execute out-of-core cannot stay resident, so its
+        bytes are *not* charged here — the streamed kernel re-ships them
+        chunk-by-chunk inside every MTTKRP and charges the PCIe time there.
         """
         self._tensor = tensor
         self._encodings = {
             mode: FCOOTensor.from_sparse(tensor, OperationKind.SPMTTKRP, mode)
             for mode in range(tensor.order)
         }
-        transfer_bytes = sum(
-            enc.storage_bytes(self._params_for(mode)[1])
-            for mode, enc in self._encodings.items()
+        transfer_bytes = sum(tensor.shape[m] * rank * 4.0 for m in range(tensor.order))
+        for mode, enc in self._encodings.items():
+            if not self._will_stream(enc, rank):
+                transfer_bytes += enc.storage_bytes(self._params_for(mode)[1])
+        return transfer_bytes / self.device.pcie_bandwidth_bytes_per_s
+
+    def _will_stream(self, encoding: FCOOTensor, rank: int) -> bool:
+        """The kernel's streamed/one-shot decision, evaluated for one mode.
+
+        Uses :func:`spmttkrp_footprint` — the kernel's own accounting — so
+        ``prepare()``'s transfer charging cannot drift from the branch the
+        MTTKRP actually takes.
+        """
+        block_size, threadlen = self._params_for(encoding.mode)
+        footprint, _ = spmttkrp_footprint(
+            encoding, rank, block_size=block_size, threadlen=threadlen
         )
-        transfer_bytes += sum(tensor.shape[m] * rank * 4.0 for m in range(tensor.order))
-        pcie_bandwidth = 12e9
-        return transfer_bytes / pcie_bandwidth
+        return should_stream(encoding, footprint, self.device, self.streamed)
 
     def _params_for(self, mode: int) -> Tuple[int, int]:
         if self.per_mode_params and mode in self.per_mode_params:
@@ -123,6 +147,9 @@ class UnifiedGPUEngine:
             device=self.device,
             block_size=block_size,
             threadlen=threadlen,
+            streamed=self.streamed,
+            num_streams=self.num_streams,
+            chunk_nnz=self.chunk_nnz,
         )
 
     def dense_update_time(self, mode_size: int, rank: int, order: int) -> float:

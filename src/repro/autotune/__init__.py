@@ -1,11 +1,27 @@
 """Launch-parameter auto-tuning (paper Figure 5 and Table V).
 
-The unified kernels have two tunables: ``BLOCK_SIZE`` (threads per block)
-and ``threadlen`` (non-zeros per thread).  Their best values depend on the
-sparsity pattern of the tensor, so the paper sweeps both per dataset and per
-operation; this subpackage reproduces that sweep on the simulated device.
+The unified kernels have two classic tunables: ``BLOCK_SIZE`` (threads per
+block) and ``threadlen`` (non-zeros per thread).  Their best values depend
+on the sparsity pattern of the tensor, so the paper sweeps both per dataset
+and per operation; this subpackage reproduces that sweep on the simulated
+device.  The out-of-core streamed execution path adds two further axes —
+``num_streams`` and the chunk size — which the sweep covers as well.
 """
 
-from repro.autotune.tuner import TuningResult, tune_unified, DEFAULT_BLOCK_SIZES, DEFAULT_THREADLENS
+from repro.autotune.tuner import (
+    DEFAULT_BLOCK_SIZES,
+    DEFAULT_CHUNK_SIZES,
+    DEFAULT_NUM_STREAMS,
+    DEFAULT_THREADLENS,
+    TuningResult,
+    tune_unified,
+)
 
-__all__ = ["TuningResult", "tune_unified", "DEFAULT_BLOCK_SIZES", "DEFAULT_THREADLENS"]
+__all__ = [
+    "TuningResult",
+    "tune_unified",
+    "DEFAULT_BLOCK_SIZES",
+    "DEFAULT_THREADLENS",
+    "DEFAULT_NUM_STREAMS",
+    "DEFAULT_CHUNK_SIZES",
+]

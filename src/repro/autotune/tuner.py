@@ -1,4 +1,12 @@
-"""Exhaustive sweep of (BLOCK_SIZE, threadlen) for the unified kernels."""
+"""Exhaustive sweep of the unified kernels' tuning parameters.
+
+The paper's Figure 5 sweeps the launch parameters ``(BLOCK_SIZE,
+threadlen)``; the out-of-core streamed execution path adds two more axes —
+the number of CUDA streams and the chunk size — which matter whenever the
+tensor is (or is forced) out-of-core.  The sweep covers the full cross
+product; the classic two-parameter surface is the minimum over the streaming
+axes.
+"""
 
 from __future__ import annotations
 
@@ -10,19 +18,33 @@ import numpy as np
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.mode_encoding import OperationKind
 from repro.gpusim.device import DeviceSpec, TITAN_X
+from repro.gpusim.timing import OutOfDeviceMemory
 from repro.kernels.unified.spmttkrp import unified_spmttkrp
 from repro.kernels.unified.spttm import unified_spttm
+from repro.kernels.unified.spttmc import unified_spttmc
 from repro.tensor.random import random_factors
 from repro.tensor.sparse import SparseTensor
 from repro.util.formatting import format_table
 from repro.util.rng import SeedLike
 from repro.util.validation import check_mode, check_rank
 
-__all__ = ["TuningResult", "tune_unified", "DEFAULT_BLOCK_SIZES", "DEFAULT_THREADLENS"]
+__all__ = [
+    "TuningResult",
+    "tune_unified",
+    "DEFAULT_BLOCK_SIZES",
+    "DEFAULT_THREADLENS",
+    "DEFAULT_NUM_STREAMS",
+    "DEFAULT_CHUNK_SIZES",
+]
 
 #: The sweep ranges used in the paper's Figure 5.
 DEFAULT_BLOCK_SIZES: Tuple[int, ...] = (32, 64, 128, 256, 512, 1024)
 DEFAULT_THREADLENS: Tuple[int, ...] = (8, 16, 32, 48, 64)
+
+#: Default streaming axes: a single auto-sized configuration, so the classic
+#: two-parameter sweep stays exactly as cheap as before.
+DEFAULT_NUM_STREAMS: Tuple[int, ...] = (2,)
+DEFAULT_CHUNK_SIZES: Tuple[Optional[int], ...] = (None,)
 
 
 @dataclass(frozen=True)
@@ -34,9 +56,14 @@ class TuningResult:
     operation / mode / rank:
         What was tuned.
     block_sizes / threadlens:
-        The sweep axes.
-    times:
-        ``(len(block_sizes), len(threadlens))`` array of simulated times.
+        The classic launch-parameter axes.
+    num_streams / chunk_sizes:
+        The streaming axes (singletons unless the sweep explored the
+        out-of-core configuration space; ``None`` chunk size means
+        auto-sized to the device memory budget).
+    times_full:
+        ``(len(block_sizes), len(threadlens), len(num_streams),
+        len(chunk_sizes))`` array of simulated times.
     """
 
     operation: OperationKind
@@ -44,7 +71,15 @@ class TuningResult:
     rank: int
     block_sizes: Tuple[int, ...]
     threadlens: Tuple[int, ...]
-    times: np.ndarray
+    num_streams: Tuple[int, ...]
+    chunk_sizes: Tuple[Optional[int], ...]
+    times_full: np.ndarray
+
+    # ------------------------------------------------------------------ #
+    @property
+    def times(self) -> np.ndarray:
+        """The ``(BLOCK_SIZE, threadlen)`` surface (best over streaming axes)."""
+        return self.times_full.min(axis=(2, 3))
 
     @property
     def best(self) -> Tuple[int, int]:
@@ -53,17 +88,41 @@ class TuningResult:
         return self.block_sizes[i], self.threadlens[j]
 
     @property
+    def best_config(self) -> Tuple[int, int, int, Optional[int]]:
+        """The full ``(BLOCK_SIZE, threadlen, num_streams, chunk_nnz)`` optimum."""
+        i, j, s, c = np.unravel_index(
+            int(np.argmin(self.times_full)), self.times_full.shape
+        )
+        return (
+            self.block_sizes[i],
+            self.threadlens[j],
+            self.num_streams[s],
+            self.chunk_sizes[c],
+        )
+
+    @property
     def best_time(self) -> float:
         """The lowest simulated time over the sweep."""
-        return float(self.times.min())
+        return float(self.times_full.min())
 
     def render(self, *, title: str = "") -> str:
         """ASCII rendering of the sweep surface (rows: BLOCK_SIZE, cols: threadlen)."""
         headers = ["BLOCK_SIZE \\ threadlen"] + [str(t) for t in self.threadlens]
+        times = self.times
         rows = []
         for i, bs in enumerate(self.block_sizes):
-            rows.append([bs] + [float(self.times[i, j]) for j in range(len(self.threadlens))])
-        return format_table(headers, rows, title=title or f"{self.operation.value} tuning surface (s)")
+            rows.append([bs] + [float(times[i, j]) for j in range(len(self.threadlens))])
+        text = format_table(
+            headers, rows, title=title or f"{self.operation.value} tuning surface (s)"
+        )
+        if len(self.num_streams) > 1 or len(self.chunk_sizes) > 1:
+            bs, tl, ns, cn = self.best_config
+            text += (
+                f"\nbest streaming configuration: num_streams={ns}, "
+                f"chunk_nnz={'auto' if cn is None else cn} "
+                f"(at BLOCK_SIZE={bs}, threadlen={tl})"
+            )
+        return text
 
 
 def tune_unified(
@@ -75,44 +134,84 @@ def tune_unified(
     device: DeviceSpec = TITAN_X,
     block_sizes: Sequence[int] = DEFAULT_BLOCK_SIZES,
     threadlens: Sequence[int] = DEFAULT_THREADLENS,
+    num_streams: Sequence[int] = DEFAULT_NUM_STREAMS,
+    chunk_sizes: Sequence[Optional[int]] = DEFAULT_CHUNK_SIZES,
+    streamed: Optional[bool] = None,
     seed: SeedLike = 0,
 ) -> TuningResult:
-    """Sweep (BLOCK_SIZE, threadlen) for a unified kernel on one tensor.
+    """Sweep the unified-kernel tuning parameters on one tensor.
 
-    The F-COO encoding is reused across the sweep (it does not depend on the
-    launch parameters) so the sweep cost is dominated by the kernel model
-    itself.
+    Covers all three unified kernels (SpTTM, SpMTTKRP, SpTTMc).  The F-COO
+    encoding is reused across the sweep (it does not depend on the launch
+    parameters) so the sweep cost is dominated by the kernel model itself.
+
+    ``num_streams`` / ``chunk_sizes`` extend the sweep with the streamed
+    execution axes; they only influence the result when the kernel actually
+    streams (``streamed=True``, or auto-fallback on an over-capacity
+    tensor).  ``streamed`` is forwarded to the kernels unchanged.  A
+    streaming configuration that does not fit on the device (its chunk
+    buffers exceed capacity) is recorded as ``inf`` rather than aborting
+    the sweep.
     """
     operation = OperationKind.coerce(operation)
     mode = check_mode(mode, tensor.order)
     rank = check_rank(rank)
-    if operation not in (OperationKind.SPTTM, OperationKind.SPMTTKRP):
-        raise ValueError(f"tuning is implemented for SpTTM and SpMTTKRP, not {operation.value}")
+    if not num_streams:
+        raise ValueError("num_streams must contain at least one entry")
+    if not chunk_sizes:
+        raise ValueError("chunk_sizes must contain at least one entry")
     factors = random_factors(tensor.shape, rank, seed=seed)
     fcoo = FCOOTensor.from_sparse(tensor, operation, mode)
 
-    times = np.zeros((len(block_sizes), len(threadlens)), dtype=np.float64)
+    times = np.zeros(
+        (len(block_sizes), len(threadlens), len(num_streams), len(chunk_sizes)),
+        dtype=np.float64,
+    )
+    def run_cell(block_size, threadlen, n_streams, chunk_nnz):
+        kwargs = dict(
+            device=device,
+            block_size=int(block_size),
+            threadlen=int(threadlen),
+            streamed=streamed,
+            num_streams=int(n_streams),
+            chunk_nnz=None if chunk_nnz is None else int(chunk_nnz),
+        )
+        if operation is OperationKind.SPTTM:
+            return unified_spttm(fcoo, factors[mode], mode, **kwargs)
+        if operation is OperationKind.SPMTTKRP:
+            return unified_spmttkrp(fcoo, factors, mode, **kwargs)
+        return unified_spttmc(fcoo, factors, mode, **kwargs)
+
     for i, block_size in enumerate(block_sizes):
         for j, threadlen in enumerate(threadlens):
-            if operation is OperationKind.SPTTM:
-                result = unified_spttm(
-                    fcoo,
-                    factors[mode],
-                    mode,
-                    device=device,
-                    block_size=int(block_size),
-                    threadlen=int(threadlen),
-                )
-            else:
-                result = unified_spmttkrp(
-                    fcoo,
-                    factors,
-                    mode,
-                    device=device,
-                    block_size=int(block_size),
-                    threadlen=int(threadlen),
-                )
-            times[i, j] = result.estimated_time_s
+            first = None
+            try:
+                first = run_cell(block_size, threadlen, num_streams[0], chunk_sizes[0])
+                times[i, j, 0, 0] = first.estimated_time_s
+            except OutOfDeviceMemory:
+                # Infeasible streaming configuration (e.g. num_streams chunk
+                # buffers exceed capacity): record it, keep sweeping.
+                times[i, j, 0, 0] = np.inf
+            if (
+                first is not None
+                and first.profile.streaming is None
+                and streamed is not True
+            ):
+                # The kernel took the one-shot path, so the streaming axes
+                # cannot change the outcome — broadcast instead of re-running
+                # the full kernel numerics per cell.
+                times[i, j, :, :] = first.estimated_time_s
+                continue
+            for s, n_streams in enumerate(num_streams):
+                for c, chunk_nnz in enumerate(chunk_sizes):
+                    if (s, c) == (0, 0):
+                        continue
+                    try:
+                        times[i, j, s, c] = run_cell(
+                            block_size, threadlen, n_streams, chunk_nnz
+                        ).estimated_time_s
+                    except OutOfDeviceMemory:
+                        times[i, j, s, c] = np.inf
 
     return TuningResult(
         operation=operation,
@@ -120,5 +219,7 @@ def tune_unified(
         rank=rank,
         block_sizes=tuple(int(b) for b in block_sizes),
         threadlens=tuple(int(t) for t in threadlens),
-        times=times,
+        num_streams=tuple(int(n) for n in num_streams),
+        chunk_sizes=tuple(None if c is None else int(c) for c in chunk_sizes),
+        times_full=times,
     )

@@ -23,6 +23,8 @@ runner                          paper artefact
 :func:`run_fig8`                Figure 8 — rank behaviour of SpTTM
 :func:`run_fig9`                Figure 9 — GPU memory for SpMTTKRP
 :func:`run_fig10`               Figure 10 — CP decomposition breakdown
+:func:`run_streaming`           Section IV-D streams — out-of-core overlap
+                                (extension; no dedicated paper figure)
 ==============================  ===========================================
 """
 
@@ -35,6 +37,7 @@ from repro.bench.modes import Fig7Result, run_fig7
 from repro.bench.ranks import Fig8Result, run_fig8
 from repro.bench.memory import Fig9Result, run_fig9
 from repro.bench.cp_bench import Fig10Result, run_fig10
+from repro.bench.streaming import StreamingResult, run_streaming
 
 __all__ = [
     "platform_report",
@@ -56,4 +59,6 @@ __all__ = [
     "run_fig9",
     "Fig10Result",
     "run_fig10",
+    "StreamingResult",
+    "run_streaming",
 ]

@@ -27,6 +27,7 @@ from repro.bench import (
     run_fig8,
     run_fig9,
     run_fig10,
+    run_streaming,
     run_table2,
     run_table4,
     run_table5,
@@ -53,6 +54,7 @@ EXPERIMENTS: Dict[str, Callable[[int, int], str]] = {
     "fig8": lambda rank, iterations: run_fig8().render(),
     "fig9": lambda rank, iterations: run_fig9(rank=rank).render(),
     "fig10": lambda rank, iterations: run_fig10(iterations=iterations).render(),
+    "streaming": lambda rank, iterations: run_streaming(rank=rank).render(),
 }
 
 

@@ -25,7 +25,7 @@ from repro.formats.mode_encoding import (
     mode_roles,
 )
 from repro.formats.coo import COOTensor
-from repro.formats.fcoo import FCOOTensor
+from repro.formats.fcoo import FCOOChunk, FCOOTensor
 from repro.formats.csf import CSFTensor
 from repro.formats.semisparse import SemiSparseTensor
 from repro.formats.storage_cost import (
@@ -42,6 +42,7 @@ __all__ = [
     "mode_roles",
     "COOTensor",
     "FCOOTensor",
+    "FCOOChunk",
     "CSFTensor",
     "SemiSparseTensor",
     "coo_storage_bytes",

@@ -41,7 +41,55 @@ from repro.formats.mode_encoding import ModeRoles, OperationKind, mode_roles
 from repro.tensor.sparse import SparseTensor
 from repro.util.validation import check_positive_int
 
-__all__ = ["FCOOTensor"]
+__all__ = ["FCOOTensor", "FCOOChunk"]
+
+
+@dataclass(frozen=True)
+class FCOOChunk:
+    """One threadlen-aligned slice of an F-COO non-zero stream.
+
+    Produced by :meth:`FCOOTensor.chunk` for the out-of-core streamed
+    execution path: each chunk is itself a complete :class:`FCOOTensor`
+    (its bit-flag's first entry is forced on, opening a *local* segment)
+    plus the bookkeeping needed to merge per-chunk partial results back
+    into the global per-segment output.
+
+    Attributes
+    ----------
+    tensor:
+        The chunk's own F-COO encoding.  Its ``segment_index_coords`` are
+        the *global* scatter coordinates of its local segments, so a chunk
+        can be executed by the unchanged one-shot kernels.
+    start / stop:
+        Non-zero range ``[start, stop)`` of the chunk in the parent's
+        stream; ``start`` is always a multiple of the chunking
+        ``threadlen`` so per-thread partitions never straddle chunks.
+    segment_offset:
+        Global segment id of the chunk's first local segment.  Local
+        segment ``j`` contributes to global segment ``segment_offset + j``.
+    carries_in:
+        ``True`` when the chunk's first non-zero continues a segment begun
+        in the previous chunk (the parent's ``bf[start]`` is unset — the
+        same condition the ``sf`` start-flag array records per thread
+        partition).  The carried segment's partial sums from both chunks
+        must be merged, which the segment-offset mapping does implicitly.
+    """
+
+    tensor: "FCOOTensor"
+    start: int
+    stop: int
+    segment_offset: int
+    carries_in: bool
+
+    @property
+    def nnz(self) -> int:
+        """Non-zeros in this chunk."""
+        return self.stop - self.start
+
+    @property
+    def num_segments(self) -> int:
+        """Local segments (the carried-in segment counts as local segment 0)."""
+        return self.tensor.num_segments
 
 
 @dataclass(frozen=True)
@@ -240,6 +288,76 @@ class FCOOTensor:
         carried = ~self.bf[first_nnz]
         out += carried.astype(np.int64)
         return out
+
+    # ------------------------------------------------------------------ #
+    # Out-of-core chunking
+    # ------------------------------------------------------------------ #
+    def chunk(self, chunk_nnz: int, *, threadlen: int = 1) -> list:
+        """Split the non-zero stream into :class:`FCOOChunk` slices.
+
+        Parameters
+        ----------
+        chunk_nnz:
+            Maximum non-zeros per chunk; must be a multiple of
+            ``threadlen`` so chunk boundaries coincide with per-thread
+            partition boundaries (a partition never straddles two device
+            buffers).
+        threadlen:
+            The per-thread work size the chunks will be executed with.
+
+        Returns
+        -------
+        list of FCOOChunk
+            Contiguous, non-overlapping chunks covering all non-zeros (an
+            empty list for an empty tensor).  A segment that straddles a
+            chunk boundary appears as the last local segment of one chunk
+            and the first (``carries_in``) local segment of the next; both
+            map to the same global segment id, so summing per-chunk
+            partial results per global segment reproduces the one-shot
+            reduction.
+        """
+        chunk_nnz = check_positive_int(chunk_nnz, "chunk_nnz")
+        threadlen = check_positive_int(threadlen, "threadlen")
+        if chunk_nnz % threadlen != 0:
+            raise ValueError(
+                f"chunk_nnz ({chunk_nnz}) must be a multiple of threadlen ({threadlen})"
+            )
+        chunks: list = []
+        if self.nnz == 0:
+            return chunks
+        for start in range(0, self.nnz, chunk_nnz):
+            stop = min(start + chunk_nnz, self.nnz)
+            local_bf = self.bf[start:stop].copy()
+            carries_in = start > 0 and not local_bf[0]
+            local_bf[0] = True
+            local_segment_ids = np.cumsum(local_bf, dtype=np.int64) - 1
+            # The chunk's first non-zero belongs to this global segment,
+            # whether it opens it (bf set) or continues it (carried in).
+            segment_offset = int(self.segment_ids[start])
+            num_local_segments = int(local_segment_ids[-1]) + 1
+            chunk_tensor = FCOOTensor(
+                roles=self.roles,
+                shape=self.shape,
+                product_indices=self.product_indices[start:stop],
+                values=self.values[start:stop],
+                bf=local_bf,
+                segment_ids=local_segment_ids,
+                segment_index_coords=self.segment_index_coords[
+                    segment_offset : segment_offset + num_local_segments
+                ],
+                index_dtype=self.index_dtype,
+                value_dtype=self.value_dtype,
+            )
+            chunks.append(
+                FCOOChunk(
+                    tensor=chunk_tensor,
+                    start=start,
+                    stop=stop,
+                    segment_offset=segment_offset,
+                    carries_in=carries_in,
+                )
+            )
+        return chunks
 
     # ------------------------------------------------------------------ #
     # Storage accounting

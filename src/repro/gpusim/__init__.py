@@ -22,6 +22,8 @@ effects is modelled explicitly:
 * :mod:`~repro.gpusim.atomics` — atomic-update contention model.
 * :mod:`~repro.gpusim.scan` — the segmented-scan primitive (numeric result
   plus cost contribution).
+* :mod:`~repro.gpusim.streams` — the multi-stream transfer/compute overlap
+  pipeline used by the out-of-core streamed execution path.
 * :mod:`~repro.gpusim.timing` — conversion of a counter ledger into
   estimated kernel time on a device.
 """
@@ -36,6 +38,7 @@ from repro.gpusim.memory import (
 )
 from repro.gpusim.atomics import atomic_contention_factor, atomic_cost_ops
 from repro.gpusim.scan import segment_reduce, segmented_scan_counters
+from repro.gpusim.streams import ChunkTiming, StreamSchedule, pipeline_time, schedule_chunks
 from repro.gpusim.timing import estimate_kernel_time, OutOfDeviceMemory, check_device_fit
 
 __all__ = [
@@ -52,6 +55,10 @@ __all__ = [
     "atomic_cost_ops",
     "segment_reduce",
     "segmented_scan_counters",
+    "ChunkTiming",
+    "StreamSchedule",
+    "pipeline_time",
+    "schedule_chunks",
     "estimate_kernel_time",
     "OutOfDeviceMemory",
     "check_device_fit",

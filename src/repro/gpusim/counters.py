@@ -130,6 +130,11 @@ class KernelProfile:
     breakdown:
         Optional named sub-times (compute/memory/atomic/launch) for
         reporting.
+    streaming:
+        When the kernel executed out-of-core, the
+        :class:`repro.kernels.unified.streaming.StreamedExecution` ledger
+        (per-chunk counters plus the resolved transfer/compute pipeline);
+        ``None`` for one-shot executions.
     """
 
     name: str
@@ -137,6 +142,7 @@ class KernelProfile:
     estimated_time_s: float
     device_memory_bytes: float = 0.0
     breakdown: Dict[str, float] = field(default_factory=dict)
+    streaming: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.estimated_time_s < 0:

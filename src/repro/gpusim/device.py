@@ -64,6 +64,12 @@ class DeviceSpec:
         warp; the default of 16 is calibrated to that behaviour.
     kernel_launch_overhead_s:
         Fixed host-side cost per kernel launch.
+    pcie_bandwidth_bytes_per_s:
+        Effective host-to-device interconnect bandwidth (PCIe 3.0 x16 for the
+        Titan X: ~12 GB/s achievable of the 16 GB/s nominal).  Drives both the
+        one-time transfer charges and the per-chunk copy times of the
+        streamed out-of-core execution path; transfers issued on different
+        CUDA streams still serialise on this one link.
     """
 
     name: str
@@ -85,6 +91,7 @@ class DeviceSpec:
     atomic_ops_per_cycle: float = 64.0
     atomic_max_conflict_penalty: float = 16.0
     kernel_launch_overhead_s: float = 5e-6
+    pcie_bandwidth_bytes_per_s: float = 12e9
 
     # ------------------------------------------------------------------ #
     @property
@@ -139,6 +146,7 @@ class DeviceSpec:
             ("global_mem_bytes", self.global_mem_bytes),
             ("mem_bandwidth_gbps", self.mem_bandwidth_gbps),
             ("memory_transaction_bytes", self.memory_transaction_bytes),
+            ("pcie_bandwidth_bytes_per_s", self.pcie_bandwidth_bytes_per_s),
         ]
         for name, value in positive_fields:
             if value <= 0:

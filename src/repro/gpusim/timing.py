@@ -25,6 +25,7 @@ from typing import Dict, Optional, Tuple
 from repro.gpusim.counters import KernelCounters, KernelProfile
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.launch import LaunchConfig
+from repro.util.formatting import format_bytes
 
 __all__ = ["estimate_kernel_time", "OutOfDeviceMemory", "check_device_fit"]
 
@@ -42,8 +43,8 @@ class OutOfDeviceMemory(RuntimeError):
         self.required_bytes = float(required_bytes)
         self.available_bytes = float(available_bytes)
         msg = (
-            f"{what or 'kernel operands'} require {required_bytes / 1e9:.2f} GB "
-            f"but the device has {available_bytes / 1e9:.2f} GB"
+            f"{what or 'kernel operands'} require {format_bytes(required_bytes)} "
+            f"but the device has {format_bytes(available_bytes)}"
         )
         super().__init__(msg)
 
@@ -95,10 +96,9 @@ def estimate_kernel_time(
 
     transfer_time = 0.0
     if include_transfers:
-        pcie_bandwidth = 12e9  # PCIe 3.0 x16 effective
         transfer_time = (
             counters.host_to_device_bytes + counters.device_to_host_bytes
-        ) / pcie_bandwidth
+        ) / device.pcie_bandwidth_bytes_per_s
         total += transfer_time
 
     breakdown = {

@@ -18,10 +18,29 @@ All three kernels share the same skeleton:
 
 The kernels return numerically exact results (vectorised NumPy) together
 with a :class:`repro.gpusim.KernelProfile` describing the simulated cost.
+
+Tensors larger than device memory execute out-of-core
+(:mod:`repro.kernels.unified.streaming`): the non-zero stream is chunked on
+``threadlen``-aligned boundaries and pipelined through PCIe on multiple CUDA
+streams, overlapping each chunk's copy with the previous chunk's kernel.
 """
 
 from repro.kernels.unified.spttm import unified_spttm
 from repro.kernels.unified.spmttkrp import unified_spmttkrp
 from repro.kernels.unified.spttmc import unified_spttmc
+from repro.kernels.unified.streaming import (
+    ChunkLedger,
+    StreamedExecution,
+    choose_chunk_nnz,
+    execute_streamed,
+)
 
-__all__ = ["unified_spttm", "unified_spmttkrp", "unified_spttmc"]
+__all__ = [
+    "unified_spttm",
+    "unified_spmttkrp",
+    "unified_spttmc",
+    "ChunkLedger",
+    "StreamedExecution",
+    "choose_chunk_nnz",
+    "execute_streamed",
+]

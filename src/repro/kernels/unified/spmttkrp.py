@@ -10,11 +10,18 @@ Hadamard product scaled by the value, and a segmented scan over the F-COO
 bit-flags reduces the contributions of each output slice without atomic
 updates.  The implementation generalises to any order (the Hadamard product
 simply runs over all product modes) and any target mode.
+
+When the operands exceed device memory the kernel falls back to (or is
+forced onto, via ``streamed=True``) the out-of-core path of
+:mod:`repro.kernels.unified.streaming`: the non-zero stream is chunked on
+``threadlen``-aligned boundaries, chunks are pipelined through PCIe on
+``num_streams`` CUDA streams, and the per-chunk slice sums merge into the
+same output the one-shot kernel produces.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -29,10 +36,49 @@ from repro.kernels.unified._model import (
     unified_device_footprint,
     unified_kernel_counters,
 )
+from repro.kernels.unified.streaming import should_stream, streamed_unified_kernel
 from repro.tensor.sparse import SparseTensor
 from repro.util.validation import check_mode
 
-__all__ = ["unified_spmttkrp"]
+__all__ = ["unified_spmttkrp", "spmttkrp_footprint"]
+
+
+def spmttkrp_footprint(
+    fcoo: FCOOTensor,
+    rank: int,
+    *,
+    block_size: int = 128,
+    threadlen: int = 8,
+) -> Tuple[float, float]:
+    """One-shot device footprint of :func:`unified_spmttkrp`.
+
+    Returns ``(footprint_bytes, resident_bytes)`` where ``resident_bytes``
+    is the factor-matrix + output portion that stays on the device even on
+    the streamed path.  Shared with :class:`repro.algorithms.cp.UnifiedGPUEngine`
+    so the engine's transfer accounting uses the exact numbers the kernel's
+    streamed/one-shot decision uses.
+    """
+    shape = fcoo.shape
+    factor_bytes = sum(shape[m] * rank * 4.0 for m in fcoo.roles.product_modes)
+    output_bytes = shape[fcoo.mode] * rank * 4.0
+    launch = LaunchConfig.for_nnz(
+        max(fcoo.nnz, 1), rank, block_size=block_size, threadlen=threadlen
+    )
+    footprint = unified_device_footprint(fcoo, launch, factor_bytes, output_bytes)
+    return footprint, factor_bytes + output_bytes
+
+
+def _slice_sums(
+    fcoo: FCOOTensor, mats: Sequence[np.ndarray]
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Numeric core: per-slice Hadamard sums plus the factor row streams."""
+    partial = np.asarray(fcoo.values, dtype=np.float64)[:, None]
+    row_streams: List[np.ndarray] = []
+    for pos, mat in enumerate(mats):
+        rows = fcoo.product_mode_indices(pos).astype(np.int64)
+        row_streams.append(rows)
+        partial = partial * mat[rows, :]
+    return segment_reduce(partial, fcoo.segment_ids, fcoo.num_segments), row_streams
 
 
 def unified_spmttkrp(
@@ -44,8 +90,11 @@ def unified_spmttkrp(
     block_size: int = 128,
     threadlen: int = 8,
     fused: bool = True,
+    streamed: Optional[bool] = None,
+    num_streams: int = 2,
+    chunk_nnz: Optional[int] = None,
 ) -> MTTKRPResult:
-    """Compute MTTKRP with the unified one-shot F-COO algorithm.
+    """Compute MTTKRP with the unified F-COO algorithm.
 
     Parameters
     ----------
@@ -60,11 +109,16 @@ def unified_spmttkrp(
         Output mode (0-based).
     device, block_size, threadlen, fused:
         As in :func:`repro.kernels.unified.spttm.unified_spttm`.
+    streamed, num_streams, chunk_nnz:
+        Out-of-core controls, as in
+        :func:`repro.kernels.unified.spttm.unified_spttm`.
 
     Returns
     -------
     MTTKRPResult
-        The dense ``(I_mode, R)`` result and the simulated kernel profile.
+        The dense ``(I_mode, R)`` result and the simulated kernel profile
+        (``profile.streaming`` holds the per-chunk ledger on the streamed
+        path).
     """
     if isinstance(tensor, FCOOTensor):
         fcoo = tensor
@@ -97,18 +151,42 @@ def unified_spmttkrp(
     launch = LaunchConfig.for_nnz(
         max(fcoo.nnz, 1), rank, block_size=block_size, threadlen=threadlen
     )
+    # Hadamard across P product modes costs P multiplies per column plus the
+    # segmented add: charge 2 + (P - 1) FLOPs per non-zero per column.
+    flops_per_col = 2.0 + (len(product_modes) - 1)
+    footprint, resident_bytes = spmttkrp_footprint(
+        fcoo, rank, block_size=block_size, threadlen=threadlen
+    )
 
-    row_streams = []
+    if should_stream(fcoo, footprint, device, streamed):
+        # -------------------------------------------------------------- #
+        # Out-of-core path: the same numeric core runs chunk-by-chunk and
+        # the per-chunk slice sums merge by global segment id.
+        # -------------------------------------------------------------- #
+        slice_sums, profile = streamed_unified_kernel(
+            fcoo,
+            lambda chunk: _slice_sums(chunk, mats),
+            rank=rank,
+            output_width=rank,
+            flops_per_nnz_per_column=flops_per_col,
+            block_size=block_size,
+            threadlen=threadlen,
+            fused=fused,
+            device=device,
+            num_streams=num_streams,
+            chunk_nnz=chunk_nnz,
+            resident_bytes=resident_bytes,
+            name=f"unified-spmttkrp-mode{fcoo.mode}",
+        )
+        np.add.at(output, fcoo.segment_index_coords[:, 0], slice_sums)
+        return MTTKRPResult(output=output, profile=profile)
+
+    row_streams: List[np.ndarray] = []
     if fcoo.nnz:
         # ------------------------------------------------------------------ #
         # Numerical result.
         # ------------------------------------------------------------------ #
-        partial = np.asarray(fcoo.values, dtype=np.float64)[:, None]
-        for pos, mat in enumerate(mats):
-            rows = fcoo.product_mode_indices(pos).astype(np.int64)
-            row_streams.append(rows)
-            partial = partial * mat[rows, :]
-        slice_sums = segment_reduce(partial, fcoo.segment_ids, fcoo.num_segments)
+        slice_sums, row_streams = _slice_sums(fcoo, mats)
         # Scatter the per-slice sums to the output rows (the segment table
         # stores the index-mode coordinate of each slice).
         out_rows = fcoo.segment_index_coords[:, 0]
@@ -117,9 +195,6 @@ def unified_spmttkrp(
     # ------------------------------------------------------------------ #
     # Simulated cost.
     # ------------------------------------------------------------------ #
-    # Hadamard across P product modes costs P multiplies per column plus the
-    # segmented add: charge 2 + (P - 1) FLOPs per non-zero per column.
-    flops_per_col = 2.0 + (len(product_modes) - 1)
     counters = unified_kernel_counters(
         fcoo,
         row_streams,
@@ -131,9 +206,6 @@ def unified_spmttkrp(
         flops_per_nnz_per_column=flops_per_col,
         fused=fused,
     )
-    factor_bytes = sum(shape[m] * rank * 4.0 for m in product_modes)
-    output_bytes = shape[fcoo.mode] * rank * 4.0
-    footprint = unified_device_footprint(fcoo, launch, factor_bytes, output_bytes)
     profile = profile_from_counters(
         f"unified-spmttkrp-mode{fcoo.mode}",
         counters,

@@ -13,6 +13,12 @@ Algorithm (paper Section IV-D, Figure 4):
 * a segmented scan over the bit-flags reduces the partial fibers, and the
   per-fiber results are written out coalesced;
 * everything runs in one fused kernel launch — no intermediate data.
+
+Tensors whose F-COO footprint exceeds device memory execute out-of-core via
+:mod:`repro.kernels.unified.streaming` (automatically, or on request with
+``streamed=True``): the non-zero stream is chunked on ``threadlen``-aligned
+boundaries, the per-chunk fiber partials merge by global segment id, and the
+cost model overlaps each chunk's PCIe copy with the previous chunk's kernel.
 """
 
 from __future__ import annotations
@@ -33,10 +39,18 @@ from repro.kernels.unified._model import (
     unified_device_footprint,
     unified_kernel_counters,
 )
+from repro.kernels.unified.streaming import should_stream, streamed_unified_kernel
 from repro.tensor.sparse import SparseTensor
 from repro.util.validation import check_mode
 
 __all__ = ["unified_spttm"]
+
+
+def _fiber_values(fcoo: FCOOTensor, matrix: np.ndarray):
+    """Numeric core: per-fiber sums of ``value * U[k, :]`` plus the row stream."""
+    product_idx = fcoo.product_mode_indices(0).astype(np.int64)
+    partial = np.asarray(fcoo.values, dtype=np.float64)[:, None] * matrix[product_idx, :]
+    return segment_reduce(partial, fcoo.segment_ids, fcoo.num_segments), product_idx
 
 
 def unified_spttm(
@@ -48,6 +62,9 @@ def unified_spttm(
     block_size: int = 128,
     threadlen: int = 8,
     fused: bool = True,
+    streamed: Optional[bool] = None,
+    num_streams: int = 2,
+    chunk_nnz: Optional[int] = None,
 ) -> SpTTMResult:
     """Compute SpTTM with the unified F-COO algorithm on the simulated GPU.
 
@@ -69,11 +86,26 @@ def unified_spttm(
         Keep the product/scan/accumulate stages in one kernel (the unified
         default); ``False`` models the unfused variant for the ablation
         benchmark.
+    streamed:
+        ``None`` (default) auto-selects: one-shot when the operands fit in
+        device memory, out-of-core streaming otherwise.  ``True`` forces
+        streaming, ``False`` forces one-shot (raising
+        :class:`~repro.gpusim.timing.OutOfDeviceMemory` when it does not
+        fit).  An empty tensor always takes the one-shot path.
+    num_streams:
+        CUDA streams (in-flight chunk buffers) for the streamed path; 1
+        disables the transfer/compute overlap.
+    chunk_nnz:
+        Non-zeros per streamed chunk (must be at least ``threadlen``;
+        rounded down to a ``threadlen`` multiple); ``None`` sizes chunks to
+        fill the device memory budget.
 
     Returns
     -------
     SpTTMResult
-        The semi-sparse result and the simulated kernel profile.
+        The semi-sparse result and the simulated kernel profile
+        (``profile.streaming`` holds the per-chunk ledger on the streamed
+        path).
     """
     if isinstance(tensor, FCOOTensor):
         fcoo = tensor
@@ -112,40 +144,63 @@ def unified_spttm(
         )
         return SpTTMResult(output=output, profile=profile)
 
-    product_idx = fcoo.product_mode_indices(0).astype(np.int64)
-    partial = np.asarray(fcoo.values, dtype=np.float64)[:, None] * matrix[product_idx, :]
-    fiber_values = segment_reduce(partial, fcoo.segment_ids, fcoo.num_segments)
+    launch = LaunchConfig.for_nnz(fcoo.nnz, rank, block_size=block_size, threadlen=threadlen)
+    factor_bytes = matrix.shape[0] * rank * 4.0
+    output_bytes = fcoo.num_segments * rank * 4.0 + fcoo.num_segments * (fcoo.order - 1) * 4.0
+    footprint = unified_device_footprint(fcoo, launch, factor_bytes, output_bytes)
+
+    if should_stream(fcoo, footprint, device, streamed):
+        # -------------------------------------------------------------- #
+        # Out-of-core path: each chunk produces partial fiber sums for its
+        # local segments; boundary-straddling fibers merge by segment id.
+        # -------------------------------------------------------------- #
+        def numeric_core(chunk: FCOOTensor):
+            sums, product_idx = _fiber_values(chunk, matrix)
+            return sums, [product_idx]
+
+        fiber_values, profile = streamed_unified_kernel(
+            fcoo,
+            numeric_core,
+            rank=rank,
+            output_width=rank,
+            flops_per_nnz_per_column=2.0,
+            block_size=block_size,
+            threadlen=threadlen,
+            fused=fused,
+            device=device,
+            num_streams=num_streams,
+            chunk_nnz=chunk_nnz,
+            resident_bytes=factor_bytes + output_bytes,
+            name=f"unified-spttm-mode{fcoo.mode}",
+        )
+    else:
+        fiber_values, product_idx = _fiber_values(fcoo, matrix)
+        # ------------------------------------------------------------------ #
+        # Simulated cost.
+        # ------------------------------------------------------------------ #
+        counters = unified_kernel_counters(
+            fcoo,
+            [product_idx],
+            rank,
+            output_rows=fcoo.num_segments,
+            output_width=rank,
+            launch=launch,
+            device=device,
+            flops_per_nnz_per_column=2.0,
+            fused=fused,
+        )
+        profile = profile_from_counters(
+            f"unified-spttm-mode{fcoo.mode}",
+            counters,
+            launch,
+            device,
+            device_memory_bytes=footprint,
+        )
 
     output = SemiSparseTensor(
         shape=tuple(out_shape),
         dense_mode=fcoo.mode,
         fiber_coords=fcoo.segment_index_coords,
         fiber_values=fiber_values,
-    )
-
-    # ------------------------------------------------------------------ #
-    # Simulated cost.
-    # ------------------------------------------------------------------ #
-    launch = LaunchConfig.for_nnz(fcoo.nnz, rank, block_size=block_size, threadlen=threadlen)
-    counters = unified_kernel_counters(
-        fcoo,
-        [product_idx],
-        rank,
-        output_rows=fcoo.num_segments,
-        output_width=rank,
-        launch=launch,
-        device=device,
-        flops_per_nnz_per_column=2.0,
-        fused=fused,
-    )
-    factor_bytes = matrix.shape[0] * rank * 4.0
-    output_bytes = fcoo.num_segments * rank * 4.0 + fcoo.num_segments * (fcoo.order - 1) * 4.0
-    footprint = unified_device_footprint(fcoo, launch, factor_bytes, output_bytes)
-    profile = profile_from_counters(
-        f"unified-spttm-mode{fcoo.mode}",
-        counters,
-        launch,
-        device,
-        device_memory_bytes=footprint,
     )
     return SpTTMResult(output=output, profile=profile)

@@ -17,7 +17,7 @@ claims.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -32,10 +32,29 @@ from repro.kernels.unified._model import (
     unified_device_footprint,
     unified_kernel_counters,
 )
+from repro.kernels.unified.streaming import should_stream, streamed_unified_kernel
 from repro.tensor.sparse import SparseTensor
 from repro.util.validation import check_mode
 
 __all__ = ["unified_spttmc"]
+
+
+def _kron_slice_sums(
+    fcoo: FCOOTensor, mats: Sequence[np.ndarray]
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Numeric core: per-slice sums of the per-non-zero Kronecker products.
+
+    Built from the last product mode outward so earlier modes vary fastest
+    (matching the Kolda unfolding convention of the oracles).
+    """
+    partial = np.asarray(fcoo.values, dtype=np.float64)[:, None]
+    row_streams: List[np.ndarray] = [np.empty(0)] * len(mats)
+    for pos in range(len(mats) - 1, -1, -1):
+        rows_idx = fcoo.product_mode_indices(pos).astype(np.int64)
+        row_streams[pos] = rows_idx
+        rows = mats[pos][rows_idx, :]
+        partial = (partial[:, :, None] * rows[:, None, :]).reshape(fcoo.nnz, -1)
+    return segment_reduce(partial, fcoo.segment_ids, fcoo.num_segments), row_streams
 
 
 def unified_spttmc(
@@ -47,6 +66,9 @@ def unified_spttmc(
     block_size: int = 128,
     threadlen: int = 8,
     fused: bool = True,
+    streamed: Optional[bool] = None,
+    num_streams: int = 2,
+    chunk_nnz: Optional[int] = None,
 ) -> TTMcResult:
     """Compute TTMc with the unified F-COO algorithm on the simulated GPU.
 
@@ -60,11 +82,16 @@ def unified_spttmc(
         ``m`` has shape ``(I_m, R_m)`` and the ranks may differ per mode.
     mode:
         Target mode whose unfolding is produced.
+    streamed, num_streams, chunk_nnz:
+        Out-of-core controls, as in
+        :func:`repro.kernels.unified.spttm.unified_spttm`.
 
     Returns
     -------
     TTMcResult
-        The ``(I_mode, Π_{m != mode} R_m)`` unfolded result and the profile.
+        The ``(I_mode, Π_{m != mode} R_m)`` unfolded result and the profile
+        (``profile.streaming`` holds the per-chunk ledger on the streamed
+        path).
     """
     if isinstance(tensor, FCOOTensor):
         fcoo = tensor
@@ -94,22 +121,39 @@ def unified_spttmc(
     launch = LaunchConfig.for_nnz(
         max(fcoo.nnz, 1), max(ranks), block_size=block_size, threadlen=threadlen
     )
+    factor_bytes = sum(shape[m] * r * 4.0 for m, r in zip(product_modes, ranks))
+    output_bytes = shape[fcoo.mode] * out_width * 4.0
+    footprint = unified_device_footprint(fcoo, launch, factor_bytes, output_bytes)
 
-    row_streams = []
+    if should_stream(fcoo, footprint, device, streamed):
+        # -------------------------------------------------------------- #
+        # Out-of-core path: the Kronecker core runs chunk-by-chunk and the
+        # per-chunk slice sums merge by global segment id.
+        # -------------------------------------------------------------- #
+        slice_sums, profile = streamed_unified_kernel(
+            fcoo,
+            lambda chunk: _kron_slice_sums(chunk, mats),
+            rank=max(ranks),
+            output_width=out_width,
+            flops_per_nnz_per_column=3.0,
+            block_size=block_size,
+            threadlen=threadlen,
+            fused=fused,
+            device=device,
+            num_streams=num_streams,
+            chunk_nnz=chunk_nnz,
+            resident_bytes=factor_bytes + output_bytes,
+            name=f"unified-spttmc-mode{fcoo.mode}",
+        )
+        np.add.at(output, fcoo.segment_index_coords[:, 0], slice_sums)
+        return TTMcResult(output=output, profile=profile)
+
+    row_streams: List[np.ndarray] = []
     if fcoo.nnz:
         # ------------------------------------------------------------------ #
-        # Numerical result: per-non-zero Kronecker of the selected rows,
-        # built from the last product mode outward so earlier modes vary
-        # fastest (matching the Kolda unfolding convention of the oracles).
+        # Numerical result: per-non-zero Kronecker of the selected rows.
         # ------------------------------------------------------------------ #
-        partial = np.asarray(fcoo.values, dtype=np.float64)[:, None]
-        for pos in range(len(mats) - 1, -1, -1):
-            rows_idx = fcoo.product_mode_indices(pos).astype(np.int64)
-            rows = mats[pos][rows_idx, :]
-            partial = (partial[:, :, None] * rows[:, None, :]).reshape(fcoo.nnz, -1)
-        for pos in range(len(mats)):
-            row_streams.append(fcoo.product_mode_indices(pos).astype(np.int64))
-        slice_sums = segment_reduce(partial, fcoo.segment_ids, fcoo.num_segments)
+        slice_sums, row_streams = _kron_slice_sums(fcoo, mats)
         out_rows = fcoo.segment_index_coords[:, 0]
         np.add.at(output, out_rows, slice_sums)
 
@@ -128,9 +172,6 @@ def unified_spttmc(
         flops_per_nnz_per_column=3.0,
         fused=fused,
     )
-    factor_bytes = sum(shape[m] * r * 4.0 for m, r in zip(product_modes, ranks))
-    output_bytes = shape[fcoo.mode] * out_width * 4.0
-    footprint = unified_device_footprint(fcoo, launch, factor_bytes, output_bytes)
     profile = profile_from_counters(
         f"unified-spttmc-mode{fcoo.mode}",
         counters,

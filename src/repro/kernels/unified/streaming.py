@@ -1,0 +1,406 @@
+"""Out-of-core streamed execution of the unified kernels.
+
+The one-shot unified kernels assume the whole F-COO encoding is resident in
+device memory; when it is not, the paper partitions the non-zero stream,
+double-buffers the partitions through PCIe on multiple CUDA streams, and
+overlaps each partition's copy with the previous partition's kernel
+(Section IV-D).  This module is the shared driver for that path:
+
+* :func:`choose_chunk_nnz` sizes the partitions so that ``num_streams``
+  in-flight chunk buffers plus the resident operands (factor matrices and
+  the output) fit in device memory;
+* :func:`execute_streamed` runs a kernel-specific per-chunk callable over
+  the :meth:`~repro.formats.fcoo.FCOOTensor.chunk` partitioning, merges the
+  per-chunk per-segment partial sums (cross-chunk segments merge by the
+  global-segment-id mapping), resolves the transfer/compute pipeline with
+  :func:`repro.gpusim.streams.schedule_chunks`, and assembles a
+  :class:`~repro.gpusim.counters.KernelProfile` whose estimated time charges
+  ``max(transfer, compute)`` per pipelined chunk instead of their sum.
+
+The numeric outputs are identical (up to floating-point summation order) to
+the one-shot kernels — ``tests/test_streaming.py`` is the property harness
+proving it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.formats.fcoo import FCOOTensor
+from repro.gpusim.counters import KernelCounters, KernelProfile
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.streams import ChunkTiming, StreamSchedule, schedule_chunks
+from repro.gpusim.timing import OutOfDeviceMemory, estimate_kernel_time
+from repro.kernels.unified._model import unified_kernel_counters
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "ChunkLedger",
+    "StreamedExecution",
+    "choose_chunk_nnz",
+    "execute_streamed",
+    "should_stream",
+    "streamed_unified_kernel",
+]
+
+#: A per-chunk kernel: maps the chunk's own F-COO encoding to its local
+#: per-segment partial sums ``(chunk.num_segments, width)``, the work ledger
+#: of executing it, and the launch it would be issued with.
+ChunkKernel = Callable[[FCOOTensor], Tuple[np.ndarray, KernelCounters, LaunchConfig]]
+
+#: A kernel's numeric core: maps an F-COO encoding (the whole tensor or one
+#: chunk) to its per-segment partial sums and the factor row-index streams.
+NumericCore = Callable[[FCOOTensor], Tuple[np.ndarray, Sequence[np.ndarray]]]
+
+
+def should_stream(
+    fcoo: FCOOTensor,
+    footprint: float,
+    device: DeviceSpec,
+    streamed: Optional[bool],
+) -> bool:
+    """The streamed/one-shot decision, shared by the kernels and CP engine.
+
+    ``streamed=None`` auto-selects by comparing the one-shot device
+    footprint against capacity; an explicit ``True``/``False`` wins.  An
+    empty tensor always takes the one-shot path (there is nothing to
+    stream).
+    """
+    if fcoo.nnz == 0:
+        return False
+    if streamed is not None:
+        return bool(streamed)
+    return footprint > device.global_mem_bytes
+
+
+@dataclass(frozen=True)
+class ChunkLedger:
+    """Counter ledger of one streamed chunk.
+
+    Attributes
+    ----------
+    index / start / stop:
+        Position of the chunk in the non-zero stream.
+    nnz / num_segments / carries_in:
+        Chunk statistics (``carries_in`` marks a segment straddling the
+        boundary with the previous chunk).
+    transfer_bytes:
+        Host-to-device bytes for the chunk's F-COO arrays.
+    transfer_s / compute_s:
+        Unoverlapped copy and kernel times of the chunk.
+    counters:
+        The chunk kernel's work ledger (PCIe traffic included).
+    """
+
+    index: int
+    start: int
+    stop: int
+    nnz: int
+    num_segments: int
+    carries_in: bool
+    transfer_bytes: float
+    transfer_s: float
+    compute_s: float
+    counters: KernelCounters
+
+
+@dataclass
+class StreamedExecution:
+    """Full ledger of one out-of-core kernel execution.
+
+    Attributes
+    ----------
+    num_streams / chunk_nnz / threadlen:
+        The streaming configuration actually used.
+    chunks:
+        One :class:`ChunkLedger` per executed chunk, in stream order.
+    schedule:
+        The resolved transfer/compute pipeline.
+    """
+
+    num_streams: int
+    chunk_nnz: int
+    threadlen: int
+    chunks: List[ChunkLedger]
+    schedule: StreamSchedule
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_chunks(self) -> int:
+        """Number of chunks the non-zero stream was split into."""
+        return len(self.chunks)
+
+    @property
+    def total_time_s(self) -> float:
+        """Pipelined makespan (what the kernel profile reports)."""
+        return self.schedule.total_time_s
+
+    @property
+    def transfer_time_s(self) -> float:
+        """Total unoverlapped transfer seconds."""
+        return self.schedule.transfer_time_s
+
+    @property
+    def compute_time_s(self) -> float:
+        """Total unoverlapped compute seconds."""
+        return self.schedule.compute_time_s
+
+    @property
+    def transfer_bytes(self) -> float:
+        """Total host-to-device bytes streamed."""
+        return sum(c.transfer_bytes for c in self.chunks)
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """Fraction of the ideal overlap saving achieved (0..1)."""
+        return self.schedule.overlap_efficiency
+
+
+def choose_chunk_nnz(
+    fcoo: FCOOTensor,
+    *,
+    device: DeviceSpec,
+    threadlen: int,
+    num_streams: int,
+    resident_bytes: float,
+) -> int:
+    """Largest threadlen-aligned chunk size whose buffers fit on the device.
+
+    ``num_streams`` chunk buffers must be resident simultaneously next to
+    the ``resident_bytes`` of factor matrices and output.  Raises
+    :class:`OutOfDeviceMemory` when even a single minimal (one
+    ``threadlen``-partition) chunk per stream does not fit — streaming
+    cannot help when the *dense* operands alone exceed the device.
+    """
+    threadlen = check_positive_int(threadlen, "threadlen")
+    num_streams = check_positive_int(num_streams, "num_streams")
+    if fcoo.nnz == 0:
+        # Nothing to stream; any size yields zero chunks.
+        return threadlen
+    budget = float(device.global_mem_bytes) - float(resident_bytes)
+    bytes_per_nnz = fcoo.storage_bytes(threadlen) / fcoo.nnz
+    min_chunk_bytes = threadlen * bytes_per_nnz
+    if budget < num_streams * min_chunk_bytes:
+        raise OutOfDeviceMemory(
+            resident_bytes + num_streams * min_chunk_bytes,
+            device.global_mem_bytes,
+            what="streamed chunk buffers and resident operands",
+        )
+    chunk_nnz = int(budget / (num_streams * bytes_per_nnz))
+    chunk_nnz = (chunk_nnz // threadlen) * threadlen
+    # Never larger than the (aligned-up) stream itself, never below one
+    # thread partition.
+    aligned_nnz = -(-max(fcoo.nnz, 1) // threadlen) * threadlen
+    return max(threadlen, min(chunk_nnz, aligned_nnz))
+
+
+def execute_streamed(
+    fcoo: FCOOTensor,
+    chunk_kernel: ChunkKernel,
+    *,
+    device: DeviceSpec,
+    threadlen: int,
+    num_streams: int = 2,
+    chunk_nnz: Optional[int] = None,
+    resident_bytes: float = 0.0,
+    name: str = "unified-streamed",
+    output_width: Optional[int] = None,
+) -> Tuple[np.ndarray, KernelProfile]:
+    """Run a unified kernel chunk-by-chunk and merge the per-segment sums.
+
+    Parameters
+    ----------
+    fcoo:
+        The full (host-resident) F-COO encoding.
+    chunk_kernel:
+        Kernel-specific callable; see :data:`ChunkKernel`.
+    device / threadlen / num_streams / chunk_nnz:
+        Streaming configuration.  ``chunk_nnz=None`` sizes chunks
+        automatically with :func:`choose_chunk_nnz`; an explicit value must
+        be at least ``threadlen`` and is rounded down to a ``threadlen``
+        multiple.
+    resident_bytes:
+        Device bytes held for the whole execution (factors + output).
+    name:
+        Profile name; ``-streamed`` is appended.
+    output_width:
+        Column count of the per-segment sums; normally inferred from the
+        first chunk's result, only needed to shape the output when the
+        non-zero stream is empty (defaults to 1 then).
+
+    Returns
+    -------
+    (segment_sums, profile)
+        ``segment_sums`` has shape ``(fcoo.num_segments, width)`` with the
+        merged per-segment reductions (cross-chunk partial segments summed);
+        ``profile.streaming`` carries the :class:`StreamedExecution` ledger.
+    """
+    num_streams = check_positive_int(num_streams, "num_streams")
+    if chunk_nnz is None:
+        chunk_nnz = choose_chunk_nnz(
+            fcoo,
+            device=device,
+            threadlen=threadlen,
+            num_streams=num_streams,
+            resident_bytes=resident_bytes,
+        )
+    else:
+        chunk_nnz = check_positive_int(chunk_nnz, "chunk_nnz")
+        if chunk_nnz < threadlen:
+            raise ValueError(
+                f"chunk_nnz ({chunk_nnz}) must be at least threadlen ({threadlen}): "
+                "a chunk cannot be smaller than one thread partition"
+            )
+        chunk_nnz = (chunk_nnz // threadlen) * threadlen
+
+    chunks = fcoo.chunk(chunk_nnz, threadlen=threadlen)
+
+    # Validate the device budget up front (the chunk byte sizes are pure
+    # arithmetic) so an explicit over-sized chunk_nnz fails before any chunk
+    # work is done rather than after the whole stream has executed.
+    chunk_bytes = [float(c.tensor.storage_bytes(threadlen)) for c in chunks]
+    peak_chunk_bytes = max(chunk_bytes, default=0.0)
+    footprint = resident_bytes + num_streams * peak_chunk_bytes
+    if footprint > device.global_mem_bytes:
+        raise OutOfDeviceMemory(footprint, device.global_mem_bytes, what=name)
+
+    ledgers: List[ChunkLedger] = []
+    timings: List[ChunkTiming] = []
+    merged = KernelCounters()
+    segment_sums: Optional[np.ndarray] = None
+
+    for i, chunk in enumerate(chunks):
+        local_sums, counters, launch = chunk_kernel(chunk.tensor)
+        local_sums = np.asarray(local_sums, dtype=np.float64)
+        if local_sums.ndim == 1:
+            # Width-1 results arrive as (num_segments,); make the segment
+            # axis explicit so the merge below indexes rows, not columns.
+            local_sums = local_sums[:, None]
+        elif local_sums.ndim != 2:
+            raise ValueError(
+                f"chunk_kernel must return (num_segments,) or (num_segments, width) "
+                f"sums, got shape {local_sums.shape}"
+            )
+        if local_sums.shape[0] != chunk.num_segments:
+            raise ValueError(
+                f"chunk_kernel returned {local_sums.shape[0]} segment rows for a "
+                f"chunk with {chunk.num_segments} segments"
+            )
+        if segment_sums is None:
+            segment_sums = np.zeros(
+                (fcoo.num_segments, local_sums.shape[1]), dtype=np.float64
+            )
+        segment_sums[
+            chunk.segment_offset : chunk.segment_offset + chunk.num_segments
+        ] += local_sums
+
+        transfer_bytes = chunk_bytes[i]
+        counters.host_to_device_bytes += transfer_bytes
+        compute_s, _ = estimate_kernel_time(
+            counters, launch, device, include_transfers=False
+        )
+        transfer_s = transfer_bytes / device.pcie_bandwidth_bytes_per_s
+        ledgers.append(
+            ChunkLedger(
+                index=i,
+                start=chunk.start,
+                stop=chunk.stop,
+                nnz=chunk.nnz,
+                num_segments=chunk.num_segments,
+                carries_in=chunk.carries_in,
+                transfer_bytes=transfer_bytes,
+                transfer_s=transfer_s,
+                compute_s=compute_s,
+                counters=counters,
+            )
+        )
+        timings.append(ChunkTiming(transfer_s=transfer_s, compute_s=compute_s))
+        merged = merged.merge(counters)
+
+    if segment_sums is None:
+        segment_sums = np.zeros(
+            (fcoo.num_segments, output_width if output_width else 1), dtype=np.float64
+        )
+
+    schedule = schedule_chunks(timings, num_streams)
+    execution = StreamedExecution(
+        num_streams=num_streams,
+        chunk_nnz=chunk_nnz,
+        threadlen=threadlen,
+        chunks=ledgers,
+        schedule=schedule,
+    )
+    profile = KernelProfile(
+        name=f"{name}-streamed",
+        counters=merged,
+        estimated_time_s=schedule.total_time_s,
+        device_memory_bytes=footprint,
+        breakdown={
+            "compute": schedule.compute_time_s,
+            "transfer": schedule.transfer_time_s,
+            "overlap_saved": schedule.overlap_saved_s,
+            "chunks": float(len(ledgers)),
+        },
+        streaming=execution,
+    )
+    return segment_sums, profile
+
+
+def streamed_unified_kernel(
+    fcoo: FCOOTensor,
+    numeric_core: NumericCore,
+    *,
+    rank: int,
+    output_width: int,
+    flops_per_nnz_per_column: float,
+    block_size: int,
+    threadlen: int,
+    fused: bool,
+    device: DeviceSpec,
+    num_streams: int,
+    chunk_nnz: Optional[int],
+    resident_bytes: float,
+    name: str,
+) -> Tuple[np.ndarray, KernelProfile]:
+    """Streamed execution of a unified kernel given its numeric core.
+
+    All three unified kernels share the same per-chunk shape — run the
+    numeric core, build the launch, assemble the counter ledger — and differ
+    only in the core itself, the gathered rank, the output width and the
+    per-column FLOP charge.  This wrapper owns the shared part so the
+    kernels stay single-sourced.
+    """
+
+    def chunk_kernel(chunk: FCOOTensor):
+        sums, row_streams = numeric_core(chunk)
+        chunk_launch = LaunchConfig.for_nnz(
+            chunk.nnz, rank, block_size=block_size, threadlen=threadlen
+        )
+        counters = unified_kernel_counters(
+            chunk,
+            row_streams,
+            rank,
+            output_rows=chunk.num_segments,
+            output_width=output_width,
+            launch=chunk_launch,
+            device=device,
+            flops_per_nnz_per_column=flops_per_nnz_per_column,
+            fused=fused,
+        )
+        return sums, counters, chunk_launch
+
+    return execute_streamed(
+        fcoo,
+        chunk_kernel,
+        device=device,
+        threadlen=threadlen,
+        num_streams=num_streams,
+        chunk_nnz=chunk_nnz,
+        resident_bytes=resident_bytes,
+        name=name,
+        output_width=output_width,
+    )

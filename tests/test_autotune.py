@@ -56,6 +56,108 @@ class TestTuner:
         assert "BLOCK_SIZE" in text
         assert "128" in text
 
-    def test_unsupported_operation(self, tensor):
+    def test_unknown_operation_rejected(self, tensor):
         with pytest.raises(ValueError):
-            tune_unified(tensor, "spttmc", 0, rank=4)
+            tune_unified(tensor, "spfoo", 0, rank=4)
+
+    def test_empty_streaming_axes_rejected(self, tensor):
+        with pytest.raises(ValueError):
+            tune_unified(tensor, "spttm", 2, rank=4, num_streams=())
+        with pytest.raises(ValueError):
+            tune_unified(tensor, "spttm", 2, rank=4, chunk_sizes=())
+
+
+class TestSpTTMcTuning:
+    def test_spttmc_surface_shape(self, tensor):
+        result = tune_unified(
+            tensor,
+            OperationKind.SPTTMC,
+            0,
+            rank=3,
+            block_sizes=(64, 128),
+            threadlens=(8, 16, 32),
+        )
+        assert result.operation is OperationKind.SPTTMC
+        assert result.times.shape == (2, 3)
+        assert result.times_full.shape == (2, 3, 1, 1)
+        assert (result.times > 0).all()
+
+    def test_spttmc_best_is_minimum(self, tensor):
+        result = tune_unified(
+            tensor, "spttmc", 0, rank=3, block_sizes=(64, 256), threadlens=(8, 64)
+        )
+        assert result.best_time == result.times_full.min()
+        best_bs, best_tl = result.best
+        assert best_bs in result.block_sizes
+        assert best_tl in result.threadlens
+
+
+class TestStreamingAxes:
+    def test_full_surface_shape(self, tensor):
+        result = tune_unified(
+            tensor,
+            "spmttkrp",
+            0,
+            rank=4,
+            block_sizes=(64, 128),
+            threadlens=(8, 16),
+            num_streams=(1, 2, 4),
+            chunk_sizes=(None, 2048),
+            streamed=True,
+        )
+        assert result.times_full.shape == (2, 2, 3, 2)
+        assert result.times.shape == (2, 2)
+        assert (result.times_full > 0).all()
+
+    def test_best_config_covers_streaming_axes(self, tensor):
+        result = tune_unified(
+            tensor,
+            "spmttkrp",
+            0,
+            rank=4,
+            block_sizes=(128,),
+            threadlens=(8,),
+            num_streams=(1, 2),
+            chunk_sizes=(2048,),
+            streamed=True,
+        )
+        bs, tl, ns, cn = result.best_config
+        assert (bs, tl, cn) == (128, 8, 2048)
+        # Overlapping transfers with compute can only help.
+        assert ns == 2
+        assert result.times_full[0, 0, 1, 0] <= result.times_full[0, 0, 0, 0]
+
+    def test_infeasible_streaming_cell_recorded_as_inf(self, tensor):
+        from repro.gpusim.device import TITAN_X, scaled_device
+
+        tiny = scaled_device(TITAN_X, 5e-7, name_suffix="tiny")
+        result = tune_unified(
+            tensor,
+            "spmttkrp",
+            0,
+            rank=4,
+            device=tiny,
+            block_sizes=(128,),
+            threadlens=(8,),
+            num_streams=(2, 10_000),
+            chunk_sizes=(None,),
+        )
+        # The feasible configuration survives; the absurd one is inf, and
+        # best picks the feasible cell instead of the sweep aborting.
+        assert np.isfinite(result.times_full[0, 0, 0, 0])
+        assert np.isinf(result.times_full[0, 0, 1, 0])
+        assert result.best_config[2] == 2
+
+    def test_streamed_surface_reported_in_render(self, tensor):
+        result = tune_unified(
+            tensor,
+            "spttm",
+            2,
+            rank=4,
+            block_sizes=(128,),
+            threadlens=(8,),
+            num_streams=(1, 2),
+            chunk_sizes=(None,),
+            streamed=True,
+        )
+        assert "num_streams" in result.render()

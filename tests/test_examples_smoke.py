@@ -1,0 +1,44 @@
+"""Smoke tests: every script in ``examples/`` must run end to end.
+
+Each example is executed via :mod:`runpy` exactly as ``python examples/x.py``
+would, so the quickstart paths shown to users cannot silently rot.  The
+examples already use their smallest (laptop-scale) parameters; the two that
+sweep full tuning grids or run multi-iteration decompositions are marked
+``slow`` (deselect with ``-m "not slow"``).
+"""
+
+from __future__ import annotations
+
+import os
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+#: Examples that take more than ~2 s (full tuning sweeps / HOOI iterations).
+SLOW = {"autotune_launch_parameters.py", "tucker_compression.py"}
+
+
+def example_params():
+    scripts = sorted(
+        name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+    )
+    assert scripts, f"no example scripts found in {EXAMPLES_DIR}"
+    return [
+        pytest.param(
+            name,
+            id=name,
+            marks=[pytest.mark.slow] if name in SLOW else [],
+        )
+        for name in scripts
+    ]
+
+
+@pytest.mark.parametrize("script", example_params())
+def test_example_runs(script, capsys):
+    runpy.run_path(os.path.join(EXAMPLES_DIR, script), run_name="__main__")
+    # Every example is expected to narrate what it did.
+    assert capsys.readouterr().out.strip()
