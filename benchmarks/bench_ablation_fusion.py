@@ -42,7 +42,10 @@ def test_ablation_kernel_fusion(benchmark):
     print(
         format_table(
             ["dataset", "fused (s)", "unfused (s)", "fusion speedup"],
-            [[r["dataset"], r["fused_s"], r["unfused_s"], f"{r['fusion_speedup']:.2f}x"] for r in rows],
+            [
+                [r["dataset"], r["fused_s"], r["unfused_s"], f"{r['fusion_speedup']:.2f}x"]
+                for r in rows
+            ],
             title="Ablation: kernel fusion for unified SpMTTKRP (rank=16)",
         )
     )

@@ -1,0 +1,57 @@
+"""Multi-GPU scaling of the sharded unified kernels.
+
+The paper runs on one Titan X; this extension benchmark shards the F-COO
+non-zero stream across a simulated multi-GPU node
+(:mod:`repro.kernels.unified.sharded`) and reports strong- and weak-scaling
+curves for all three unified kernels, checking the structural invariants:
+the single-GPU baseline is exact (speedup 1), strong-scaling efficiency
+stays in (0, 1] and decays monotonically with the device count, and the
+modeled reduction grows with the cluster size for the all-reduce kernels.
+"""
+
+import pytest
+
+from bench_common import run_once
+from repro.bench.scaling import run_scaling, run_weak_scaling
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_strong_scaling(benchmark):
+    result = run_once(benchmark, run_scaling, rank=16)
+    print()
+    print(result.render())
+
+    for op in ("spttm", "spmttkrp", "spttmc"):
+        for workload in ("brainq", "nell2"):
+            curve = result.rows_for(op, workload)
+            assert [r.num_devices for r in curve] == [1, 2, 4, 8], (op, workload)
+            baseline = curve[0]
+            assert baseline.speedup == pytest.approx(1.0)
+            assert baseline.efficiency == pytest.approx(1.0)
+            for row in curve[1:]:
+                # Parallel efficiency is a true fraction of linear scaling.
+                assert 0.0 < row.efficiency <= 1.0, (op, workload, row.num_devices)
+            # Efficiency can only decay as devices are added.
+            efficiencies = [r.efficiency for r in curve]
+            assert all(
+                later <= earlier + 1e-9
+                for earlier, later in zip(efficiencies, efficiencies[1:])
+            ), (op, workload, efficiencies)
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_weak_scaling(benchmark):
+    result = run_once(benchmark, run_weak_scaling, rank=16)
+    print()
+    print(result.render())
+
+    for op in ("spmttkrp", "spttmc"):
+        curve = result.rows_for(op)
+        # The all-reduce payload grows with the cluster, so the modeled
+        # reduction must grow too.
+        reductions = [r.reduction_s for r in curve]
+        assert all(b >= a for a, b in zip(reductions, reductions[1:])), (op, reductions)
+    for row in result.rows:
+        # T(1)/T(N) stays near or below 1 (tiny overshoot is duplicate-merge
+        # noise in the synthetic workload's realised nnz).
+        assert 0.0 < row.speedup <= 1.05, (row.operation, row.num_devices, row.speedup)

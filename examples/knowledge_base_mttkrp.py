@@ -50,7 +50,11 @@ def main() -> None:
 
     baseline = implementations["ParTI-omp (CPU, COO)"].estimated_time_s
     rows = [
-        [name, format_seconds(result.estimated_time_s), f"{baseline / result.estimated_time_s:.1f}x"]
+        [
+            name,
+            format_seconds(result.estimated_time_s),
+            f"{baseline / result.estimated_time_s:.1f}x",
+        ]
         for name, result in implementations.items()
     ]
     print(

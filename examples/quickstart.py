@@ -15,7 +15,6 @@ import numpy as np
 from repro import (
     FCOOTensor,
     OperationKind,
-    SparseTensor,
     random_factors,
     unified_spmttkrp,
     unified_spttm,

@@ -6,7 +6,8 @@ The package implements:
 * the F-COO storage format and the unified SpTTM / SpMTTKRP / SpTTMc GPU
   kernels built on it (:mod:`repro.formats`, :mod:`repro.kernels.unified`),
   including the out-of-core streamed execution path for tensors larger than
-  device memory (:mod:`repro.kernels.unified.streaming`);
+  device memory (:mod:`repro.kernels.unified.streaming`) and the multi-GPU
+  sharded execution path (:mod:`repro.kernels.unified.sharded`);
 * the substrates those kernels need — sparse tensor algebra
   (:mod:`repro.tensor`), a deterministic GPU execution/cost model
   (:mod:`repro.gpusim`), a multicore CPU model (:mod:`repro.cpusim`);
@@ -49,9 +50,17 @@ from repro.formats import (
     OperationKind,
     mode_roles,
 )
-from repro.gpusim import DeviceSpec, TITAN_X, LaunchConfig, OutOfDeviceMemory
+from repro.gpusim import (
+    ClusterSpec,
+    DeviceSpec,
+    InterconnectSpec,
+    TITAN_X,
+    LaunchConfig,
+    OutOfDeviceMemory,
+)
 from repro.cpusim import CpuSpec, CPU_I7_5820K
 from repro.kernels.unified import (
+    ShardedExecution,
     StreamedExecution,
     unified_spttm,
     unified_spmttkrp,
@@ -99,6 +108,8 @@ __all__ = [
     # devices
     "DeviceSpec",
     "TITAN_X",
+    "ClusterSpec",
+    "InterconnectSpec",
     "LaunchConfig",
     "OutOfDeviceMemory",
     "CpuSpec",
@@ -108,6 +119,7 @@ __all__ = [
     "unified_spmttkrp",
     "unified_spttmc",
     "StreamedExecution",
+    "ShardedExecution",
     "parti_gpu_spttm",
     "parti_gpu_spmttkrp",
     "parti_omp_spttm",

@@ -22,7 +22,7 @@ matching Figure 10's breakdown.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
@@ -33,9 +33,11 @@ from repro.cpusim.cpu import CPU_I7_5820K, CpuSpec
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.csf import CSFTensor
 from repro.formats.mode_encoding import OperationKind
+from repro.gpusim.cluster import ClusterSpec, resolve_cluster
 from repro.gpusim.device import DeviceSpec, TITAN_X
 from repro.kernels.baselines.splatt import splatt_csf_mode_order, splatt_mttkrp
 from repro.kernels.common import MTTKRPResult
+from repro.kernels.unified.sharded import ShardedTimeline
 from repro.kernels.unified.spmttkrp import spmttkrp_footprint, unified_spmttkrp
 from repro.kernels.unified.streaming import should_stream
 from repro.tensor.random import random_factors
@@ -83,6 +85,14 @@ class UnifiedGPUEngine:
         when a mode's F-COO encoding does not fit in device memory, so
         CP-ALS completes on over-capacity tensors instead of raising
         :class:`~repro.gpusim.timing.OutOfDeviceMemory`.
+    cluster / devices:
+        Multi-GPU controls forwarded to every MTTKRP: a
+        :class:`~repro.gpusim.cluster.ClusterSpec` (or a bare device count
+        building a homogeneous cluster of ``device``) shards every MTTKRP
+        across the cluster and all-reduces the partial factor updates.
+        The engine accumulates the per-device busy seconds of the whole
+        decomposition in :attr:`device_timelines` and its scaling
+        efficiency in :attr:`parallel_efficiency`.
     """
 
     device: DeviceSpec = TITAN_X
@@ -92,11 +102,17 @@ class UnifiedGPUEngine:
     streamed: Optional[bool] = None
     num_streams: int = 2
     chunk_nnz: Optional[int] = None
+    cluster: Optional[ClusterSpec] = None
+    devices: Optional[int] = None
     name: str = "unified-gpu"
 
     def __post_init__(self) -> None:
         self._encodings: Dict[int, FCOOTensor] = {}
         self._tensor: Optional[SparseTensor] = None
+        self.device, self._cluster = resolve_cluster(self.device, self.cluster, self.devices)
+        self._timeline = ShardedTimeline(
+            self._cluster.num_devices if self._cluster is not None else 1
+        )
 
     def prepare(self, tensor: SparseTensor, rank: int) -> float:
         """Encode F-COO for every mode on the host and transfer once to the GPU.
@@ -108,14 +124,23 @@ class UnifiedGPUEngine:
         chunk-by-chunk inside every MTTKRP and charges the PCIe time there.
         """
         self._tensor = tensor
+        # A fresh decomposition starts a fresh timeline: an engine reused
+        # across cp_als() calls must not leak the previous run's MTTKRPs
+        # into the next CPResult's per-device report.
+        self._timeline = ShardedTimeline(self._timeline.num_devices)
         self._encodings = {
             mode: FCOOTensor.from_sparse(tensor, OperationKind.SPMTTKRP, mode)
             for mode in range(tensor.order)
         }
         transfer_bytes = sum(tensor.shape[m] * rank * 4.0 for m in range(tensor.order))
+        # In cluster mode every device stages its own shard over its own
+        # PCIe link simultaneously, so an encoding's staging cost is the
+        # largest shard (~1/N of the stream); the factor matrices go to
+        # every device in parallel and are charged once.
+        shard_divisor = self._cluster.num_devices if self._cluster is not None else 1
         for mode, enc in self._encodings.items():
             if not self._will_stream(enc, rank):
-                transfer_bytes += enc.storage_bytes(self._params_for(mode)[1])
+                transfer_bytes += enc.storage_bytes(self._params_for(mode)[1]) / shard_divisor
         return transfer_bytes / self.device.pcie_bandwidth_bytes_per_s
 
     def _will_stream(self, encoding: FCOOTensor, rank: int) -> bool:
@@ -126,9 +151,13 @@ class UnifiedGPUEngine:
         MTTKRP actually takes.
         """
         block_size, threadlen = self._params_for(encoding.mode)
-        footprint, _ = spmttkrp_footprint(
+        footprint, resident = spmttkrp_footprint(
             encoding, rank, block_size=block_size, threadlen=threadlen
         )
+        if self._cluster is not None:
+            # Each device holds only its shard (~1/N of the stream) next to
+            # the full dense operands.
+            footprint = resident + (footprint - resident) / self._cluster.num_devices
         return should_stream(encoding, footprint, self.device, self.streamed)
 
     def _params_for(self, mode: int) -> Tuple[int, int]:
@@ -140,7 +169,7 @@ class UnifiedGPUEngine:
         if not self._encodings:
             raise RuntimeError("prepare() must be called before mttkrp()")
         block_size, threadlen = self._params_for(mode)
-        return unified_spmttkrp(
+        result = unified_spmttkrp(
             self._encodings[mode],
             factors,
             mode,
@@ -150,7 +179,38 @@ class UnifiedGPUEngine:
             streamed=self.streamed,
             num_streams=self.num_streams,
             chunk_nnz=self.chunk_nnz,
+            cluster=self._cluster,
         )
+        self._timeline.observe(result.profile)
+        return result
+
+    # ------------------------------------------------------------------ #
+    @property
+    def device_timelines(self) -> Optional[Dict[int, float]]:
+        """Per-device busy seconds across all MTTKRPs run so far.
+
+        ``None`` in single-GPU mode; in cluster mode a ``{device slot:
+        seconds}`` mapping (idle trailing devices are absent).
+        """
+        if self._cluster is None:
+            return None
+        return dict(self._timeline.device_busy_s)
+
+    @property
+    def reduction_time_s(self) -> float:
+        """Total modeled partial-output reduction seconds across MTTKRPs."""
+        return self._timeline.reduction_time_s
+
+    @property
+    def parallel_efficiency(self) -> Optional[float]:
+        """Cluster busy fraction over all sharded MTTKRPs, in ``(0, 1]``.
+
+        ``sum(per-device busy) / (N * sum(sharded makespans))``; ``None``
+        in single-GPU mode or before any MTTKRP ran.
+        """
+        if self._cluster is None:
+            return None
+        return self._timeline.parallel_efficiency
 
     def dense_update_time(self, mode_size: int, rank: int, order: int) -> float:
         """CUBLAS-style dense update: Gram, Hadamard, pseudo-inverse, GEMM.
@@ -239,6 +299,13 @@ class CPResult:
         Engine preprocessing/transfer time (not part of the iteration time).
     engine_name:
         Which engine produced the timings.
+    device_time_by_device:
+        Per-device busy seconds of the whole decomposition when the engine
+        ran in multi-GPU mode (``None`` otherwise) — the per-device
+        timeline of the sharded MTTKRPs.
+    parallel_efficiency:
+        Cluster busy fraction over the sharded MTTKRP makespans, in
+        ``(0, 1]`` (``None`` for single-GPU engines).
     """
 
     factors: List[np.ndarray]
@@ -249,6 +316,8 @@ class CPResult:
     other_time_s: float
     setup_time_s: float
     engine_name: str
+    device_time_by_device: Optional[Dict[int, float]] = None
+    parallel_efficiency: Optional[float] = None
 
     @property
     def total_time_s(self) -> float:
@@ -361,4 +430,6 @@ def cp_als(
         other_time_s=other_time,
         setup_time_s=setup_time,
         engine_name=engine.name,
+        device_time_by_device=getattr(engine, "device_timelines", None),
+        parallel_efficiency=getattr(engine, "parallel_efficiency", None),
     )

@@ -20,7 +20,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.gpusim.cluster import ClusterSpec, resolve_cluster
 from repro.gpusim.device import DeviceSpec, TITAN_X
+from repro.kernels.unified.sharded import ShardedTimeline
 from repro.kernels.unified.spttmc import unified_spttmc
 from repro.tensor.sparse import SparseTensor
 from repro.util.rng import SeedLike, as_rng
@@ -45,6 +47,12 @@ class TuckerResult:
         Iterations executed.
     ttmc_time_by_mode:
         Total simulated SpTTMc seconds per mode.
+    device_time_by_device:
+        Per-device busy seconds of the whole decomposition when the TTMcs
+        ran in multi-GPU mode (``None`` otherwise).
+    parallel_efficiency:
+        Cluster busy fraction over the sharded TTMc makespans, in
+        ``(0, 1]`` (``None`` for single-GPU runs).
     """
 
     core: np.ndarray
@@ -52,6 +60,8 @@ class TuckerResult:
     fits: List[float]
     iterations: int
     ttmc_time_by_mode: Dict[int, float]
+    device_time_by_device: Optional[Dict[int, float]] = None
+    parallel_efficiency: Optional[float] = None
 
     @property
     def total_time_s(self) -> float:
@@ -74,6 +84,8 @@ def tucker_hooi(
     seed: SeedLike = 0,
     block_size: int = 128,
     threadlen: int = 8,
+    cluster: Optional[ClusterSpec] = None,
+    devices: Optional[int] = None,
 ) -> TuckerResult:
     """Tucker decomposition of a sparse tensor via HOOI on the unified kernels.
 
@@ -90,6 +102,10 @@ def tucker_hooi(
         HOOI sweep limit and fit-improvement stopping threshold.
     seed:
         Seed for the random orthonormal initial factors.
+    cluster / devices:
+        Multi-GPU controls forwarded to every SpTTMc (see
+        :func:`repro.kernels.unified.spttmc.unified_spttmc`); the result
+        then reports per-device timelines and scaling efficiency.
     """
     if tensor.nnz == 0:
         raise ValueError("cannot decompose an all-zero tensor")
@@ -118,17 +134,26 @@ def tucker_hooi(
     iterations_run = 0
     core_unfolded = np.zeros((ranks[0], int(np.prod(ranks[1:]))), dtype=np.float64)
 
+    device, multi = resolve_cluster(device, cluster, devices)
+    timeline = ShardedTimeline(multi.num_devices if multi is not None else 1)
+
+    def run_ttmc(ttmc_mode: int):
+        result = unified_spttmc(
+            tensor,
+            factors,
+            ttmc_mode,
+            device=device,
+            block_size=block_size,
+            threadlen=threadlen,
+            cluster=multi,
+        )
+        timeline.observe(result.profile)
+        return result
+
     for _iteration in range(max_iterations):
         iterations_run += 1
         for mode in range(order):
-            result = unified_spttmc(
-                tensor,
-                factors,
-                mode,
-                device=device,
-                block_size=block_size,
-                threadlen=threadlen,
-            )
+            result = run_ttmc(mode)
             ttmc_time_by_mode[mode] += result.estimated_time_s
             y = result.output  # (I_mode, prod_{m != mode} R_m)
             # New factor: leading left singular vectors of Y.
@@ -137,9 +162,7 @@ def tucker_hooi(
 
         # Core (in mode-0 unfolded form) from the final mode-0 TTMc of the
         # sweep projected onto the mode-0 factor.
-        final = unified_spttmc(
-            tensor, factors, 0, device=device, block_size=block_size, threadlen=threadlen
-        )
+        final = run_ttmc(0)
         ttmc_time_by_mode[0] += final.estimated_time_s
         core_unfolded = factors[0].T @ final.output
         core_norm = float(np.linalg.norm(core_unfolded))
@@ -158,6 +181,10 @@ def tucker_hooi(
         fits=fits,
         iterations=iterations_run,
         ttmc_time_by_mode=ttmc_time_by_mode,
+        device_time_by_device=(
+            dict(timeline.device_busy_s) if multi is not None else None
+        ),
+        parallel_efficiency=timeline.parallel_efficiency if multi is not None else None,
     )
 
 

@@ -5,12 +5,14 @@ block) and ``threadlen`` (non-zeros per thread).  Their best values depend
 on the sparsity pattern of the tensor, so the paper sweeps both per dataset
 and per operation; this subpackage reproduces that sweep on the simulated
 device.  The out-of-core streamed execution path adds two further axes —
-``num_streams`` and the chunk size — which the sweep covers as well.
+``num_streams`` and the chunk size — and the multi-GPU sharded path adds a
+device-count axis; the sweep covers all of them.
 """
 
 from repro.autotune.tuner import (
     DEFAULT_BLOCK_SIZES,
     DEFAULT_CHUNK_SIZES,
+    DEFAULT_DEVICE_COUNTS,
     DEFAULT_NUM_STREAMS,
     DEFAULT_THREADLENS,
     TuningResult,
@@ -24,4 +26,5 @@ __all__ = [
     "DEFAULT_THREADLENS",
     "DEFAULT_NUM_STREAMS",
     "DEFAULT_CHUNK_SIZES",
+    "DEFAULT_DEVICE_COUNTS",
 ]

@@ -3,9 +3,9 @@
 The paper's Figure 5 sweeps the launch parameters ``(BLOCK_SIZE,
 threadlen)``; the out-of-core streamed execution path adds two more axes —
 the number of CUDA streams and the chunk size — which matter whenever the
-tensor is (or is forced) out-of-core.  The sweep covers the full cross
-product; the classic two-parameter surface is the minimum over the streaming
-axes.
+tensor is (or is forced) out-of-core, and the multi-GPU sharded path adds a
+device-count axis.  The sweep covers the full cross product; the classic
+two-parameter surface is the minimum over the streaming and device axes.
 """
 
 from __future__ import annotations
@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.mode_encoding import OperationKind
+from repro.gpusim.cluster import ClusterSpec, InterconnectSpec, PCIE3_P2P
 from repro.gpusim.device import DeviceSpec, TITAN_X
 from repro.gpusim.timing import OutOfDeviceMemory
 from repro.kernels.unified.spmttkrp import unified_spmttkrp
@@ -35,6 +36,7 @@ __all__ = [
     "DEFAULT_THREADLENS",
     "DEFAULT_NUM_STREAMS",
     "DEFAULT_CHUNK_SIZES",
+    "DEFAULT_DEVICE_COUNTS",
 ]
 
 #: The sweep ranges used in the paper's Figure 5.
@@ -45,6 +47,9 @@ DEFAULT_THREADLENS: Tuple[int, ...] = (8, 16, 32, 48, 64)
 #: two-parameter sweep stays exactly as cheap as before.
 DEFAULT_NUM_STREAMS: Tuple[int, ...] = (2,)
 DEFAULT_CHUNK_SIZES: Tuple[Optional[int], ...] = (None,)
+
+#: Default device-count axis: single-GPU, so the classic sweep is unchanged.
+DEFAULT_DEVICE_COUNTS: Tuple[int, ...] = (1,)
 
 
 @dataclass(frozen=True)
@@ -61,9 +66,12 @@ class TuningResult:
         The streaming axes (singletons unless the sweep explored the
         out-of-core configuration space; ``None`` chunk size means
         auto-sized to the device memory budget).
-    times_full:
+    device_counts:
+        The multi-GPU axis (a singleton ``(1,)`` unless the sweep explored
+        sharded execution across a simulated cluster).
+    times_grid:
         ``(len(block_sizes), len(threadlens), len(num_streams),
-        len(chunk_sizes))`` array of simulated times.
+        len(chunk_sizes), len(device_counts))`` array of simulated times.
     """
 
     operation: OperationKind
@@ -73,13 +81,20 @@ class TuningResult:
     threadlens: Tuple[int, ...]
     num_streams: Tuple[int, ...]
     chunk_sizes: Tuple[Optional[int], ...]
-    times_full: np.ndarray
+    times_grid: np.ndarray
+    device_counts: Tuple[int, ...] = (1,)
 
     # ------------------------------------------------------------------ #
     @property
+    def times_full(self) -> np.ndarray:
+        """The 4-D ``(BLOCK_SIZE, threadlen, num_streams, chunk)`` surface
+        (best over the device-count axis)."""
+        return self.times_grid.min(axis=4)
+
+    @property
     def times(self) -> np.ndarray:
-        """The ``(BLOCK_SIZE, threadlen)`` surface (best over streaming axes)."""
-        return self.times_full.min(axis=(2, 3))
+        """The ``(BLOCK_SIZE, threadlen)`` surface (best over the other axes)."""
+        return self.times_grid.min(axis=(2, 3, 4))
 
     @property
     def best(self) -> Tuple[int, int]:
@@ -89,7 +104,7 @@ class TuningResult:
 
     @property
     def best_config(self) -> Tuple[int, int, int, Optional[int]]:
-        """The full ``(BLOCK_SIZE, threadlen, num_streams, chunk_nnz)`` optimum."""
+        """The ``(BLOCK_SIZE, threadlen, num_streams, chunk_nnz)`` optimum."""
         i, j, s, c = np.unravel_index(
             int(np.argmin(self.times_full)), self.times_full.shape
         )
@@ -101,9 +116,23 @@ class TuningResult:
         )
 
     @property
+    def best_full_config(self) -> Tuple[int, int, int, Optional[int], int]:
+        """The full optimum including the device count."""
+        i, j, s, c, d = np.unravel_index(
+            int(np.argmin(self.times_grid)), self.times_grid.shape
+        )
+        return (
+            self.block_sizes[i],
+            self.threadlens[j],
+            self.num_streams[s],
+            self.chunk_sizes[c],
+            self.device_counts[d],
+        )
+
+    @property
     def best_time(self) -> float:
         """The lowest simulated time over the sweep."""
-        return float(self.times_full.min())
+        return float(self.times_grid.min())
 
     def render(self, *, title: str = "") -> str:
         """ASCII rendering of the sweep surface (rows: BLOCK_SIZE, cols: threadlen)."""
@@ -122,6 +151,12 @@ class TuningResult:
                 f"chunk_nnz={'auto' if cn is None else cn} "
                 f"(at BLOCK_SIZE={bs}, threadlen={tl})"
             )
+        if len(self.device_counts) > 1:
+            bs, tl, _ns, _cn, dc = self.best_full_config
+            text += (
+                f"\nbest device count: {dc} GPU(s) "
+                f"(at BLOCK_SIZE={bs}, threadlen={tl})"
+            )
         return text
 
 
@@ -136,6 +171,8 @@ def tune_unified(
     threadlens: Sequence[int] = DEFAULT_THREADLENS,
     num_streams: Sequence[int] = DEFAULT_NUM_STREAMS,
     chunk_sizes: Sequence[Optional[int]] = DEFAULT_CHUNK_SIZES,
+    device_counts: Sequence[int] = DEFAULT_DEVICE_COUNTS,
+    interconnect: InterconnectSpec = PCIE3_P2P,
     streamed: Optional[bool] = None,
     seed: SeedLike = 0,
 ) -> TuningResult:
@@ -148,8 +185,10 @@ def tune_unified(
     ``num_streams`` / ``chunk_sizes`` extend the sweep with the streamed
     execution axes; they only influence the result when the kernel actually
     streams (``streamed=True``, or auto-fallback on an over-capacity
-    tensor).  ``streamed`` is forwarded to the kernels unchanged.  A
-    streaming configuration that does not fit on the device (its chunk
+    tensor).  ``device_counts`` extends it with the multi-GPU axis: a count
+    above one shards the kernel across a homogeneous cluster of ``device``
+    joined by ``interconnect``.  ``streamed`` is forwarded to the kernels
+    unchanged.  A configuration that does not fit on the device (its chunk
     buffers exceed capacity) is recorded as ``inf`` rather than aborting
     the sweep.
     """
@@ -160,14 +199,31 @@ def tune_unified(
         raise ValueError("num_streams must contain at least one entry")
     if not chunk_sizes:
         raise ValueError("chunk_sizes must contain at least one entry")
+    if not device_counts:
+        raise ValueError("device_counts must contain at least one entry")
     factors = random_factors(tensor.shape, rank, seed=seed)
     fcoo = FCOOTensor.from_sparse(tensor, operation, mode)
 
+    clusters = {
+        int(d): (
+            None
+            if int(d) <= 1
+            else ClusterSpec.homogeneous(device, int(d), interconnect=interconnect)
+        )
+        for d in device_counts
+    }
     times = np.zeros(
-        (len(block_sizes), len(threadlens), len(num_streams), len(chunk_sizes)),
+        (
+            len(block_sizes),
+            len(threadlens),
+            len(num_streams),
+            len(chunk_sizes),
+            len(device_counts),
+        ),
         dtype=np.float64,
     )
-    def run_cell(block_size, threadlen, n_streams, chunk_nnz):
+
+    def run_cell(block_size, threadlen, n_streams, chunk_nnz, n_devices):
         kwargs = dict(
             device=device,
             block_size=int(block_size),
@@ -175,6 +231,7 @@ def tune_unified(
             streamed=streamed,
             num_streams=int(n_streams),
             chunk_nnz=None if chunk_nnz is None else int(chunk_nnz),
+            cluster=clusters[int(n_devices)],
         )
         if operation is OperationKind.SPTTM:
             return unified_spttm(fcoo, factors[mode], mode, **kwargs)
@@ -182,36 +239,44 @@ def tune_unified(
             return unified_spmttkrp(fcoo, factors, mode, **kwargs)
         return unified_spttmc(fcoo, factors, mode, **kwargs)
 
+    def streaming_axes_matter(result) -> bool:
+        """Whether num_streams / chunk_nnz can influence this cell's time."""
+        if streamed is True:
+            return True
+        if result.profile.streaming is not None:
+            return True
+        execution = getattr(result.profile, "sharded", None)
+        return execution is not None and execution.has_streaming_shards
+
     for i, block_size in enumerate(block_sizes):
         for j, threadlen in enumerate(threadlens):
-            first = None
-            try:
-                first = run_cell(block_size, threadlen, num_streams[0], chunk_sizes[0])
-                times[i, j, 0, 0] = first.estimated_time_s
-            except OutOfDeviceMemory:
-                # Infeasible streaming configuration (e.g. num_streams chunk
-                # buffers exceed capacity): record it, keep sweeping.
-                times[i, j, 0, 0] = np.inf
-            if (
-                first is not None
-                and first.profile.streaming is None
-                and streamed is not True
-            ):
-                # The kernel took the one-shot path, so the streaming axes
-                # cannot change the outcome — broadcast instead of re-running
-                # the full kernel numerics per cell.
-                times[i, j, :, :] = first.estimated_time_s
-                continue
-            for s, n_streams in enumerate(num_streams):
-                for c, chunk_nnz in enumerate(chunk_sizes):
-                    if (s, c) == (0, 0):
-                        continue
-                    try:
-                        times[i, j, s, c] = run_cell(
-                            block_size, threadlen, n_streams, chunk_nnz
-                        ).estimated_time_s
-                    except OutOfDeviceMemory:
-                        times[i, j, s, c] = np.inf
+            for d, n_devices in enumerate(device_counts):
+                first = None
+                try:
+                    first = run_cell(
+                        block_size, threadlen, num_streams[0], chunk_sizes[0], n_devices
+                    )
+                    times[i, j, 0, 0, d] = first.estimated_time_s
+                except OutOfDeviceMemory:
+                    # Infeasible configuration (e.g. num_streams chunk
+                    # buffers exceed capacity): record it, keep sweeping.
+                    times[i, j, 0, 0, d] = np.inf
+                if first is not None and not streaming_axes_matter(first):
+                    # The kernel never streamed, so the streaming axes
+                    # cannot change the outcome — broadcast instead of
+                    # re-running the full kernel numerics per cell.
+                    times[i, j, :, :, d] = first.estimated_time_s
+                    continue
+                for s, n_streams in enumerate(num_streams):
+                    for c, chunk_nnz in enumerate(chunk_sizes):
+                        if (s, c) == (0, 0):
+                            continue
+                        try:
+                            times[i, j, s, c, d] = run_cell(
+                                block_size, threadlen, n_streams, chunk_nnz, n_devices
+                            ).estimated_time_s
+                        except OutOfDeviceMemory:
+                            times[i, j, s, c, d] = np.inf
 
     return TuningResult(
         operation=operation,
@@ -221,5 +286,6 @@ def tune_unified(
         threadlens=tuple(int(t) for t in threadlens),
         num_streams=tuple(int(n) for n in num_streams),
         chunk_sizes=tuple(None if c is None else int(c) for c in chunk_sizes),
-        times_full=times,
+        times_grid=times,
+        device_counts=tuple(int(d) for d in device_counts),
     )

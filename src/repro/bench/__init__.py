@@ -25,6 +25,9 @@ runner                          paper artefact
 :func:`run_fig10`               Figure 10 — CP decomposition breakdown
 :func:`run_streaming`           Section IV-D streams — out-of-core overlap
                                 (extension; no dedicated paper figure)
+:func:`run_scaling`             multi-GPU strong scaling of the sharded
+                                kernels (extension; no paper figure)
+:func:`run_weak_scaling`        multi-GPU weak scaling (extension)
 ==============================  ===========================================
 """
 
@@ -38,6 +41,7 @@ from repro.bench.ranks import Fig8Result, run_fig8
 from repro.bench.memory import Fig9Result, run_fig9
 from repro.bench.cp_bench import Fig10Result, run_fig10
 from repro.bench.streaming import StreamingResult, run_streaming
+from repro.bench.scaling import ScalingResult, run_scaling, run_weak_scaling
 
 __all__ = [
     "platform_report",
@@ -61,4 +65,7 @@ __all__ = [
     "run_fig10",
     "StreamingResult",
     "run_streaming",
+    "ScalingResult",
+    "run_scaling",
+    "run_weak_scaling",
 ]

@@ -84,13 +84,18 @@ class Fig10Result:
         table = format_table(
             headers,
             body,
-            title=f"Figure 10: CP-ALS (rank={self.rank}, {self.iterations} iterations) time breakdown",
+            title=(
+                f"Figure 10: CP-ALS (rank={self.rank}, {self.iterations} iterations) "
+                "time breakdown"
+            ),
         )
         datasets = sorted({r.dataset for r in self.rows})
         footer_parts = []
         for name in datasets:
             try:
-                footer_parts.append(f"{name}: unified {self.speedup(name):.1f}x faster than SPLATT")
+                footer_parts.append(
+                    f"{name}: unified {self.speedup(name):.1f}x faster than SPLATT"
+                )
             except KeyError:
                 continue
         return table + ("\n" + "; ".join(footer_parts) if footer_parts else "")

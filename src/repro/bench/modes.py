@@ -8,7 +8,7 @@ and SPLATT vary strongly (brainq is "oddly shaped": 60 × 70K × 9).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -77,7 +77,10 @@ class Fig7Result:
         table = format_table(
             headers,
             body,
-            title=f"Figure 7 ({self.operation} on {self.dataset}, rank={self.rank}): mode behaviour",
+            title=(
+                f"Figure 7 ({self.operation} on {self.dataset}, rank={self.rank}): "
+                "mode behaviour"
+            ),
         )
         footer = (
             f"\nmax/min across modes:  ParTI-GPU {self.variation('parti_gpu'):.2f}x"

@@ -9,7 +9,7 @@ degrading coalescing and causing divergence.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.data.registry import load_dataset
 from repro.gpusim.device import DeviceSpec, TITAN_X

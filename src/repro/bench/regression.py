@@ -1,0 +1,217 @@
+"""Benchmark-regression gate for CI.
+
+The simulated kernel times are *deterministic* — they are cost-model
+arithmetic, not wall-clock measurements — so they make a noise-free
+regression signal: if a code change makes a modeled hot path slower (more
+traffic, a lost overlap, a worse reduction), the simulated seconds move and
+CI can fail on it without flaky-timer tolerance games.
+
+``collect_metrics()`` runs a quick-mode subset of the scaling and streaming
+experiments and flattens them into named scalar metrics (seconds; lower is
+better).  The committed baselines live in ``benchmarks/baselines/`` as
+``BENCH_scaling.json`` / ``BENCH_streaming.json``; the CI ``bench`` job
+re-collects the metrics, uploads them as artifacts, and fails when any
+metric regresses by more than the tolerance (default 20 %).  Improvements
+never fail; refresh the baseline with ``--update`` when a change is an
+intentional model shift.
+
+Usage::
+
+    python -m repro.bench.regression --check             # compare vs baseline
+    python -m repro.bench.regression --update            # rewrite the baseline
+    python -m repro.bench.regression --check --out-dir bench-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._version import __version__
+from repro.bench.scaling import run_scaling, run_weak_scaling
+from repro.bench.streaming import run_streaming
+
+__all__ = [
+    "DEFAULT_BASELINE_DIR",
+    "DEFAULT_TOLERANCE",
+    "collect_metrics",
+    "compare_metrics",
+    "main",
+]
+
+#: Where the committed baselines live, relative to the repository root.
+DEFAULT_BASELINE_DIR = Path("benchmarks") / "baselines"
+
+#: Maximum tolerated slowdown of any single metric (0.2 == +20 %).
+DEFAULT_TOLERANCE = 0.20
+
+#: The artifact files, keyed by suite name.
+ARTIFACT_FILES = {
+    "scaling": "BENCH_scaling.json",
+    "streaming": "BENCH_streaming.json",
+}
+
+
+def _scaling_metrics() -> Dict[str, float]:
+    """Quick-mode multi-GPU scaling subset: one dataset, three kernels."""
+    metrics: Dict[str, float] = {}
+    strong = run_scaling(
+        rank=8, datasets=["brainq"], device_counts=(1, 2, 4), seed=0
+    )
+    for row in strong.rows:
+        key = f"strong/{row.operation}/{row.workload}/gpus={row.num_devices}"
+        metrics[key] = row.time_s
+    weak = run_weak_scaling(rank=8, device_counts=(1, 2, 4), seed=0)
+    for row in weak.rows:
+        key = f"weak/{row.operation}/gpus={row.num_devices}"
+        metrics[key] = row.time_s
+    return metrics
+
+
+def _streaming_metrics() -> Dict[str, float]:
+    """Quick-mode out-of-core subset: the smaller dataset analogs."""
+    metrics: Dict[str, float] = {}
+    result = run_streaming(rank=8, datasets=["brainq", "nell2"])
+    for row in result.rows:
+        key = f"streamed/{row.dataset}/streams={row.num_streams}"
+        metrics[key] = row.streamed_s
+    return metrics
+
+
+def collect_metrics() -> Dict[str, Dict[str, float]]:
+    """All regression metrics, grouped by suite (simulated seconds)."""
+    return {
+        "scaling": _scaling_metrics(),
+        "streaming": _streaming_metrics(),
+    }
+
+
+def compare_metrics(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Tuple[List[str], List[str]]:
+    """Compare one suite against its baseline.
+
+    Returns ``(regressions, notes)``: a metric regresses when it is more
+    than ``tolerance`` slower than the baseline; metrics added or removed
+    relative to the baseline are reported as notes (they fail nothing —
+    they mean the baseline needs an ``--update``).
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    regressions: List[str] = []
+    notes: List[str] = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            notes.append(f"metric disappeared (baseline has it): {name}")
+            continue
+        if name not in baseline:
+            notes.append(f"new metric (not in baseline): {name}")
+            continue
+        base, now = baseline[name], current[name]
+        if base <= 0.0:
+            # A zero-cost baseline cannot express a ratio; only flag it
+            # when the metric became non-trivially expensive.
+            if now > 1e-12:
+                regressions.append(f"{name}: baseline 0 s -> {now:.3e} s")
+            continue
+        ratio = now / base
+        if ratio > 1.0 + tolerance:
+            regressions.append(
+                f"{name}: {base:.3e} s -> {now:.3e} s (+{(ratio - 1.0) * 100.0:.1f}%)"
+            )
+    return regressions, notes
+
+
+def _payload(metrics: Dict[str, float]) -> Dict[str, object]:
+    return {
+        "version": __version__,
+        "tolerance": DEFAULT_TOLERANCE,
+        "unit": "simulated seconds (deterministic; lower is better)",
+        "metrics": metrics,
+    }
+
+
+def _write_suite(path: Path, metrics: Dict[str, float]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_payload(metrics), indent=2, sort_keys=True) + "\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code (non-zero on regression)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.regression",
+        description="Deterministic benchmark-regression gate for CI.",
+    )
+    action = parser.add_mutually_exclusive_group(required=True)
+    action.add_argument(
+        "--check", action="store_true", help="compare current metrics to the baseline"
+    )
+    action.add_argument(
+        "--update", action="store_true", help="rewrite the committed baseline files"
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=DEFAULT_BASELINE_DIR,
+        help=f"directory of the committed baselines (default: {DEFAULT_BASELINE_DIR})",
+    )
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=None,
+        help="also write the freshly collected metrics here (the CI artifacts)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"maximum tolerated slowdown ratio (default {DEFAULT_TOLERANCE})",
+    )
+    args = parser.parse_args(argv)
+
+    suites = collect_metrics()
+
+    if args.out_dir is not None:
+        for suite, metrics in suites.items():
+            _write_suite(args.out_dir / ARTIFACT_FILES[suite], metrics)
+
+    if args.update:
+        for suite, metrics in suites.items():
+            path = args.baseline_dir / ARTIFACT_FILES[suite]
+            _write_suite(path, metrics)
+            print(f"wrote {path} ({len(metrics)} metrics)")
+        return 0
+
+    failed = False
+    for suite, metrics in suites.items():
+        path = args.baseline_dir / ARTIFACT_FILES[suite]
+        if not path.exists():
+            print(f"FAIL [{suite}] missing baseline {path}; run with --update")
+            failed = True
+            continue
+        baseline = json.loads(path.read_text())["metrics"]
+        regressions, notes = compare_metrics(
+            baseline, metrics, tolerance=args.tolerance
+        )
+        for note in notes:
+            print(f"note [{suite}] {note}")
+        if regressions:
+            failed = True
+            for regression in regressions:
+                print(f"FAIL [{suite}] {regression}")
+        else:
+            print(
+                f"ok   [{suite}] {len(metrics)} metrics within "
+                f"{args.tolerance * 100.0:.0f}% of baseline"
+            )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

@@ -11,9 +11,7 @@ comparing against the real Titan X memory capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import List, Optional, Sequence
 
 from repro.bench.memory import parti_paper_scale_footprint
 from repro.cpusim.cpu import CPU_I7_5820K, CpuSpec

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.autotune.tuner import (
     DEFAULT_BLOCK_SIZES,
@@ -51,7 +51,9 @@ class Fig5Result:
                 )
             )
             best_bs, best_tl = surface.best
-            parts.append(f"best configuration for {name}: BLOCK_SIZE={best_bs}, threadlen={best_tl}")
+            parts.append(
+                f"best configuration for {name}: BLOCK_SIZE={best_bs}, threadlen={best_tl}"
+            )
         return "\n\n".join(parts)
 
 

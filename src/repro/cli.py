@@ -27,10 +27,12 @@ from repro.bench import (
     run_fig8,
     run_fig9,
     run_fig10,
+    run_scaling,
     run_streaming,
     run_table2,
     run_table4,
     run_table5,
+    run_weak_scaling,
 )
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -38,6 +40,11 @@ __all__ = ["main", "EXPERIMENTS"]
 
 def _render_fig7(rank: int, iterations: int) -> str:
     parts = [run_fig7("spttm", rank=rank).render(), run_fig7("spmttkrp", rank=rank).render()]
+    return "\n\n".join(parts)
+
+
+def _render_scaling(rank: int, iterations: int) -> str:
+    parts = [run_scaling(rank=rank).render(), run_weak_scaling(rank=rank).render()]
     return "\n\n".join(parts)
 
 
@@ -55,6 +62,7 @@ EXPERIMENTS: Dict[str, Callable[[int, int], str]] = {
     "fig9": lambda rank, iterations: run_fig9(rank=rank).render(),
     "fig10": lambda rank, iterations: run_fig10(iterations=iterations).render(),
     "streaming": lambda rank, iterations: run_streaming(rank=rank).render(),
+    "scaling": _render_scaling,
 }
 
 

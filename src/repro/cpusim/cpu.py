@@ -5,8 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Dict, Optional, Tuple
 
-import numpy as np
-
 __all__ = ["CpuSpec", "CPU_I7_5820K", "CpuCounters", "estimate_cpu_time", "cpu_profile"]
 
 

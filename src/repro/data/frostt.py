@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import io
 import os
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 

@@ -12,9 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Dict, Optional, Tuple
-
-import numpy as np
+from typing import Callable, Dict, Tuple
 
 from repro.data.synthetic import (
     make_brainq_like,

@@ -27,7 +27,7 @@ larger ``nnz``/``shape`` to approach paper scale if resources allow.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence
 
 from repro.tensor.random import random_sparse_tensor
 from repro.tensor.sparse import SparseTensor

@@ -15,7 +15,7 @@ memory-footprint disadvantage F-COO removes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -163,7 +163,11 @@ class CSFTensor:
         for level in range(order - 2, -1, -1):
             ptr = self.fptr[level]
             child_leaves = leaves_per_node[0]
-            sums = np.add.reduceat(child_leaves, ptr[:-1]) if ptr.shape[0] > 1 else np.zeros(0, dtype=np.int64)
+            sums = (
+                np.add.reduceat(child_leaves, ptr[:-1])
+                if ptr.shape[0] > 1
+                else np.zeros(0, dtype=np.int64)
+            )
             leaves_per_node.insert(0, sums.astype(np.int64))
         for level in range(order - 1):
             expanded = np.repeat(self.fids[level], leaves_per_node[level])

@@ -32,8 +32,8 @@ primary sort keys, so that every fiber/slice occupies one contiguous run —
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
 
 import numpy as np
 

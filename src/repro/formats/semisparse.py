@@ -18,7 +18,7 @@ In this reproduction ``SemiSparseTensor`` plays two roles:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -141,9 +141,13 @@ class SemiSparseTensor:
         indices[:, self.dense_mode] = np.tile(np.arange(r, dtype=np.int64), self.num_fibers)
         values = self.fiber_values.reshape(-1)
         mask = np.abs(values) > tol
-        return SparseTensor(indices[mask], values[mask], self.shape, sum_duplicates=False, sort=True)
+        return SparseTensor(
+            indices[mask], values[mask], self.shape, sum_duplicates=False, sort=True
+        )
 
-    def allclose(self, other: "SemiSparseTensor", *, rtol: float = 1e-8, atol: float = 1e-10) -> bool:
+    def allclose(
+        self, other: "SemiSparseTensor", *, rtol: float = 1e-8, atol: float = 1e-10
+    ) -> bool:
         """Compare two semi-sparse tensors (same dense mode, fibers and values)."""
         if not isinstance(other, SemiSparseTensor):
             raise TypeError("allclose expects another SemiSparseTensor")

@@ -13,6 +13,9 @@ effects is modelled explicitly:
 
 * :mod:`~repro.gpusim.device` — device specifications (default: the Titan X
   of Table III) and occupancy limits.
+* :mod:`~repro.gpusim.cluster` — multi-GPU cluster specifications (devices
+  joined by an interconnect) and the collective cost models used by the
+  sharded execution path.
 * :mod:`~repro.gpusim.launch` — launch configurations (grid/block/threadlen)
   and occupancy/utilisation computation.
 * :mod:`~repro.gpusim.counters` — the ledger of work a kernel performs
@@ -29,6 +32,13 @@ effects is modelled explicitly:
 """
 
 from repro.gpusim.device import DeviceSpec, TITAN_X, scaled_device
+from repro.gpusim.cluster import (
+    ClusterSpec,
+    InterconnectSpec,
+    NVLINK1,
+    PCIE3_P2P,
+    resolve_cluster,
+)
 from repro.gpusim.launch import LaunchConfig
 from repro.gpusim.counters import KernelCounters, KernelProfile
 from repro.gpusim.memory import (
@@ -45,6 +55,11 @@ __all__ = [
     "DeviceSpec",
     "TITAN_X",
     "scaled_device",
+    "ClusterSpec",
+    "InterconnectSpec",
+    "NVLINK1",
+    "PCIE3_P2P",
+    "resolve_cluster",
     "LaunchConfig",
     "KernelCounters",
     "KernelProfile",

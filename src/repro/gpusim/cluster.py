@@ -1,0 +1,274 @@
+"""Multi-GPU cluster model: devices joined by an interconnect.
+
+The paper evaluates on a single Titan X; production sparse tensor
+factorisation distributes the non-zeros across several GPUs of one node
+(the DFacTo / SPLATT distributed-memory line of related work).  This module
+models the *node*: a :class:`ClusterSpec` is an ordered set of
+:class:`~repro.gpusim.device.DeviceSpec` s joined by an
+:class:`InterconnectSpec` with a bandwidth and a per-message latency.
+
+Three collective cost models are provided, all first-order but shaped like
+the real algorithms:
+
+* :meth:`ClusterSpec.allreduce_time` — ring all-reduce (reduce-scatter +
+  all-gather): each device sends ``2 (N - 1) / N`` of the payload over its
+  link, in ``2 (N - 1)`` latency-bound steps.  This is what merging the
+  per-device partial MTTKRP/TTMc outputs costs, since every device needs
+  the updated dense factor for the next iteration.
+* :meth:`ClusterSpec.neighbor_exchange_time` — pairwise exchange of the
+  partial segments straddling shard boundaries, for outputs that stay
+  partitioned across the devices (the semi-sparse SpTTM fibers).
+* :meth:`ClusterSpec.gather_time` — root-ingest gather: the root device
+  receives every peer's payload over its single link (the payloads
+  serialise there), one latency per peer — for callers that need a
+  partitioned output collected on one device.
+
+The models are deliberately symmetric in the devices (a ring does not care
+which member is slowest as long as the link is shared); heterogeneous
+*compute* is supported by :class:`ClusterSpec` holding arbitrary device
+specs, and the sharded execution driver charges each shard on its own
+device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import Optional, Sequence, Tuple
+
+from repro.gpusim.device import DeviceSpec, TITAN_X
+
+__all__ = [
+    "InterconnectSpec",
+    "ClusterSpec",
+    "PCIE3_P2P",
+    "NVLINK1",
+    "resolve_cluster",
+]
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """A device-to-device link used by the collective cost models.
+
+    Attributes
+    ----------
+    name:
+        Human-readable link name.
+    bandwidth_bytes_per_s:
+        Achievable per-direction bandwidth of one device's link.
+    latency_s:
+        Per-message latency (one collective step costs at least this).
+    """
+
+    name: str
+    bandwidth_bytes_per_s: float
+    latency_s: float
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` if the specification is inconsistent."""
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError(
+                f"InterconnectSpec.bandwidth_bytes_per_s must be positive, got "
+                f"{self.bandwidth_bytes_per_s}"
+            )
+        if self.latency_s < 0:
+            raise ValueError(
+                f"InterconnectSpec.latency_s must be non-negative, got {self.latency_s}"
+            )
+
+
+#: PCIe 3.0 x16 peer-to-peer through the switch — what a multi-GPU Maxwell
+#: node (the paper's era) actually has: the same ~12 GB/s achievable as the
+#: host link, with a few microseconds of latency per transfer.
+PCIE3_P2P = InterconnectSpec("PCIe 3.0 x16 P2P", 12e9, 5e-6)
+
+#: First-generation NVLink (Pascal-era nodes): ~40 GB/s achievable per
+#: direction, noticeably lower latency than PCIe.
+NVLINK1 = InterconnectSpec("NVLink 1.0", 40e9, 2e-6)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """An ordered set of GPUs joined by one interconnect.
+
+    Attributes
+    ----------
+    devices:
+        The member :class:`DeviceSpec` s; ``devices[i]`` executes shard ``i``
+        of a sharded kernel.
+    interconnect:
+        The link used by the collective cost models.
+    name:
+        Human-readable cluster name.
+    """
+
+    devices: Tuple[DeviceSpec, ...]
+    interconnect: InterconnectSpec = PCIE3_P2P
+    name: str = "cluster"
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError("ClusterSpec needs at least one device")
+        object.__setattr__(self, "devices", tuple(self.devices))
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def homogeneous(
+        cls,
+        device: DeviceSpec = TITAN_X,
+        num_devices: int = 4,
+        *,
+        interconnect: InterconnectSpec = PCIE3_P2P,
+        name: Optional[str] = None,
+    ) -> "ClusterSpec":
+        """A cluster of ``num_devices`` identical ``device`` s."""
+        if num_devices <= 0:
+            raise ValueError(f"num_devices must be positive, got {num_devices}")
+        return cls(
+            devices=(device,) * num_devices,
+            interconnect=interconnect,
+            name=name or f"{num_devices}x {device.name}",
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_devices(self) -> int:
+        """Number of member GPUs."""
+        return len(self.devices)
+
+    @property
+    def min_device_memory_bytes(self) -> int:
+        """Capacity of the smallest member (bounds an evenly-sharded tensor)."""
+        return min(d.global_mem_bytes for d in self.devices)
+
+    @property
+    def total_memory_bytes(self) -> int:
+        """Aggregate device memory across the cluster."""
+        return sum(d.global_mem_bytes for d in self.devices)
+
+    def validate(self) -> None:
+        """Validate every member device and the interconnect."""
+        self.interconnect.validate()
+        for device in self.devices:
+            device.validate()
+
+    # ------------------------------------------------------------------ #
+    # Collective cost models
+    # ------------------------------------------------------------------ #
+    def allreduce_time(self, nbytes: float) -> float:
+        """Ring all-reduce of an ``nbytes`` payload resident on every device.
+
+        Reduce-scatter plus all-gather: ``2 (N - 1)`` steps, each moving
+        ``nbytes / N`` over every device's link simultaneously, so the
+        bandwidth term is ``2 (N - 1) / N * nbytes / bandwidth`` — the
+        classic bandwidth-optimal ring.  Zero for a single device.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        n = self.num_devices
+        if n == 1 or nbytes == 0:
+            return 0.0
+        steps = 2 * (n - 1)
+        bandwidth_term = (2.0 * (n - 1) / n) * nbytes / self.interconnect.bandwidth_bytes_per_s
+        return bandwidth_term + steps * self.interconnect.latency_s
+
+    def gather_time(self, nbytes_per_device: Sequence[float]) -> float:
+        """Gather per-device payloads onto device 0 (the root).
+
+        The root's ingest link is the serial resource: every peer's payload
+        crosses it once, paying one latency per peer.  The root's own
+        payload does not move.  Zero for a single device.
+        """
+        payloads = [float(b) for b in nbytes_per_device]
+        if any(b < 0 for b in payloads):
+            raise ValueError("per-device payloads must be non-negative")
+        if len(payloads) > self.num_devices:
+            raise ValueError(
+                f"got {len(payloads)} payloads for {self.num_devices} devices"
+            )
+        if len(payloads) <= 1:
+            return 0.0
+        incoming = sum(payloads[1:])
+        steps = len(payloads) - 1
+        bandwidth_term = incoming / self.interconnect.bandwidth_bytes_per_s
+        return bandwidth_term + steps * self.interconnect.latency_s
+
+    def neighbor_exchange_time(self, nbytes_per_boundary: Sequence[float]) -> float:
+        """Pairwise exchange of boundary payloads between adjacent devices.
+
+        Used when the output stays *partitioned* across the devices (the
+        semi-sparse SpTTM result feeding the next pipeline stage in place)
+        and only the partial segments straddling a shard boundary must
+        merge: payload ``i`` moves point-to-point from device ``i`` to
+        device ``i + 1``.  The links are full duplex and the pairs are
+        disjoint per direction, so the exchanges overlap: one latency plus
+        the largest payload's wire time.  Zero with no straddling
+        boundaries.
+        """
+        payloads = [float(b) for b in nbytes_per_boundary]
+        if any(b < 0 for b in payloads):
+            raise ValueError("per-boundary payloads must be non-negative")
+        if not payloads:
+            return 0.0
+        return (
+            max(payloads) / self.interconnect.bandwidth_bytes_per_s
+            + self.interconnect.latency_s
+        )
+
+    def broadcast_time(self, nbytes: float) -> float:
+        """Binomial-tree broadcast of ``nbytes`` from device 0 to every peer.
+
+        ``ceil(log2 N)`` stages, each shipping the full payload over the
+        sender links active in that stage.  Used for staging dense factor
+        matrices that every device needs.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        n = self.num_devices
+        if n == 1 or nbytes == 0:
+            return 0.0
+        stages = ceil(log2(n))
+        return stages * (
+            nbytes / self.interconnect.bandwidth_bytes_per_s + self.interconnect.latency_s
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClusterSpec(name={self.name!r}, num_devices={self.num_devices}, "
+            f"interconnect={self.interconnect.name!r})"
+        )
+
+
+def resolve_cluster(
+    device: DeviceSpec,
+    cluster: Optional[ClusterSpec],
+    devices: Optional[int],
+) -> Tuple[DeviceSpec, Optional[ClusterSpec]]:
+    """Normalise the ``cluster=`` / ``devices=`` kernel parameters.
+
+    The kernels accept either a full :class:`ClusterSpec` or a bare device
+    count (which builds a homogeneous cluster of the kernel's ``device``).
+    Returns ``(single_device, multi_cluster)`` where exactly one execution
+    mode is active: the cluster is ``None`` when execution is effectively
+    single-device — no cluster requested, or a cluster/count of one — so
+    callers keep the exact single-GPU code path (and its numerics and
+    profile shape) in that case, running on the cluster's sole member when
+    one was given.
+    """
+    if cluster is not None and devices is not None and devices != cluster.num_devices:
+        raise ValueError(
+            f"devices={devices} contradicts the provided cluster of "
+            f"{cluster.num_devices} devices; pass one or the other"
+        )
+    if cluster is None:
+        if devices is None:
+            return device, None
+        if devices <= 0:
+            raise ValueError(f"devices must be positive, got {devices}")
+        if devices == 1:
+            return device, None
+        cluster = ClusterSpec.homogeneous(device, devices)
+    if cluster.num_devices == 1:
+        return cluster.devices[0], None
+    return device, cluster

@@ -135,6 +135,11 @@ class KernelProfile:
         :class:`repro.kernels.unified.streaming.StreamedExecution` ledger
         (per-chunk counters plus the resolved transfer/compute pipeline);
         ``None`` for one-shot executions.
+    sharded:
+        When the kernel executed across a multi-GPU cluster, the
+        :class:`repro.kernels.unified.sharded.ShardedExecution` ledger
+        (per-device shard counters plus the modeled reduction); ``None``
+        for single-device executions.
     """
 
     name: str
@@ -143,6 +148,7 @@ class KernelProfile:
     device_memory_bytes: float = 0.0
     breakdown: Dict[str, float] = field(default_factory=dict)
     streaming: Optional[object] = None
+    sharded: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.estimated_time_s < 0:

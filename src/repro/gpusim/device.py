@@ -8,6 +8,7 @@ by the paper (Table III): 3072 CUDA cores at ~1 GHz, 12 GB of GDDR5 at
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 __all__ = ["DeviceSpec", "TITAN_X", "scaled_device"]
 
@@ -171,17 +172,44 @@ TITAN_X = DeviceSpec(
 )
 
 
-def scaled_device(base: DeviceSpec, memory_scale: float, *, name_suffix: str = "scaled") -> DeviceSpec:
+def scaled_device(
+    base: DeviceSpec,
+    memory_scale: float,
+    *,
+    bandwidth_scale: Optional[float] = None,
+    name_suffix: str = "scaled",
+) -> DeviceSpec:
     """Return ``base`` with its memory capacity scaled by ``memory_scale``.
 
     The paper's datasets have 10^7–10^8 non-zeros; the synthetic analogs in
     :mod:`repro.data` are generated at laptop scale.  To preserve the paper's
     capacity effects (ParTI-GPU running out of memory on nell1/delicious for
     SpMTTKRP) the experiment harness shrinks the device memory by the same
-    factor the dataset was shrunk.  Compute and bandwidth are left untouched:
-    they cancel in the speedup ratios the paper reports.
+    factor the dataset was shrunk.
+
+    Compute and the bandwidths are left untouched by default: they cancel in
+    the speedup ratios the paper reports.  That deliberately includes
+    ``pcie_bandwidth_bytes_per_s`` — transfer and kernel times both scale
+    with the non-zero count, so their ratio is preserved without touching
+    the link.  Experiments that *do* want slower data paths (e.g. modelling
+    a weaker host link next to a smaller card) pass ``bandwidth_scale``,
+    which scales the DRAM and PCIe bandwidths together so the device stays
+    internally consistent.  Every other field is carried over verbatim via
+    :func:`dataclasses.replace`, and the derived spec is re-validated so a
+    field added to :class:`DeviceSpec` later cannot silently produce an
+    inconsistent derived device.
     """
     if memory_scale <= 0:
         raise ValueError(f"memory_scale must be positive, got {memory_scale}")
     new_mem = max(1, int(round(base.global_mem_bytes * memory_scale)))
-    return replace(base, global_mem_bytes=new_mem, name=f"{base.name} [{name_suffix}]")
+    changes = dict(global_mem_bytes=new_mem, name=f"{base.name} [{name_suffix}]")
+    if bandwidth_scale is not None:
+        if bandwidth_scale <= 0:
+            raise ValueError(f"bandwidth_scale must be positive, got {bandwidth_scale}")
+        changes["mem_bandwidth_gbps"] = base.mem_bandwidth_gbps * bandwidth_scale
+        changes["pcie_bandwidth_bytes_per_s"] = (
+            base.pcie_bandwidth_bytes_per_s * bandwidth_scale
+        )
+    derived = replace(base, **changes)
+    derived.validate()
+    return derived

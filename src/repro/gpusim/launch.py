@@ -11,8 +11,6 @@ the number of non-zeros processed by each thread; together with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
-
 from repro.gpusim.device import DeviceSpec
 from repro.util.validation import check_positive_int
 

@@ -19,8 +19,6 @@ Two things are provided here:
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.gpusim.counters import KernelCounters

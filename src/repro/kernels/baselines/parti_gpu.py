@@ -29,13 +29,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.formats.coo import COOTensor
-from repro.formats.semisparse import SemiSparseTensor
 from repro.gpusim.atomics import atomic_cost_ops
 from repro.gpusim.counters import KernelCounters
 from repro.gpusim.device import DeviceSpec, TITAN_X
 from repro.gpusim.launch import LaunchConfig
 from repro.gpusim.memory import AccessPattern, coalesced_traffic_bytes, readonly_cache_traffic
-from repro.gpusim.scan import segment_reduce
 from repro.gpusim.timing import check_device_fit, profile_from_counters
 from repro.kernels.common import MTTKRPResult, SpTTMResult, validate_factor, warp_group_imbalance
 from repro.kernels.reference.coo_reference import reference_spttm
@@ -157,7 +155,9 @@ def parti_gpu_spmttkrp(
     if len(factors) != order:
         raise ValueError(f"need one factor per mode ({order}), got {len(factors)}")
     product_modes = [m for m in range(order) if m != mode]
-    mats = {m: validate_factor(factors[m], tensor.shape[m], f"factors[{m}]") for m in product_modes}
+    mats = {
+        m: validate_factor(factors[m], tensor.shape[m], f"factors[{m}]") for m in product_modes
+    }
     ranks = {mat.shape[1] for mat in mats.values()}
     if len(ranks) != 1:
         raise ValueError(f"product-mode factors must share one rank, got {sorted(ranks)}")

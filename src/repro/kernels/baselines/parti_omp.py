@@ -96,7 +96,9 @@ def parti_omp_spmttkrp(
     if len(factors) != order:
         raise ValueError(f"need one factor per mode ({order}), got {len(factors)}")
     product_modes = [m for m in range(order) if m != mode]
-    mats = {m: validate_factor(factors[m], tensor.shape[m], f"factors[{m}]") for m in product_modes}
+    mats = {
+        m: validate_factor(factors[m], tensor.shape[m], f"factors[{m}]") for m in product_modes
+    }
     rank = next(iter(mats.values())).shape[1]
 
     output = reference_mttkrp(tensor, factors, mode)

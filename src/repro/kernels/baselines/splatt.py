@@ -87,7 +87,9 @@ def splatt_mttkrp(
     if len(factors) != order:
         raise ValueError(f"need one factor per mode ({order}), got {len(factors)}")
     product_modes = [m for m in range(order) if m != mode]
-    mats = {m: validate_factor(factors[m], tensor.shape[m], f"factors[{m}]") for m in product_modes}
+    mats = {
+        m: validate_factor(factors[m], tensor.shape[m], f"factors[{m}]") for m in product_modes
+    }
     rank = next(iter(mats.values())).shape[1]
 
     if csf is None:

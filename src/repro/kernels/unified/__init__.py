@@ -23,6 +23,12 @@ Tensors larger than device memory execute out-of-core
 (:mod:`repro.kernels.unified.streaming`): the non-zero stream is chunked on
 ``threadlen``-aligned boundaries and pipelined through PCIe on multiple CUDA
 streams, overlapping each chunk's copy with the previous chunk's kernel.
+
+With a :class:`~repro.gpusim.cluster.ClusterSpec` (or ``devices=N``) the
+same stream shards across a simulated multi-GPU node
+(:mod:`repro.kernels.unified.sharded`): each shard runs on its own device —
+streaming per-device when it still does not fit — and the partial outputs
+merge through a modeled collective.
 """
 
 from repro.kernels.unified.spttm import unified_spttm
@@ -34,6 +40,12 @@ from repro.kernels.unified.streaming import (
     choose_chunk_nnz,
     execute_streamed,
 )
+from repro.kernels.unified.sharded import (
+    ShardLedger,
+    ShardedExecution,
+    execute_sharded,
+    partition_shards,
+)
 
 __all__ = [
     "unified_spttm",
@@ -43,4 +55,8 @@ __all__ = [
     "StreamedExecution",
     "choose_chunk_nnz",
     "execute_streamed",
+    "ShardLedger",
+    "ShardedExecution",
+    "execute_sharded",
+    "partition_shards",
 ]

@@ -9,7 +9,7 @@ output scatter — is common and modelled here.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

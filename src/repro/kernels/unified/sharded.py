@@ -1,0 +1,467 @@
+"""Multi-GPU sharded execution of the unified kernels.
+
+The streamed path (PR 1) broke the single-device *memory* ceiling; this
+module breaks the single-device *throughput* ceiling: the F-COO non-zero
+stream is partitioned across the members of a
+:class:`~repro.gpusim.cluster.ClusterSpec` on the same segment-safe,
+``threadlen``-aligned boundaries the out-of-core path uses
+(:meth:`~repro.formats.fcoo.FCOOTensor.chunk`), each shard executes the
+unchanged one-shot kernel on its own device — falling back to the
+per-device streamed path when the shard still exceeds that device's memory
+— and the per-device partial outputs merge through a modeled collective:
+
+* a **ring all-reduce** of the dense output for SpMTTKRP / SpTTMc (every
+  device needs the updated factor for the next ALS/HOOI sweep), or
+* a **boundary exchange** for SpTTM (the semi-sparse output stays
+  partitioned across the devices for the next pipeline stage to consume in
+  place; only the partial fibers straddling a shard boundary move to a
+  neighbour), with a **gather** onto the root available for callers that
+  need the whole output on one device.
+
+Shards are treated as *staged*: like the single-device one-shot kernels
+(whose profiles exclude the initial tensor transfer — the CP engine charges
+it once in ``prepare()``), a shard's H2D staging bytes are recorded in its
+ledger but not charged to the kernel makespan.  A shard that falls back to
+streaming re-ships its chunks every execution and is charged exactly as the
+single-device streamed path would be.
+
+Numeric outputs are identical (up to floating-point summation order at
+shard-straddling segments) to the one-shot kernels; ``tests/test_sharded.py``
+is the property harness proving it across 1/2/4 devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.formats.fcoo import FCOOChunk, FCOOTensor
+from repro.gpusim.cluster import ClusterSpec
+from repro.gpusim.counters import KernelCounters, KernelProfile
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.timing import profile_from_counters
+from repro.kernels.unified._model import (
+    unified_device_footprint,
+    unified_kernel_counters,
+)
+from repro.kernels.unified.streaming import (
+    NumericCore,
+    coerce_segment_sums,
+    should_stream,
+    streamed_unified_kernel,
+)
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "ShardLedger",
+    "ShardedExecution",
+    "ShardedTimeline",
+    "partition_shards",
+    "execute_sharded",
+    "sharded_unified_kernel",
+]
+
+#: A per-shard kernel: maps one shard's F-COO encoding and its device to the
+#: shard's local per-segment sums ``(shard.num_segments, width)`` plus the
+#: profile of executing it on that device (one-shot or streamed).
+ShardKernel = Callable[[FCOOTensor, DeviceSpec], Tuple[np.ndarray, KernelProfile]]
+
+
+def partition_shards(
+    fcoo: FCOOTensor, num_shards: int, *, threadlen: int = 1
+) -> List[FCOOChunk]:
+    """Split the non-zero stream into at most ``num_shards`` device shards.
+
+    The shard size is ``ceil(nnz / num_shards)`` rounded *up* to a
+    ``threadlen`` multiple, so shard boundaries coincide with per-thread
+    partition boundaries and the shard count never exceeds the device
+    count (a short stream simply leaves trailing devices idle).  Segment
+    safety — a fiber/slice straddling a shard boundary — is handled by the
+    same global-segment-id bookkeeping the out-of-core chunks use.
+    """
+    num_shards = check_positive_int(num_shards, "num_shards")
+    threadlen = check_positive_int(threadlen, "threadlen")
+    if fcoo.nnz == 0:
+        return []
+    per_shard = -(-fcoo.nnz // num_shards)
+    per_shard = -(-per_shard // threadlen) * threadlen
+    return fcoo.chunk(per_shard, threadlen=threadlen)
+
+
+@dataclass(frozen=True)
+class ShardLedger:
+    """Counter ledger of one device's shard.
+
+    Attributes
+    ----------
+    index:
+        Device slot the shard executed on (``cluster.devices[index]``).
+    device_name:
+        The device's human-readable name.
+    start / stop / nnz / num_segments / carries_in:
+        Position and statistics of the shard in the non-zero stream
+        (``carries_in`` marks a segment straddling the boundary with the
+        previous shard).
+    staged_bytes:
+        Host-to-device bytes staged before execution (the shard's F-COO
+        arrays); informational — staging happens once, outside the kernel,
+        exactly like the single-device one-shot path.
+    time_s:
+        The shard's wall time on its device (streamed makespan when the
+        shard fell back to the out-of-core path).
+    counters:
+        The shard kernel's work ledger.
+    streaming:
+        The per-device :class:`~repro.kernels.unified.streaming.StreamedExecution`
+        ledger when the shard exceeded its device's memory; ``None`` for a
+        resident shard.
+    """
+
+    index: int
+    device_name: str
+    start: int
+    stop: int
+    nnz: int
+    num_segments: int
+    carries_in: bool
+    staged_bytes: float
+    time_s: float
+    counters: KernelCounters
+    streaming: Optional[object] = None
+
+
+@dataclass
+class ShardedExecution:
+    """Full ledger of one multi-GPU sharded kernel execution.
+
+    Attributes
+    ----------
+    cluster / threadlen:
+        The cluster and alignment the stream was sharded with.
+    shards:
+        One :class:`ShardLedger` per executed shard, in device order.
+    reduction_kind / reduction_bytes / reduction_time_s:
+        The modeled collective merging the per-device partial outputs
+        (``"allreduce"`` or ``"gather"``; zero-cost when a single shard
+        executed).
+    """
+
+    cluster: ClusterSpec
+    threadlen: int
+    shards: List[ShardLedger]
+    reduction_kind: str
+    reduction_bytes: float
+    reduction_time_s: float
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        """Shards actually executed (at most ``cluster.num_devices``)."""
+        return len(self.shards)
+
+    @property
+    def num_devices(self) -> int:
+        """Devices in the cluster (idle trailing devices included)."""
+        return self.cluster.num_devices
+
+    @property
+    def device_times(self) -> Dict[int, float]:
+        """Per-device busy seconds, keyed by device slot."""
+        return {shard.index: shard.time_s for shard in self.shards}
+
+    @property
+    def max_shard_time_s(self) -> float:
+        """Wall time of the slowest device (shards run concurrently)."""
+        return max((s.time_s for s in self.shards), default=0.0)
+
+    @property
+    def busy_time_s(self) -> float:
+        """Aggregate busy seconds across all devices."""
+        return sum(s.time_s for s in self.shards)
+
+    @property
+    def total_time_s(self) -> float:
+        """Makespan: slowest shard plus the partial-output reduction."""
+        return self.max_shard_time_s + self.reduction_time_s
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Busy fraction of the cluster over the makespan, in ``(0, 1]``.
+
+        ``busy / (N * makespan)``: 1 when every device computes for the
+        whole execution and nothing is spent reducing; idle devices (a
+        stream shorter than ``N`` shards), load imbalance and the reduction
+        all pull it below 1.
+        """
+        total = self.total_time_s
+        if total <= 0.0:
+            return 1.0
+        return min(1.0, self.busy_time_s / (self.num_devices * total))
+
+    @property
+    def has_streaming_shards(self) -> bool:
+        """Whether any shard fell back to the per-device streamed path."""
+        return any(s.streaming is not None for s in self.shards)
+
+
+class ShardedTimeline:
+    """Per-device timeline accumulated over many sharded kernel executions.
+
+    The decomposition drivers (CP-ALS engine, Tucker/HOOI) feed every
+    kernel profile through :meth:`observe` and report the aggregate
+    per-device busy seconds and scaling efficiency; keeping the
+    bookkeeping here keeps the efficiency definition single-sourced.
+    """
+
+    def __init__(self, num_devices: int) -> None:
+        self.num_devices = check_positive_int(num_devices, "num_devices")
+        self.device_busy_s: Dict[int, float] = {}
+        self.reduction_time_s = 0.0
+        self.makespan_s = 0.0
+
+    def observe(self, profile: KernelProfile) -> None:
+        """Accumulate one kernel profile (single-device profiles are ignored)."""
+        execution = getattr(profile, "sharded", None)
+        if execution is None:
+            return
+        for slot, busy in execution.device_times.items():
+            self.device_busy_s[slot] = self.device_busy_s.get(slot, 0.0) + busy
+        self.reduction_time_s += execution.reduction_time_s
+        self.makespan_s += execution.total_time_s
+
+    @property
+    def parallel_efficiency(self) -> Optional[float]:
+        """Cluster busy fraction over all observed makespans, in ``(0, 1]``.
+
+        ``sum(per-device busy) / (N * sum(makespans))``; ``None`` before
+        any sharded execution was observed.
+        """
+        if self.makespan_s <= 0.0:
+            return None
+        busy = sum(self.device_busy_s.values())
+        return min(1.0, busy / (self.num_devices * self.makespan_s))
+
+
+def execute_sharded(
+    fcoo: FCOOTensor,
+    shard_kernel: ShardKernel,
+    *,
+    cluster: ClusterSpec,
+    threadlen: int,
+    output_bytes: float,
+    reduction: str = "allreduce",
+    name: str = "unified-sharded",
+    output_width: Optional[int] = None,
+) -> Tuple[np.ndarray, KernelProfile]:
+    """Run a unified kernel shard-by-shard across a cluster and merge.
+
+    Parameters
+    ----------
+    fcoo:
+        The full (host-resident) F-COO encoding.
+    shard_kernel:
+        Kernel-specific callable; see :data:`ShardKernel`.
+    cluster / threadlen:
+        The cluster and the chunk alignment.
+    output_bytes:
+        Size of the dense output a ring all-reduce would move (ignored for
+        the other reduction kinds, which size payloads from the per-shard
+        segment bookkeeping).
+    reduction:
+        ``"allreduce"`` (dense factor outputs that every device needs),
+        ``"boundary"`` (outputs that stay partitioned across the devices —
+        the semi-sparse SpTTM fibers — where only shard-straddling
+        segments exchange with a neighbour), or ``"gather"`` (collect the
+        partitioned output onto the root device).
+    name:
+        Profile name; ``-sharded`` is appended.
+    output_width:
+        Column count of the per-segment sums when the stream is empty.
+
+    Returns
+    -------
+    (segment_sums, profile)
+        ``segment_sums`` has shape ``(fcoo.num_segments, width)`` with the
+        merged per-segment reductions (shard-straddling partial segments
+        summed); ``profile.sharded`` carries the :class:`ShardedExecution`
+        ledger.
+    """
+    threadlen = check_positive_int(threadlen, "threadlen")
+    if reduction not in ("allreduce", "boundary", "gather"):
+        raise ValueError(
+            f"reduction must be 'allreduce', 'boundary' or 'gather', got {reduction!r}"
+        )
+    shards = partition_shards(fcoo, cluster.num_devices, threadlen=threadlen)
+
+    ledgers: List[ShardLedger] = []
+    merged = KernelCounters()
+    segment_sums: Optional[np.ndarray] = None
+    peak_device_bytes = 0.0
+
+    for i, shard in enumerate(shards):
+        device = cluster.devices[i]
+        local_sums, profile = shard_kernel(shard.tensor, device)
+        local_sums = coerce_segment_sums(local_sums, shard.num_segments)
+        if segment_sums is None:
+            segment_sums = np.zeros(
+                (fcoo.num_segments, local_sums.shape[1]), dtype=np.float64
+            )
+        segment_sums[
+            shard.segment_offset : shard.segment_offset + shard.num_segments
+        ] += local_sums
+
+        staged = (
+            0.0
+            if profile.streaming is not None  # streamed shards re-ship chunks
+            else float(shard.tensor.storage_bytes(threadlen))
+        )
+        ledgers.append(
+            ShardLedger(
+                index=i,
+                device_name=device.name,
+                start=shard.start,
+                stop=shard.stop,
+                nnz=shard.nnz,
+                num_segments=shard.num_segments,
+                carries_in=shard.carries_in,
+                staged_bytes=staged,
+                time_s=profile.estimated_time_s,
+                counters=profile.counters,
+                streaming=profile.streaming,
+            )
+        )
+        merged = merged.merge(profile.counters)
+        peak_device_bytes = max(peak_device_bytes, profile.device_memory_bytes)
+
+    if segment_sums is None:
+        segment_sums = np.zeros(
+            (fcoo.num_segments, output_width if output_width else 1), dtype=np.float64
+        )
+
+    if len(ledgers) <= 1:
+        reduction_bytes, reduction_time = 0.0, 0.0
+    elif reduction == "allreduce":
+        reduction_bytes = float(output_bytes)
+        reduction_time = cluster.allreduce_time(reduction_bytes)
+    elif reduction == "boundary":
+        width = segment_sums.shape[1]
+        payloads = [
+            float(width * fcoo.value_dtype.itemsize)
+            for ledger in ledgers
+            if ledger.carries_in
+        ]
+        reduction_bytes = float(sum(payloads))
+        reduction_time = cluster.neighbor_exchange_time(payloads)
+    else:
+        width = segment_sums.shape[1]
+        payloads = [
+            ledger.num_segments * width * fcoo.value_dtype.itemsize
+            for ledger in ledgers
+        ]
+        reduction_bytes = float(sum(payloads[1:]))
+        reduction_time = cluster.gather_time(payloads)
+
+    execution = ShardedExecution(
+        cluster=cluster,
+        threadlen=threadlen,
+        shards=ledgers,
+        reduction_kind=reduction,
+        reduction_bytes=reduction_bytes,
+        reduction_time_s=reduction_time,
+    )
+    profile = KernelProfile(
+        name=f"{name}-sharded",
+        counters=merged,
+        estimated_time_s=execution.total_time_s,
+        device_memory_bytes=peak_device_bytes,
+        breakdown={
+            "compute": execution.max_shard_time_s,
+            "reduction": reduction_time,
+            "devices": float(cluster.num_devices),
+            "shards": float(len(ledgers)),
+        },
+        sharded=execution,
+    )
+    return segment_sums, profile
+
+
+def sharded_unified_kernel(
+    fcoo: FCOOTensor,
+    numeric_core: NumericCore,
+    *,
+    rank: int,
+    output_width: int,
+    flops_per_nnz_per_column: float,
+    block_size: int,
+    threadlen: int,
+    fused: bool,
+    cluster: ClusterSpec,
+    streamed: Optional[bool],
+    num_streams: int,
+    chunk_nnz: Optional[int],
+    resident_bytes: float,
+    output_bytes: float,
+    name: str,
+    reduction: str = "allreduce",
+) -> Tuple[np.ndarray, KernelProfile]:
+    """Sharded execution of a unified kernel given its numeric core.
+
+    The per-shard shape is exactly the single-device kernel: a shard whose
+    one-shot footprint fits its device runs the one-shot model; one that
+    does not falls back to the PR 1 streamed path *on that device* (with
+    the caller's ``streamed`` / ``num_streams`` / ``chunk_nnz`` controls
+    forwarded unchanged).  All three unified kernels share this driver and
+    differ only in the numeric core, widths and reduction kind.
+    """
+
+    def shard_kernel(shard: FCOOTensor, device: DeviceSpec):
+        launch = LaunchConfig.for_nnz(
+            max(shard.nnz, 1), rank, block_size=block_size, threadlen=threadlen
+        )
+        footprint = unified_device_footprint(shard, launch, resident_bytes, 0.0)
+        if should_stream(shard, footprint, device, streamed):
+            return streamed_unified_kernel(
+                shard,
+                numeric_core,
+                rank=rank,
+                output_width=output_width,
+                flops_per_nnz_per_column=flops_per_nnz_per_column,
+                block_size=block_size,
+                threadlen=threadlen,
+                fused=fused,
+                device=device,
+                num_streams=num_streams,
+                chunk_nnz=chunk_nnz,
+                resident_bytes=resident_bytes,
+                name=name,
+            )
+        sums, row_streams = numeric_core(shard)
+        counters = unified_kernel_counters(
+            shard,
+            row_streams,
+            rank,
+            output_rows=shard.num_segments,
+            output_width=output_width,
+            launch=launch,
+            device=device,
+            flops_per_nnz_per_column=flops_per_nnz_per_column,
+            fused=fused,
+        )
+        profile = profile_from_counters(
+            name, counters, launch, device, device_memory_bytes=footprint
+        )
+        return sums, profile
+
+    return execute_sharded(
+        fcoo,
+        shard_kernel,
+        cluster=cluster,
+        threadlen=threadlen,
+        output_bytes=output_bytes,
+        reduction=reduction,
+        name=name,
+        output_width=output_width,
+    )

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.mode_encoding import OperationKind
+from repro.gpusim.cluster import ClusterSpec, resolve_cluster
 from repro.gpusim.device import DeviceSpec, TITAN_X
 from repro.gpusim.launch import LaunchConfig
 from repro.gpusim.scan import segment_reduce
@@ -36,6 +37,7 @@ from repro.kernels.unified._model import (
     unified_device_footprint,
     unified_kernel_counters,
 )
+from repro.kernels.unified.sharded import sharded_unified_kernel
 from repro.kernels.unified.streaming import should_stream, streamed_unified_kernel
 from repro.tensor.sparse import SparseTensor
 from repro.util.validation import check_mode
@@ -93,6 +95,8 @@ def unified_spmttkrp(
     streamed: Optional[bool] = None,
     num_streams: int = 2,
     chunk_nnz: Optional[int] = None,
+    cluster: Optional[ClusterSpec] = None,
+    devices: Optional[int] = None,
 ) -> MTTKRPResult:
     """Compute MTTKRP with the unified F-COO algorithm.
 
@@ -112,6 +116,10 @@ def unified_spmttkrp(
     streamed, num_streams, chunk_nnz:
         Out-of-core controls, as in
         :func:`repro.kernels.unified.spttm.unified_spttm`.
+    cluster, devices:
+        Multi-GPU controls, as in
+        :func:`repro.kernels.unified.spttm.unified_spttm` (the partial
+        outputs merge through a modeled ring all-reduce).
 
     Returns
     -------
@@ -157,6 +165,33 @@ def unified_spmttkrp(
     footprint, resident_bytes = spmttkrp_footprint(
         fcoo, rank, block_size=block_size, threadlen=threadlen
     )
+
+    device, multi = resolve_cluster(device, cluster, devices)
+    if multi is not None and fcoo.nnz:
+        # -------------------------------------------------------------- #
+        # Multi-GPU path: the non-zero stream shards across the cluster,
+        # each device reduces its slices, and the dense output all-reduces.
+        # -------------------------------------------------------------- #
+        slice_sums, profile = sharded_unified_kernel(
+            fcoo,
+            lambda chunk: _slice_sums(chunk, mats),
+            rank=rank,
+            output_width=rank,
+            flops_per_nnz_per_column=flops_per_col,
+            block_size=block_size,
+            threadlen=threadlen,
+            fused=fused,
+            cluster=multi,
+            streamed=streamed,
+            num_streams=num_streams,
+            chunk_nnz=chunk_nnz,
+            resident_bytes=resident_bytes,
+            output_bytes=shape[fcoo.mode] * rank * 4.0,
+            name=f"unified-spmttkrp-mode{fcoo.mode}",
+            reduction="allreduce",
+        )
+        np.add.at(output, fcoo.segment_index_coords[:, 0], slice_sums)
+        return MTTKRPResult(output=output, profile=profile)
 
     if should_stream(fcoo, footprint, device, streamed):
         # -------------------------------------------------------------- #

@@ -30,6 +30,7 @@ import numpy as np
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.mode_encoding import OperationKind
 from repro.formats.semisparse import SemiSparseTensor
+from repro.gpusim.cluster import ClusterSpec, resolve_cluster
 from repro.gpusim.device import DeviceSpec, TITAN_X
 from repro.gpusim.launch import LaunchConfig
 from repro.gpusim.scan import segment_reduce
@@ -39,6 +40,7 @@ from repro.kernels.unified._model import (
     unified_device_footprint,
     unified_kernel_counters,
 )
+from repro.kernels.unified.sharded import sharded_unified_kernel
 from repro.kernels.unified.streaming import should_stream, streamed_unified_kernel
 from repro.tensor.sparse import SparseTensor
 from repro.util.validation import check_mode
@@ -65,6 +67,8 @@ def unified_spttm(
     streamed: Optional[bool] = None,
     num_streams: int = 2,
     chunk_nnz: Optional[int] = None,
+    cluster: Optional[ClusterSpec] = None,
+    devices: Optional[int] = None,
 ) -> SpTTMResult:
     """Compute SpTTM with the unified F-COO algorithm on the simulated GPU.
 
@@ -99,6 +103,17 @@ def unified_spttm(
         Non-zeros per streamed chunk (must be at least ``threadlen``;
         rounded down to a ``threadlen`` multiple); ``None`` sizes chunks to
         fill the device memory budget.
+    cluster:
+        Optional :class:`~repro.gpusim.cluster.ClusterSpec`: the non-zero
+        stream shards across its devices on ``threadlen``-aligned
+        boundaries, each shard runs on its own device (falling back to the
+        streamed path per-device when it does not fit); the semi-sparse
+        output stays partitioned across the devices and only the fibers
+        straddling a shard boundary exchange with a neighbour
+        (``profile.sharded`` carries the per-device ledger).
+    devices:
+        Shorthand for ``cluster``: a device count > 1 builds a homogeneous
+        cluster of ``device``.  Mutually consistent with ``cluster``.
 
     Returns
     -------
@@ -149,15 +164,42 @@ def unified_spttm(
     output_bytes = fcoo.num_segments * rank * 4.0 + fcoo.num_segments * (fcoo.order - 1) * 4.0
     footprint = unified_device_footprint(fcoo, launch, factor_bytes, output_bytes)
 
-    if should_stream(fcoo, footprint, device, streamed):
+    device, multi = resolve_cluster(device, cluster, devices)
+
+    def numeric_core(chunk: FCOOTensor):
+        sums, product_idx = _fiber_values(chunk, matrix)
+        return sums, [product_idx]
+
+    if multi is not None:
+        # -------------------------------------------------------------- #
+        # Multi-GPU path: shards reduce their own fibers in parallel; the
+        # semi-sparse output stays partitioned across the devices (the
+        # next pipeline stage consumes it in place) and only the fibers
+        # straddling a shard boundary exchange with a neighbour.
+        # -------------------------------------------------------------- #
+        fiber_values, profile = sharded_unified_kernel(
+            fcoo,
+            numeric_core,
+            rank=rank,
+            output_width=rank,
+            flops_per_nnz_per_column=2.0,
+            block_size=block_size,
+            threadlen=threadlen,
+            fused=fused,
+            cluster=multi,
+            streamed=streamed,
+            num_streams=num_streams,
+            chunk_nnz=chunk_nnz,
+            resident_bytes=factor_bytes + output_bytes,
+            output_bytes=output_bytes,
+            name=f"unified-spttm-mode{fcoo.mode}",
+            reduction="boundary",
+        )
+    elif should_stream(fcoo, footprint, device, streamed):
         # -------------------------------------------------------------- #
         # Out-of-core path: each chunk produces partial fiber sums for its
         # local segments; boundary-straddling fibers merge by segment id.
         # -------------------------------------------------------------- #
-        def numeric_core(chunk: FCOOTensor):
-            sums, product_idx = _fiber_values(chunk, matrix)
-            return sums, [product_idx]
-
         fiber_values, profile = streamed_unified_kernel(
             fcoo,
             numeric_core,

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.mode_encoding import OperationKind
+from repro.gpusim.cluster import ClusterSpec, resolve_cluster
 from repro.gpusim.device import DeviceSpec, TITAN_X
 from repro.gpusim.launch import LaunchConfig
 from repro.gpusim.scan import segment_reduce
@@ -32,6 +33,7 @@ from repro.kernels.unified._model import (
     unified_device_footprint,
     unified_kernel_counters,
 )
+from repro.kernels.unified.sharded import sharded_unified_kernel
 from repro.kernels.unified.streaming import should_stream, streamed_unified_kernel
 from repro.tensor.sparse import SparseTensor
 from repro.util.validation import check_mode
@@ -69,6 +71,8 @@ def unified_spttmc(
     streamed: Optional[bool] = None,
     num_streams: int = 2,
     chunk_nnz: Optional[int] = None,
+    cluster: Optional[ClusterSpec] = None,
+    devices: Optional[int] = None,
 ) -> TTMcResult:
     """Compute TTMc with the unified F-COO algorithm on the simulated GPU.
 
@@ -85,6 +89,10 @@ def unified_spttmc(
     streamed, num_streams, chunk_nnz:
         Out-of-core controls, as in
         :func:`repro.kernels.unified.spttm.unified_spttm`.
+    cluster, devices:
+        Multi-GPU controls, as in
+        :func:`repro.kernels.unified.spttm.unified_spttm` (the partial
+        unfoldings merge through a modeled ring all-reduce).
 
     Returns
     -------
@@ -124,6 +132,33 @@ def unified_spttmc(
     factor_bytes = sum(shape[m] * r * 4.0 for m, r in zip(product_modes, ranks))
     output_bytes = shape[fcoo.mode] * out_width * 4.0
     footprint = unified_device_footprint(fcoo, launch, factor_bytes, output_bytes)
+
+    device, multi = resolve_cluster(device, cluster, devices)
+    if multi is not None and fcoo.nnz:
+        # -------------------------------------------------------------- #
+        # Multi-GPU path: shards form their Kronecker slice sums in
+        # parallel and the dense unfolding all-reduces across the cluster.
+        # -------------------------------------------------------------- #
+        slice_sums, profile = sharded_unified_kernel(
+            fcoo,
+            lambda chunk: _kron_slice_sums(chunk, mats),
+            rank=max(ranks),
+            output_width=out_width,
+            flops_per_nnz_per_column=3.0,
+            block_size=block_size,
+            threadlen=threadlen,
+            fused=fused,
+            cluster=multi,
+            streamed=streamed,
+            num_streams=num_streams,
+            chunk_nnz=chunk_nnz,
+            resident_bytes=factor_bytes + output_bytes,
+            output_bytes=output_bytes,
+            name=f"unified-spttmc-mode{fcoo.mode}",
+            reduction="allreduce",
+        )
+        np.add.at(output, fcoo.segment_index_coords[:, 0], slice_sums)
+        return TTMcResult(output=output, profile=profile)
 
     if should_stream(fcoo, footprint, device, streamed):
         # -------------------------------------------------------------- #

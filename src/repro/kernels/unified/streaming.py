@@ -42,10 +42,34 @@ __all__ = [
     "ChunkLedger",
     "StreamedExecution",
     "choose_chunk_nnz",
+    "coerce_segment_sums",
     "execute_streamed",
     "should_stream",
     "streamed_unified_kernel",
 ]
+
+
+def coerce_segment_sums(local_sums: np.ndarray, num_segments: int) -> np.ndarray:
+    """Normalise a kernel's per-segment sums to a ``(num_segments, width)`` array.
+
+    Width-1 results may arrive as a plain ``(num_segments,)`` vector; the
+    segment axis is made explicit so callers merge rows, not columns.
+    Shared by the streamed and sharded drivers.
+    """
+    local_sums = np.asarray(local_sums, dtype=np.float64)
+    if local_sums.ndim == 1:
+        local_sums = local_sums[:, None]
+    elif local_sums.ndim != 2:
+        raise ValueError(
+            f"kernel must return (num_segments,) or (num_segments, width) "
+            f"sums, got shape {local_sums.shape}"
+        )
+    if local_sums.shape[0] != num_segments:
+        raise ValueError(
+            f"kernel returned {local_sums.shape[0]} segment rows for "
+            f"{num_segments} segments"
+        )
+    return local_sums
 
 #: A per-chunk kernel: maps the chunk's own F-COO encoding to its local
 #: per-segment partial sums ``(chunk.num_segments, width)``, the work ledger
@@ -275,21 +299,7 @@ def execute_streamed(
 
     for i, chunk in enumerate(chunks):
         local_sums, counters, launch = chunk_kernel(chunk.tensor)
-        local_sums = np.asarray(local_sums, dtype=np.float64)
-        if local_sums.ndim == 1:
-            # Width-1 results arrive as (num_segments,); make the segment
-            # axis explicit so the merge below indexes rows, not columns.
-            local_sums = local_sums[:, None]
-        elif local_sums.ndim != 2:
-            raise ValueError(
-                f"chunk_kernel must return (num_segments,) or (num_segments, width) "
-                f"sums, got shape {local_sums.shape}"
-            )
-        if local_sums.shape[0] != chunk.num_segments:
-            raise ValueError(
-                f"chunk_kernel returned {local_sums.shape[0]} segment rows for a "
-                f"chunk with {chunk.num_segments} segments"
-            )
+        local_sums = coerce_segment_sums(local_sums, chunk.num_segments)
         if segment_sums is None:
             segment_sums = np.zeros(
                 (fcoo.num_segments, local_sums.shape[1]), dtype=np.float64

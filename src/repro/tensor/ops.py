@@ -17,7 +17,7 @@ Operations
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -28,7 +28,9 @@ from repro.util.validation import check_mode
 __all__ = ["ttm_dense", "mttkrp_dense", "ttmc_dense", "cp_reconstruct"]
 
 
-def ttm_dense(tensor: np.ndarray, matrix: np.ndarray, mode: int, *, transpose: bool = False) -> np.ndarray:
+def ttm_dense(
+    tensor: np.ndarray, matrix: np.ndarray, mode: int, *, transpose: bool = False
+) -> np.ndarray:
     """Mode-``mode`` tensor-times-matrix product on dense data.
 
     Computes ``Y = X ×_mode U`` where, following the paper's Equation (3),
@@ -130,7 +132,9 @@ def ttmc_dense(tensor: np.ndarray, factors: Sequence[np.ndarray], mode: int) -> 
     return unfold_dense(result, mode)
 
 
-def cp_reconstruct(factors: Sequence[np.ndarray], weights: Optional[np.ndarray] = None) -> np.ndarray:
+def cp_reconstruct(
+    factors: Sequence[np.ndarray], weights: Optional[np.ndarray] = None
+) -> np.ndarray:
     """Reconstruct the dense tensor represented by CP factors.
 
     ``X ≈ Σ_r weights[r] · a_r ∘ b_r ∘ c_r ∘ ...`` where ``∘`` is the outer

@@ -8,7 +8,7 @@ distributions; the dataset-specific analogs of the paper's FROSTT tensors
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

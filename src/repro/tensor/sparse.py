@@ -22,7 +22,7 @@ Design notes
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sps
@@ -372,7 +372,10 @@ class SparseTensor:
 
     def to_coords_dict(self) -> Dict[Tuple[int, ...], float]:
         """Return ``{coordinate tuple: value}`` — convenient in small tests."""
-        return {tuple(int(i) for i in row): float(v) for row, v in zip(self._indices, self._values)}
+        return {
+            tuple(int(i) for i in row): float(v)
+            for row, v in zip(self._indices, self._values)
+        }
 
 
 # ---------------------------------------------------------------------- #

@@ -8,7 +8,7 @@ may be ``None``, an integer, or an already-constructed
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 

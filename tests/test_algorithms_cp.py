@@ -5,7 +5,7 @@ import pytest
 
 from repro.algorithms.cp import CPResult, SplattCPUEngine, UnifiedGPUEngine, cp_als
 from repro.tensor.ops import cp_reconstruct
-from repro.tensor.random import random_factors, random_sparse_tensor
+from repro.tensor.random import random_factors
 from repro.tensor.sparse import SparseTensor
 
 

@@ -6,7 +6,6 @@ import pytest
 from repro.algorithms.tucker import tucker_hooi
 from repro.tensor.sparse import SparseTensor
 from repro.tensor.ops import ttm_dense
-from repro.tensor.random import random_sparse_tensor
 
 
 @pytest.fixture

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cpusim.cpu import CPU_I7_5820K, CpuCounters, CpuSpec, cpu_profile, estimate_cpu_time
+from repro.cpusim.cpu import CPU_I7_5820K, CpuCounters, cpu_profile, estimate_cpu_time
 
 
 class TestCpuSpec:

@@ -1,6 +1,5 @@
 """Tests for the synthetic dataset analogs and the registry (Table IV)."""
 
-import numpy as np
 import pytest
 
 from repro.data.registry import DATASETS, dataset_table, load_dataset

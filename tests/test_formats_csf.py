@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.formats.csf import CSFTensor
-from repro.tensor.random import random_sparse_tensor
 from repro.tensor.sparse import SparseTensor
 
 

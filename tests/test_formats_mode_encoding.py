@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.formats.mode_encoding import ModeRoles, OperationKind, mode_roles
+from repro.formats.mode_encoding import OperationKind, mode_roles
 
 
 class TestOperationKind:

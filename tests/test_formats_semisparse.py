@@ -6,7 +6,6 @@ import pytest
 from repro.formats.semisparse import SemiSparseTensor
 from repro.kernels.reference.coo_reference import reference_spttm
 from repro.tensor.ops import ttm_dense
-from repro.tensor.random import random_sparse_tensor
 
 
 def make_semisparse(dense_mode=2):

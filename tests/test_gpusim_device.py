@@ -66,3 +66,37 @@ class TestScaledDevice:
     def test_invalid_scale(self):
         with pytest.raises(ValueError):
             scaled_device(TITAN_X, 0.0)
+
+    def test_every_other_field_carried_over(self):
+        """A derived device differs from its base ONLY in memory and name.
+
+        This is the field-consistency audit: replace() copies every field,
+        so a field added to DeviceSpec later (as pcie_bandwidth_bytes_per_s
+        was) is automatically preserved — and this test fails if a future
+        refactor rebuilds the spec field-by-field and drops one.
+        """
+        small = scaled_device(TITAN_X, 0.25, name_suffix="audit")
+        for f in dataclasses.fields(DeviceSpec):
+            if f.name in ("global_mem_bytes", "name"):
+                continue
+            assert getattr(small, f.name) == getattr(TITAN_X, f.name), f.name
+        assert small.pcie_bandwidth_bytes_per_s == TITAN_X.pcie_bandwidth_bytes_per_s
+        assert small.name.endswith("[audit]")
+
+    def test_bandwidth_scale_scales_dram_and_pcie_together(self):
+        slow = scaled_device(TITAN_X, 0.5, bandwidth_scale=0.25)
+        assert slow.mem_bandwidth_gbps == pytest.approx(TITAN_X.mem_bandwidth_gbps * 0.25)
+        assert slow.pcie_bandwidth_bytes_per_s == pytest.approx(
+            TITAN_X.pcie_bandwidth_bytes_per_s * 0.25
+        )
+        # Compute is still untouched: bandwidth and capacity scale, lanes do not.
+        assert slow.peak_flops == TITAN_X.peak_flops
+
+    def test_invalid_bandwidth_scale(self):
+        with pytest.raises(ValueError):
+            scaled_device(TITAN_X, 0.5, bandwidth_scale=0.0)
+
+    def test_derived_device_is_validated(self):
+        bad_base = dataclasses.replace(TITAN_X, achievable_bandwidth_fraction=1.5)
+        with pytest.raises(ValueError):
+            scaled_device(bad_base, 0.5)

@@ -1,7 +1,5 @@
 """Tests for the ParTI-GPU baseline kernels."""
 
-import dataclasses
-
 import numpy as np
 import pytest
 

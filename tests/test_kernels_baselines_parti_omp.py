@@ -1,7 +1,6 @@
 """Tests for the ParTI-omp CPU baseline kernels."""
 
 import numpy as np
-import pytest
 
 from repro.cpusim.cpu import CPU_I7_5820K
 from repro.kernels.baselines.parti_omp import parti_omp_spmttkrp, parti_omp_spttm

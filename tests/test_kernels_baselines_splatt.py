@@ -1,7 +1,6 @@
 """Tests for the SPLATT CSF-based CPU MTTKRP baseline."""
 
 import numpy as np
-import pytest
 
 from repro.formats.csf import CSFTensor
 from repro.kernels.baselines.splatt import splatt_csf_mode_order, splatt_mttkrp

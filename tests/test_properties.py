@@ -12,8 +12,7 @@ These cover the invariants the rest of the system leans on:
 from typing import Tuple
 
 import numpy as np
-import pytest
-from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.formats.csf import CSFTensor

@@ -245,7 +245,9 @@ class TestChunkedEqualsOneShot:
         # profile's PCIe ledger equals the per-chunk transfer sum.
         transfer_total = sum(c.transfer_bytes for c in execution.chunks)
         assert transfer_total >= FCOOTensor.from_sparse(
-            tensor, OperationKind.SPTTM if kernel is unified_spttm else OperationKind.SPMTTKRP, mode
+            tensor,
+            OperationKind.SPTTM if kernel is unified_spttm else OperationKind.SPMTTKRP,
+            mode,
         ).storage_bytes(THREADLEN)
         assert streamed.profile.counters.host_to_device_bytes == pytest.approx(transfer_total)
         # And the schedule's busy totals are the ledger sums.
