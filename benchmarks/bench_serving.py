@@ -1,0 +1,58 @@
+"""Multi-tenant serving over the simulated cluster.
+
+The paper measures one kernel at a time; this extension benchmark serves a
+seeded 100-job multi-tenant workload on the default heterogeneous analog
+node and checks the structural invariants of the serving report: every job
+terminates exactly once, the schedule is deterministic, latency
+percentiles are ordered, utilisation is a true fraction, the preprocessing
+cache hits on repeat submissions, and every execution path (one-shot,
+capability-weighted sharded, decompositions, admission rejects) appears.
+"""
+
+import numpy as np
+import pytest
+
+from bench_common import run_once
+from repro.bench.serving import run_serving
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_default_workload(benchmark):
+    report = run_once(benchmark, run_serving, num_jobs=100, seed=0)
+    print()
+    print(report.render())
+
+    # Every submitted job terminates exactly once.
+    assert len(report.results) == 100
+    assert len(report.completed) + len(report.rejected) == 100
+    assert len(report.completed) > 0 and len(report.rejected) > 0
+
+    # Latency metrics are ordered and positive.
+    assert 0.0 < report.p50_latency_s <= report.p99_latency_s
+    assert report.makespan_s > 0.0
+    assert report.throughput_jobs_per_s > 0.0
+
+    # Utilisation is a true fraction on every device and overall.
+    for u in report.device_utilization.values():
+        assert 0.0 <= u <= 1.0
+    assert 0.0 < report.overall_utilization <= 1.0
+
+    # The shared tensor pool makes repeat submissions hit the cache.
+    assert report.cache_stats.encode_hits > 0
+    assert report.cache_stats.encode_hit_rate > 0.5
+
+    # The default workload exercises the one-shot, sharded and
+    # decomposition paths (whales shard; CP/Tucker jobs run end to end).
+    counts = report.execution_counts()
+    assert counts.get("one-shot", 0) > 0
+    assert counts.get("sharded", 0) > 0
+    assert counts.get("decomposition", 0) > 0
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_deterministic(benchmark):
+    first = run_serving(num_jobs=40, seed=0)
+    second = run_once(benchmark, run_serving, num_jobs=40, seed=0)
+    np.testing.assert_array_equal(first.latencies_s, second.latencies_s)
+    assert first.makespan_s == second.makespan_s
+    assert first.device_utilization == second.device_utilization

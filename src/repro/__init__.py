@@ -16,7 +16,12 @@ The package implements:
 * complete tensor algorithms: CP-ALS and Tucker/HOOI
   (:mod:`repro.algorithms`);
 * datasets (:mod:`repro.data`), auto-tuning (:mod:`repro.autotune`) and the
-  per-figure/table experiment harness (:mod:`repro.bench`).
+  per-figure/table experiment harness (:mod:`repro.bench`);
+* a multi-tenant serving subsystem over the simulated cluster
+  (:mod:`repro.serve`): an async job scheduler with admission control and
+  batching, capability-aware placement, and a preprocessing cache keyed by
+  tensor content — surfaced as :class:`~repro.serve.ServingEngine` and
+  ``python -m repro serve``.
 
 Quick start
 -----------
@@ -84,6 +89,15 @@ from repro.algorithms import (
 )
 from repro.data import load_dataset, DATASETS, read_tns, write_tns
 from repro.autotune import tune_unified
+from repro.serve import (
+    Job,
+    JobKind,
+    JobResult,
+    PreprocCache,
+    ServingEngine,
+    ServingReport,
+    WorkloadSpec,
+)
 
 __all__ = [
     "__version__",
@@ -139,4 +153,12 @@ __all__ = [
     "read_tns",
     "write_tns",
     "tune_unified",
+    # serving
+    "Job",
+    "JobKind",
+    "JobResult",
+    "PreprocCache",
+    "ServingEngine",
+    "ServingReport",
+    "WorkloadSpec",
 ]

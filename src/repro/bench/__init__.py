@@ -28,6 +28,8 @@ runner                          paper artefact
 :func:`run_scaling`             multi-GPU strong scaling of the sharded
                                 kernels (extension; no paper figure)
 :func:`run_weak_scaling`        multi-GPU weak scaling (extension)
+:func:`run_serving`             multi-tenant serving over the simulated
+                                cluster (extension)
 ==============================  ===========================================
 """
 
@@ -42,6 +44,7 @@ from repro.bench.memory import Fig9Result, run_fig9
 from repro.bench.cp_bench import Fig10Result, run_fig10
 from repro.bench.streaming import StreamingResult, run_streaming
 from repro.bench.scaling import ScalingResult, run_scaling, run_weak_scaling
+from repro.bench.serving import run_serving
 
 __all__ = [
     "platform_report",
@@ -68,4 +71,5 @@ __all__ = [
     "ScalingResult",
     "run_scaling",
     "run_weak_scaling",
+    "run_serving",
 ]

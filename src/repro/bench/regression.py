@@ -6,10 +6,13 @@ regression signal: if a code change makes a modeled hot path slower (more
 traffic, a lost overlap, a worse reduction), the simulated seconds move and
 CI can fail on it without flaky-timer tolerance games.
 
-``collect_metrics()`` runs a quick-mode subset of the scaling and streaming
-experiments and flattens them into named scalar metrics (seconds; lower is
-better).  The committed baselines live in ``benchmarks/baselines/`` as
-``BENCH_scaling.json`` / ``BENCH_streaming.json``; the CI ``bench`` job
+``collect_metrics()`` runs a quick-mode subset of the scaling, streaming
+and serving experiments and flattens them into named scalar metrics
+(seconds; lower is better — the serving suite reports latency percentiles,
+the makespan and seconds-per-job, i.e. inverse throughput, so a throughput
+regression fails the gate too).  The committed baselines live in
+``benchmarks/baselines/`` as ``BENCH_scaling.json`` /
+``BENCH_streaming.json`` / ``BENCH_serving.json``; the CI ``bench`` job
 re-collects the metrics, uploads them as artifacts, and fails when any
 metric regresses by more than the tolerance (default 20 %).  Improvements
 never fail; refresh the baseline with ``--update`` when a change is an
@@ -32,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro._version import __version__
 from repro.bench.scaling import run_scaling, run_weak_scaling
+from repro.bench.serving import run_serving
 from repro.bench.streaming import run_streaming
 
 __all__ = [
@@ -52,6 +56,7 @@ DEFAULT_TOLERANCE = 0.20
 ARTIFACT_FILES = {
     "scaling": "BENCH_scaling.json",
     "streaming": "BENCH_streaming.json",
+    "serving": "BENCH_serving.json",
 }
 
 
@@ -81,11 +86,36 @@ def _streaming_metrics() -> Dict[str, float]:
     return metrics
 
 
+def _serving_metrics() -> Dict[str, float]:
+    """Quick-mode serving subset: a 40-job workload on the default node.
+
+    Most metrics are simulated seconds (lower is better): the latency
+    percentiles and makespan catch latency regressions, and seconds-per-
+    completed-job is the throughput inverse, so slower serving fails the
+    gate from either direction.  ``serve/rejected_jobs_count`` is a
+    *count* (see :func:`compare_metrics`: any increase over the baseline
+    fails, no ratio tolerance): wrongly refusing traffic makes every
+    latency metric look better — the rejected jobs leave the population —
+    so the rejection count itself must not grow.
+    """
+    report = run_serving(num_jobs=40, seed=0)
+    completed = max(len(report.completed), 1)
+    return {
+        "serve/p50_latency": report.p50_latency_s,
+        "serve/p99_latency": report.p99_latency_s,
+        "serve/makespan": report.makespan_s,
+        "serve/seconds_per_job": report.makespan_s / completed,
+        "serve/mean_queue_wait": report.mean_queue_wait_s,
+        "serve/rejected_jobs_count": float(len(report.rejected)),
+    }
+
+
 def collect_metrics() -> Dict[str, Dict[str, float]]:
     """All regression metrics, grouped by suite (simulated seconds)."""
     return {
         "scaling": _scaling_metrics(),
         "streaming": _streaming_metrics(),
+        "serving": _serving_metrics(),
     }
 
 
@@ -100,7 +130,10 @@ def compare_metrics(
     Returns ``(regressions, notes)``: a metric regresses when it is more
     than ``tolerance`` slower than the baseline; metrics added or removed
     relative to the baseline are reported as notes (they fail nothing —
-    they mean the baseline needs an ``--update``).
+    they mean the baseline needs an ``--update``).  Metrics whose name
+    ends in ``_count`` are integer counts, not seconds: *any* increase
+    over the baseline fails, with no ratio tolerance (a ratio of a small
+    count is meaningless), while decreases pass as improvements.
     """
     if tolerance < 0:
         raise ValueError(f"tolerance must be non-negative, got {tolerance}")
@@ -114,6 +147,12 @@ def compare_metrics(
             notes.append(f"new metric (not in baseline): {name}")
             continue
         base, now = baseline[name], current[name]
+        if name.endswith("_count"):
+            if now > base:
+                regressions.append(
+                    f"{name}: {base:.0f} -> {now:.0f} (count may not increase)"
+                )
+            continue
         if base <= 0.0:
             # A zero-cost baseline cannot express a ratio; only flag it
             # when the metric became non-trivially expensive.

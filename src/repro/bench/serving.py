@@ -1,0 +1,63 @@
+"""Multi-tenant serving over the simulated cluster (extension experiment).
+
+The paper measures one kernel at a time; the ROADMAP's north star is a
+system *serving* a stream of them.  This runner generates a seeded
+synthetic multi-tenant workload (see
+:class:`repro.serve.workload.WorkloadSpec`), serves it through the
+:class:`repro.serve.ServingEngine` on the default heterogeneous analog
+node, and reports throughput, latency percentiles, per-device utilisation
+and preprocessing-cache effectiveness.  Everything is simulated time from
+the deterministic cost models, so the numbers are reproducible bit for bit
+and feed the CI regression gate (``repro.bench.regression``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gpusim.cluster import ClusterSpec
+from repro.serve.cache import PreprocCache
+from repro.serve.engine import ServingEngine, ServingReport
+from repro.serve.workload import WorkloadSpec, generate_workload
+
+__all__ = ["run_serving"]
+
+
+def run_serving(
+    *,
+    num_jobs: int = 100,
+    seed: int = 0,
+    policy: str = "priority",
+    cluster: Optional[ClusterSpec] = None,
+    autotune: bool = True,
+    max_batch: int = 4,
+    max_queue_depth: Optional[int] = None,
+    cache_capacity_bytes: Optional[int] = None,
+) -> ServingReport:
+    """Serve a seeded synthetic workload and return the full report.
+
+    Parameters
+    ----------
+    num_jobs / seed:
+        Workload size and seed (the default 100-job workload exercises
+        every path: one-shot, streamed, capability-weighted sharded,
+        decompositions, batching, cache hits and admission rejects).
+    policy:
+        ``"priority"`` or ``"fifo"``.
+    cluster:
+        Serving node; defaults to the heterogeneous
+        :func:`~repro.serve.workload.default_serving_cluster`.
+    autotune:
+        Reuse tuned launch parameters through the preprocessing cache.
+    max_batch / max_queue_depth / cache_capacity_bytes:
+        Scheduler batching bound, admission queue bound, and cache budget.
+    """
+    engine = ServingEngine(
+        cluster,
+        cache=PreprocCache(capacity_bytes=cache_capacity_bytes),
+        policy=policy,
+        max_batch=max_batch,
+        max_queue_depth=max_queue_depth,
+        autotune=autotune,
+    )
+    return engine.run(generate_workload(WorkloadSpec(num_jobs=num_jobs, seed=seed)))

@@ -7,6 +7,7 @@ Usage::
     python -m repro fig6b fig9           # several experiments
     python -m repro all                  # everything
     python -m repro fig10 --rank 8 --iterations 3
+    python -m repro serve --jobs 100     # multi-tenant serving report
 
 Each experiment prints the same rows/series the paper reports, rendered as a
 plain-text table (see :mod:`repro.bench`).
@@ -28,6 +29,7 @@ from repro.bench import (
     run_fig9,
     run_fig10,
     run_scaling,
+    run_serving,
     run_streaming,
     run_table2,
     run_table4,
@@ -38,31 +40,37 @@ from repro.bench import (
 __all__ = ["main", "EXPERIMENTS"]
 
 
-def _render_fig7(rank: int, iterations: int) -> str:
-    parts = [run_fig7("spttm", rank=rank).render(), run_fig7("spmttkrp", rank=rank).render()]
+def _render_fig7(args: argparse.Namespace) -> str:
+    parts = [
+        run_fig7("spttm", rank=args.rank).render(),
+        run_fig7("spmttkrp", rank=args.rank).render(),
+    ]
     return "\n\n".join(parts)
 
 
-def _render_scaling(rank: int, iterations: int) -> str:
-    parts = [run_scaling(rank=rank).render(), run_weak_scaling(rank=rank).render()]
+def _render_scaling(args: argparse.Namespace) -> str:
+    parts = [run_scaling(rank=args.rank).render(), run_weak_scaling(rank=args.rank).render()]
     return "\n\n".join(parts)
 
 
-#: experiment name -> callable(rank, iterations) -> rendered text
-EXPERIMENTS: Dict[str, Callable[[int, int], str]] = {
-    "table2": lambda rank, iterations: run_table2().render(),
-    "table3": lambda rank, iterations: platform_report(),
-    "table4": lambda rank, iterations: run_table4(),
-    "fig5": lambda rank, iterations: run_fig5(rank=rank).render(),
-    "table5": lambda rank, iterations: run_table5(rank=rank).render(),
-    "fig6a": lambda rank, iterations: run_fig6a(rank=rank).render(),
-    "fig6b": lambda rank, iterations: run_fig6b(rank=rank).render(),
+#: experiment name -> callable(parsed args) -> rendered text
+EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "table2": lambda args: run_table2().render(),
+    "table3": lambda args: platform_report(),
+    "table4": lambda args: run_table4(),
+    "fig5": lambda args: run_fig5(rank=args.rank).render(),
+    "table5": lambda args: run_table5(rank=args.rank).render(),
+    "fig6a": lambda args: run_fig6a(rank=args.rank).render(),
+    "fig6b": lambda args: run_fig6b(rank=args.rank).render(),
     "fig7": _render_fig7,
-    "fig8": lambda rank, iterations: run_fig8().render(),
-    "fig9": lambda rank, iterations: run_fig9(rank=rank).render(),
-    "fig10": lambda rank, iterations: run_fig10(iterations=iterations).render(),
-    "streaming": lambda rank, iterations: run_streaming(rank=rank).render(),
+    "fig8": lambda args: run_fig8().render(),
+    "fig9": lambda args: run_fig9(rank=args.rank).render(),
+    "fig10": lambda args: run_fig10(iterations=args.iterations).render(),
+    "streaming": lambda args: run_streaming(rank=args.rank).render(),
     "scaling": _render_scaling,
+    "serve": lambda args: run_serving(
+        num_jobs=args.jobs, seed=args.seed, policy=args.policy
+    ).render(),
 }
 
 
@@ -91,6 +99,24 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=5,
         help="CP-ALS iterations for fig10 (default 5)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=100,
+        help="workload size for the serve experiment (default 100)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="workload seed for the serve experiment (default 0)",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=["priority", "fifo"],
+        default="priority",
+        help="queueing policy for the serve experiment (default priority)",
     )
     return parser
 
@@ -121,7 +147,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for i, name in enumerate(requested):
         if i:
             print()
-        print(EXPERIMENTS[name](args.rank, args.iterations))
+        print(EXPERIMENTS[name](args))
     return 0
 
 

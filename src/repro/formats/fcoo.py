@@ -327,57 +327,108 @@ class FCOOTensor:
             return chunks
         for start in range(0, self.nnz, chunk_nnz):
             stop = min(start + chunk_nnz, self.nnz)
-            local_bf = self.bf[start:stop].copy()
-            carries_in = start > 0 and not local_bf[0]
-            local_bf[0] = True
-            local_segment_ids = np.cumsum(local_bf, dtype=np.int64) - 1
-            # The chunk's first non-zero belongs to this global segment,
-            # whether it opens it (bf set) or continues it (carried in).
-            segment_offset = int(self.segment_ids[start])
-            num_local_segments = int(local_segment_ids[-1]) + 1
-            chunk_tensor = FCOOTensor(
-                roles=self.roles,
-                shape=self.shape,
-                product_indices=self.product_indices[start:stop],
-                values=self.values[start:stop],
-                bf=local_bf,
-                segment_ids=local_segment_ids,
-                segment_index_coords=self.segment_index_coords[
-                    segment_offset : segment_offset + num_local_segments
-                ],
-                index_dtype=self.index_dtype,
-                value_dtype=self.value_dtype,
-            )
-            chunks.append(
-                FCOOChunk(
-                    tensor=chunk_tensor,
-                    start=start,
-                    stop=stop,
-                    segment_offset=segment_offset,
-                    carries_in=carries_in,
-                )
-            )
+            chunks.append(self.chunk_span(start, stop, threadlen=threadlen))
         return chunks
+
+    def chunk_span(self, start: int, stop: int, *, threadlen: int = 1) -> FCOOChunk:
+        """One :class:`FCOOChunk` covering the non-zero range ``[start, stop)``.
+
+        The building block :meth:`chunk` and the capability-weighted shard
+        partitioner share: ``start`` must be a ``threadlen`` multiple (chunk
+        boundaries must coincide with per-thread partition boundaries) and
+        ``stop`` is clamped to the stream length.  ``start == stop`` yields
+        an *empty* chunk — the weighted partitioner uses these as
+        placeholders so shard position keeps matching device slot even when
+        a very slow device is allocated no work.
+        """
+        threadlen = check_positive_int(threadlen, "threadlen")
+        if not 0 <= start <= self.nnz:
+            raise ValueError(f"start must be in [0, {self.nnz}], got {start}")
+        if start % threadlen != 0 and start != self.nnz:
+            # start == nnz is always legal: it denotes an empty tail span
+            # (the stream length itself need not be threadlen-aligned).
+            raise ValueError(
+                f"start ({start}) must be a multiple of threadlen ({threadlen})"
+            )
+        stop = min(int(stop), self.nnz)
+        if stop < start:
+            raise ValueError(f"stop ({stop}) must be at least start ({start})")
+        local_bf = self.bf[start:stop].copy()
+        carries_in = bool(start > 0 and stop > start and not local_bf[0])
+        if stop > start:
+            local_bf[0] = True
+        local_segment_ids = np.cumsum(local_bf, dtype=np.int64) - 1
+        # The chunk's first non-zero belongs to this global segment, whether
+        # it opens it (bf set) or continues it (carried in).  An empty span
+        # owns no segments at all.
+        segment_offset = int(self.segment_ids[start]) if stop > start else 0
+        num_local_segments = int(local_segment_ids[-1]) + 1 if stop > start else 0
+        chunk_tensor = FCOOTensor(
+            roles=self.roles,
+            shape=self.shape,
+            product_indices=self.product_indices[start:stop],
+            values=self.values[start:stop],
+            bf=local_bf,
+            segment_ids=local_segment_ids,
+            segment_index_coords=self.segment_index_coords[
+                segment_offset : segment_offset + num_local_segments
+            ],
+            index_dtype=self.index_dtype,
+            value_dtype=self.value_dtype,
+        )
+        return FCOOChunk(
+            tensor=chunk_tensor,
+            start=start,
+            stop=stop,
+            segment_offset=segment_offset,
+            carries_in=carries_in,
+        )
 
     # ------------------------------------------------------------------ #
     # Storage accounting
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def estimate_storage_bytes(
+        nnz: int,
+        num_product_modes: int,
+        *,
+        threadlen: Optional[int] = None,
+        index_dtype: np.dtype | type = np.uint32,
+        value_dtype: np.dtype | type = np.float32,
+    ) -> int:
+        """Table II storage bytes from shape statistics alone.
+
+        The same accounting as :meth:`storage_bytes` without needing the
+        encoding built — what the serving placer's admission control sizes
+        jobs with before spending any preprocessing.  Counts the
+        product-mode index arrays, the value array, the packed bit-flag
+        (1 bit per non-zero) and, when ``threadlen`` is given, the packed
+        start-flag array (1 bit per partition).
+        """
+        index_dtype = np.dtype(index_dtype)
+        value_dtype = np.dtype(value_dtype)
+        bytes_total = num_product_modes * nnz * index_dtype.itemsize
+        bytes_total += nnz * value_dtype.itemsize
+        bytes_total += -(-nnz // 8)  # packed bit-flag, 1 bit per nnz
+        if threadlen is not None and nnz:
+            n_parts = -(-nnz // check_positive_int(threadlen, "threadlen"))
+            bytes_total += -(-n_parts // 8)
+        return int(bytes_total)
+
     def storage_bytes(self, threadlen: Optional[int] = None) -> int:
         """Bytes of per-non-zero storage, matching the Table II accounting.
 
-        Counts the product-mode index arrays, the value array, the packed
-        bit-flag array (1 bit per non-zero) and, when ``threadlen`` is given,
-        the packed start-flag array (1 bit per partition).  The per-segment
-        output coordinates are *not* included, mirroring Table II which
-        charges only the tensor's own storage.
+        See :meth:`estimate_storage_bytes`; the per-segment output
+        coordinates are *not* included, mirroring Table II which charges
+        only the tensor's own storage.
         """
-        bytes_total = int(self.product_indices.shape[1]) * self.nnz * self.index_dtype.itemsize
-        bytes_total += self.nnz * self.value_dtype.itemsize
-        bytes_total += -(-self.nnz // 8)  # packed bit-flag, 1 bit per nnz
-        if threadlen is not None:
-            n_parts = self.num_partitions(threadlen)
-            bytes_total += -(-n_parts // 8) if n_parts else 0
-        return int(bytes_total)
+        return FCOOTensor.estimate_storage_bytes(
+            self.nnz,
+            int(self.product_indices.shape[1]),
+            threadlen=threadlen,
+            index_dtype=self.index_dtype,
+            value_dtype=self.value_dtype,
+        )
 
     def packed_bit_flags(self) -> np.ndarray:
         """The bit-flag array packed 8 flags per byte (as stored on the GPU)."""

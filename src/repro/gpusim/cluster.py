@@ -111,6 +111,27 @@ class ClusterSpec:
         if not self.devices:
             raise ValueError("ClusterSpec needs at least one device")
         object.__setattr__(self, "devices", tuple(self.devices))
+        # Validate eagerly: a zero-throughput member or an inconsistent link
+        # would otherwise only surface as a division failure deep inside the
+        # sharded execution driver or the capability-weighted partitioner.
+        try:
+            self.interconnect.validate()
+        except ValueError as exc:
+            raise ValueError(f"ClusterSpec interconnect is invalid: {exc}") from exc
+        seen: dict = {}
+        for i, device in enumerate(self.devices):
+            try:
+                device.validate()
+            except ValueError as exc:
+                raise ValueError(f"ClusterSpec devices[{i}] is invalid: {exc}") from exc
+            previous = seen.get(device.name)
+            if previous is not None and previous != device:
+                raise ValueError(
+                    f"ClusterSpec devices[{i}] reuses the device id {device.name!r} "
+                    "with a different specification; give distinct devices distinct "
+                    "names (identical repeated specs — a homogeneous cluster — are fine)"
+                )
+            seen[device.name] = device
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -147,8 +168,55 @@ class ClusterSpec:
         """Aggregate device memory across the cluster."""
         return sum(d.global_mem_bytes for d in self.devices)
 
+    @property
+    def max_device_memory_bytes(self) -> int:
+        """Capacity of the largest member (bounds a single-device placement)."""
+        return max(d.global_mem_bytes for d in self.devices)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """Whether every member device has the identical specification."""
+        return all(d == self.devices[0] for d in self.devices[1:])
+
+    def capability_scores(self, *, flops_per_byte: float = 0.5) -> Tuple[float, ...]:
+        """Per-device roofline throughput scores (bytes/s), unnormalised.
+
+        Each device's score is its roofline throughput at the nominal
+        arithmetic intensity of the unified kernels,
+        ``min(achievable_bandwidth, peak_flops / flops_per_byte)`` — the
+        kernels stream the non-zeros once and gather cached factor rows, so
+        at the default intensity of 0.5 FLOP/byte every realistic GPU is
+        bandwidth-bound and the score reduces to achievable DRAM bandwidth.
+        Single-sourced here so the shard partitioner's weights and the
+        serving placer's completion-time estimates cannot diverge.
+        """
+        if flops_per_byte <= 0:
+            raise ValueError(f"flops_per_byte must be positive, got {flops_per_byte}")
+        return tuple(
+            min(d.achievable_bandwidth_bytes_per_s, d.peak_flops / flops_per_byte)
+            for d in self.devices
+        )
+
+    def capability_weights(self, *, flops_per_byte: float = 0.5) -> Tuple[float, ...]:
+        """Per-device throughput weights, normalised to sum to 1.
+
+        The :meth:`capability_scores` roofline scores, normalised.  A
+        homogeneous cluster yields exactly uniform weights.  The
+        capability-weighted shard partitioner
+        (:func:`repro.kernels.unified.sharded.partition_shards`) sizes each
+        device's shard proportional to these weights, and the serving
+        placer uses them to rank devices for job placement.
+        """
+        scores = self.capability_scores(flops_per_byte=flops_per_byte)
+        total = sum(scores)
+        return tuple(score / total for score in scores)
+
     def validate(self) -> None:
-        """Validate every member device and the interconnect."""
+        """Validate every member device and the interconnect.
+
+        Construction already performs this validation; the method is kept so
+        callers holding a spec from any source can re-assert consistency.
+        """
         self.interconnect.validate()
         for device in self.devices:
             device.validate()

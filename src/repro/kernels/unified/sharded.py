@@ -33,7 +33,7 @@ is the property harness proving it across 1/2/4 devices.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -71,24 +71,74 @@ ShardKernel = Callable[[FCOOTensor, DeviceSpec], Tuple[np.ndarray, KernelProfile
 
 
 def partition_shards(
-    fcoo: FCOOTensor, num_shards: int, *, threadlen: int = 1
+    fcoo: FCOOTensor,
+    num_shards: int,
+    *,
+    threadlen: int = 1,
+    weights: Optional[Sequence[float]] = None,
 ) -> List[FCOOChunk]:
     """Split the non-zero stream into at most ``num_shards`` device shards.
 
-    The shard size is ``ceil(nnz / num_shards)`` rounded *up* to a
-    ``threadlen`` multiple, so shard boundaries coincide with per-thread
-    partition boundaries and the shard count never exceeds the device
-    count (a short stream simply leaves trailing devices idle).  Segment
-    safety — a fiber/slice straddling a shard boundary — is handled by the
-    same global-segment-id bookkeeping the out-of-core chunks use.
+    With ``weights=None`` (the homogeneous fast path) the shard size is
+    ``ceil(nnz / num_shards)`` rounded *up* to a ``threadlen`` multiple, so
+    shard boundaries coincide with per-thread partition boundaries and the
+    shard count never exceeds the device count (a short stream simply
+    leaves trailing devices idle).
+
+    With ``weights`` (one positive entry per shard — typically
+    :meth:`~repro.gpusim.cluster.ClusterSpec.capability_weights` of a
+    heterogeneous cluster) the per-thread partitions are allocated to
+    shards *proportionally to the weights* by largest remainder, so a
+    device with twice the modeled throughput receives (up to ``threadlen``
+    granularity) twice the non-zeros and the shards finish together.
+    Exactly ``num_shards`` chunks are returned in this mode, empty chunks
+    included, so ``shards[i]`` always executes on device ``i`` — a device
+    allocated no partitions gets an empty placeholder, not a shifted
+    neighbour's shard.
+
+    Either way boundaries are ``threadlen``-aligned and segment safety — a
+    fiber/slice straddling a shard boundary — is handled by the same
+    global-segment-id bookkeeping the out-of-core chunks use.
     """
     num_shards = check_positive_int(num_shards, "num_shards")
     threadlen = check_positive_int(threadlen, "threadlen")
     if fcoo.nnz == 0:
         return []
-    per_shard = -(-fcoo.nnz // num_shards)
-    per_shard = -(-per_shard // threadlen) * threadlen
-    return fcoo.chunk(per_shard, threadlen=threadlen)
+    if weights is None:
+        per_shard = -(-fcoo.nnz // num_shards)
+        per_shard = -(-per_shard // threadlen) * threadlen
+        return fcoo.chunk(per_shard, threadlen=threadlen)
+
+    weights = [float(w) for w in weights]
+    if len(weights) != num_shards:
+        raise ValueError(
+            f"need one weight per shard ({num_shards}), got {len(weights)}"
+        )
+    if any(not np.isfinite(w) or w <= 0.0 for w in weights):
+        raise ValueError(f"shard weights must be positive and finite, got {weights}")
+
+    # Allocate whole threadlen-partitions by largest remainder: floor the
+    # ideal share, then hand the leftover partitions to the largest
+    # fractional parts (ties broken toward the heavier weight, then the
+    # lower slot, for determinism).
+    n_parts = -(-fcoo.nnz // threadlen)
+    total = sum(weights)
+    ideal = [n_parts * w / total for w in weights]
+    alloc = [int(share) for share in ideal]
+    order = sorted(
+        range(num_shards), key=lambda i: (-(ideal[i] - alloc[i]), -weights[i], i)
+    )
+    for i in order[: n_parts - sum(alloc)]:
+        alloc[i] += 1
+
+    chunks: List[FCOOChunk] = []
+    consumed = 0
+    for parts in alloc:
+        start = min(consumed * threadlen, fcoo.nnz)
+        stop = min((consumed + parts) * threadlen, fcoo.nnz)
+        chunks.append(fcoo.chunk_span(start, stop, threadlen=threadlen))
+        consumed += parts
+    return chunks
 
 
 @dataclass(frozen=True)
@@ -294,7 +344,13 @@ def execute_sharded(
         raise ValueError(
             f"reduction must be 'allreduce', 'boundary' or 'gather', got {reduction!r}"
         )
-    shards = partition_shards(fcoo, cluster.num_devices, threadlen=threadlen)
+    # Heterogeneous clusters get capability-weighted shards (proportional to
+    # each member's modeled throughput, so the shards finish together); a
+    # homogeneous cluster keeps the exact even-split fast path.
+    weights = None if cluster.is_homogeneous else cluster.capability_weights()
+    shards = partition_shards(
+        fcoo, cluster.num_devices, threadlen=threadlen, weights=weights
+    )
 
     ledgers: List[ShardLedger] = []
     merged = KernelCounters()
@@ -302,6 +358,10 @@ def execute_sharded(
     peak_device_bytes = 0.0
 
     for i, shard in enumerate(shards):
+        if shard.nnz == 0:
+            # A weighted placeholder for a device allocated no partitions
+            # (or a stream shorter than the device count): the slot idles.
+            continue
         device = cluster.devices[i]
         local_sums, profile = shard_kernel(shard.tensor, device)
         local_sums = coerce_segment_sums(local_sums, shard.num_segments)

@@ -1,0 +1,65 @@
+"""Multi-tenant serving over the simulated cluster.
+
+The unified F-COO kernels make one sparse tensor operation fast; this
+subsystem makes a *stream* of them a served workload.  It layers, over the
+existing kernels, cluster model and decomposition drivers:
+
+* :mod:`~repro.serve.job` — the unit of work: kernel and decomposition
+  requests with tenants, priorities and arrival times;
+* :mod:`~repro.serve.cache` — the preprocessing cache memoising F-COO
+  encodings and tuned launch configs by tensor content, so repeat tenants
+  skip preprocessing;
+* :mod:`~repro.serve.placement` — admission control against per-device
+  memory and capability-aware placement (fast devices preferred, oversize
+  jobs sharded across the cluster proportional to modeled throughput);
+* :mod:`~repro.serve.scheduler` — the event-driven simulated-time
+  scheduler: priority/FIFO queueing, load shedding, batching of compatible
+  jobs, and per-device copy/compute engine timelines that overlap one
+  job's staging with another's execution (the PR 1 stream model, lifted to
+  whole jobs);
+* :mod:`~repro.serve.execute` — the pure (job, placement) -> output
+  mapping, shared by the scheduler and the bit-identity property harness;
+* :mod:`~repro.serve.workload` — seeded synthetic multi-tenant workloads
+  and the default heterogeneous serving node;
+* :mod:`~repro.serve.engine` — :class:`ServingEngine` tying it together
+  and the throughput/latency/utilisation :class:`ServingReport`.
+
+Scheduling, batching, caching and placement only ever move work in
+*time* — ``tests/test_serving.py`` proves every scheduled job's output is
+bit-identical to executing it alone.
+"""
+
+from repro.serve.cache import CacheStats, PreprocCache
+from repro.serve.engine import ServingEngine, ServingReport
+from repro.serve.execute import ExecutionOutcome, execute_job
+from repro.serve.job import Job, JobKind, JobResult, JobStatus
+from repro.serve.placement import JobGeometry, Placement, Placer, job_geometry
+from repro.serve.scheduler import DeviceTimeline, ScheduleOutcome, Scheduler
+from repro.serve.workload import (
+    WorkloadSpec,
+    default_serving_cluster,
+    generate_workload,
+)
+
+__all__ = [
+    "Job",
+    "JobKind",
+    "JobResult",
+    "JobStatus",
+    "PreprocCache",
+    "CacheStats",
+    "Placement",
+    "Placer",
+    "JobGeometry",
+    "job_geometry",
+    "Scheduler",
+    "ScheduleOutcome",
+    "DeviceTimeline",
+    "ExecutionOutcome",
+    "execute_job",
+    "WorkloadSpec",
+    "generate_workload",
+    "default_serving_cluster",
+    "ServingEngine",
+    "ServingReport",
+]

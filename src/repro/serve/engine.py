@@ -1,0 +1,244 @@
+"""The serving façade: engine + report.
+
+:class:`ServingEngine` wires the subsystem together — one cluster, one
+shared :class:`~repro.serve.cache.PreprocCache`, one
+:class:`~repro.serve.scheduler.Scheduler` — and turns a job list (or a
+:class:`~repro.serve.workload.WorkloadSpec`) into a
+:class:`ServingReport`: throughput, latency percentiles, per-device
+utilisation, cache effectiveness and the full per-job ledger, rendered as
+the same plain-text tables the rest of the benchmark harness emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.gpusim.cluster import ClusterSpec
+from repro.serve.cache import CacheStats, PreprocCache
+from repro.serve.job import Job, JobResult
+from repro.serve.scheduler import DeviceTimeline, Scheduler
+from repro.serve.workload import WorkloadSpec, default_serving_cluster, generate_workload
+from repro.util.formatting import format_seconds, format_table
+
+__all__ = ["ServingEngine", "ServingReport"]
+
+
+@dataclass
+class ServingReport:
+    """Everything one serving run produced, plus the derived metrics."""
+
+    cluster: ClusterSpec
+    policy: str
+    results: List[JobResult]
+    timelines: List[DeviceTimeline]
+    cache_stats: CacheStats
+
+    # ------------------------------------------------------------------ #
+    @property
+    def completed(self) -> List[JobResult]:
+        """Jobs that produced a result, in job-id order."""
+        return [r for r in self.results if r.completed]
+
+    @property
+    def rejected(self) -> List[JobResult]:
+        """Jobs refused by admission control or load shedding."""
+        return [r for r in self.results if not r.completed]
+
+    @property
+    def makespan_s(self) -> float:
+        """Completion time of the last job."""
+        return max((r.finish_s for r in self.completed), default=0.0)
+
+    @property
+    def throughput_jobs_per_s(self) -> float:
+        """Completed jobs per simulated second."""
+        makespan = self.makespan_s
+        return len(self.completed) / makespan if makespan > 0 else 0.0
+
+    @property
+    def latencies_s(self) -> np.ndarray:
+        """End-to-end latency of every completed job (arrival to finish)."""
+        return np.asarray([r.latency_s for r in self.completed], dtype=np.float64)
+
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-th latency percentile (0 when nothing completed)."""
+        lat = self.latencies_s
+        return float(np.percentile(lat, q)) if lat.size else 0.0
+
+    @property
+    def p50_latency_s(self) -> float:
+        """Median end-to-end latency."""
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99_latency_s(self) -> float:
+        """99th-percentile (tail) end-to-end latency."""
+        return self.latency_percentile(99.0)
+
+    @property
+    def mean_queue_wait_s(self) -> float:
+        """Mean seconds completed jobs spent between arrival and staging."""
+        waits = [r.queue_wait_s for r in self.completed]
+        return float(np.mean(waits)) if waits else 0.0
+
+    @property
+    def device_utilization(self) -> Dict[int, float]:
+        """Per-device busy fraction of the makespan, in ``[0, 1]``."""
+        makespan = self.makespan_s
+        if makespan <= 0:
+            return {t.slot: 0.0 for t in self.timelines}
+        return {t.slot: min(1.0, t.busy_s / makespan) for t in self.timelines}
+
+    @property
+    def overall_utilization(self) -> float:
+        """Cluster busy fraction: total busy over ``N x makespan``."""
+        makespan = self.makespan_s
+        if makespan <= 0:
+            return 0.0
+        busy = sum(t.busy_s for t in self.timelines)
+        return min(1.0, busy / (len(self.timelines) * makespan))
+
+    def execution_counts(self) -> Dict[str, int]:
+        """Completed jobs per execution path (one-shot/streamed/sharded/...)."""
+        counts: Dict[str, int] = {}
+        for r in self.completed:
+            counts[r.execution] = counts.get(r.execution, 0) + 1
+        return counts
+
+    @property
+    def batched_jobs(self) -> int:
+        """Completed jobs that rode in a batch (leaders included)."""
+        return sum(1 for r in self.completed if r.batch_id is not None)
+
+    # ------------------------------------------------------------------ #
+    def render(self) -> str:
+        """Plain-text serving report (summary, latency, devices, cache)."""
+        lines: List[str] = []
+        lines.append(
+            f"Serving report — {self.cluster.name} "
+            f"({self.cluster.num_devices} devices, policy={self.policy})"
+        )
+        counts = self.execution_counts()
+        path_summary = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+        lines.append(
+            f"jobs: {len(self.results)} submitted, {len(self.completed)} completed "
+            f"({path_summary}), {len(self.rejected)} rejected, "
+            f"{self.batched_jobs} batched"
+        )
+        lines.append(
+            f"makespan: {format_seconds(self.makespan_s)}  "
+            f"throughput: {self.throughput_jobs_per_s:,.0f} jobs/s"
+        )
+        lines.append(
+            f"latency: p50 {format_seconds(self.p50_latency_s)}, "
+            f"p99 {format_seconds(self.p99_latency_s)}, "
+            f"mean queue wait {format_seconds(self.mean_queue_wait_s)}"
+        )
+        stats = self.cache_stats
+        lines.append(
+            f"preproc cache: {stats.encode_hits}/{stats.encode_hits + stats.encode_misses} "
+            f"encoding hits ({stats.encode_hit_rate * 100.0:.0f}%), "
+            f"{stats.tuner_hits}/{stats.tuner_hits + stats.tuner_misses} tuner hits, "
+            f"{stats.evictions} evictions"
+        )
+        utilization = self.device_utilization
+        body = [
+            [
+                t.slot,
+                t.device.name,
+                t.jobs,
+                format_seconds(t.busy_s),
+                f"{utilization[t.slot] * 100.0:.0f}%",
+            ]
+            for t in self.timelines
+        ]
+        lines.append(
+            format_table(
+                ["slot", "device", "jobs", "busy", "utilization"],
+                body,
+                title=f"per-device utilization (cluster busy fraction "
+                f"{self.overall_utilization * 100.0:.0f}%)",
+            )
+        )
+        if self.rejected:
+            reasons: Dict[str, int] = {}
+            for r in self.rejected:
+                reasons[r.reject_reason or "unknown"] = (
+                    reasons.get(r.reject_reason or "unknown", 0) + 1
+                )
+            for reason, count in sorted(reasons.items()):
+                lines.append(f"rejected x{count}: {reason}")
+        return "\n".join(lines)
+
+
+class ServingEngine:
+    """Multi-tenant serving over the simulated cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The serving node; defaults to the heterogeneous analog node of
+        :func:`~repro.serve.workload.default_serving_cluster`.
+    cache:
+        Shared preprocessing cache; a fresh unbounded one by default.
+    policy / max_batch / max_queue_depth / autotune / num_streams:
+        Forwarded to the :class:`~repro.serve.scheduler.Scheduler`.
+    block_size / threadlen:
+        Default launch parameters (the tuner cache overrides them per job
+        shape when ``autotune`` is on).
+    """
+
+    def __init__(
+        self,
+        cluster: Optional[ClusterSpec] = None,
+        *,
+        cache: Optional[PreprocCache] = None,
+        policy: str = "priority",
+        max_batch: int = 4,
+        max_queue_depth: Optional[int] = None,
+        block_size: int = 128,
+        threadlen: int = 8,
+        autotune: bool = False,
+        num_streams: int = 2,
+    ) -> None:
+        self.cluster = cluster if cluster is not None else default_serving_cluster()
+        self.cache = cache if cache is not None else PreprocCache()
+        self.policy = policy
+        self.scheduler = Scheduler(
+            self.cluster,
+            self.cache,
+            policy=policy,
+            max_batch=max_batch,
+            max_queue_depth=max_queue_depth,
+            block_size=block_size,
+            threadlen=threadlen,
+            autotune=autotune,
+            num_streams=num_streams,
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(self, jobs: Sequence[Job]) -> ServingReport:
+        """Schedule and execute ``jobs``; returns the full report.
+
+        The report carries *this run's* cache counters (the shared cache's
+        deltas over the run), so a warm second run reports its own — near
+        perfect — hit rate, and a later run cannot retroactively change an
+        earlier report.
+        """
+        before = replace(self.cache.stats)
+        outcome = self.scheduler.run(jobs)
+        return ServingReport(
+            cluster=self.cluster,
+            policy=self.policy,
+            results=outcome.results,
+            timelines=outcome.timelines,
+            cache_stats=self.cache.stats.since(before),
+        )
+
+    def run_workload(self, spec: Optional[WorkloadSpec] = None) -> ServingReport:
+        """Generate a seeded synthetic workload and serve it."""
+        spec = spec if spec is not None else WorkloadSpec()
+        return self.run(generate_workload(spec))

@@ -1,0 +1,292 @@
+"""Capability-aware job placement over a heterogeneous cluster.
+
+The placer answers two questions per job, using only host-side tensor
+statistics (no encoding is built before admission passes):
+
+* **admission** — can the cluster run this job at all?  The dense operands
+  (factor matrices and the output) must stay resident on a device for the
+  whole kernel even on the streamed path, so a job whose resident bytes
+  plus two minimal chunk buffers exceed *every* device's memory is rejected
+  up front with a clear reason instead of dying inside the kernel with
+  :class:`~repro.gpusim.timing.OutOfDeviceMemory`.
+
+* **placement** — where should it run?  Jobs whose one-shot footprint fits
+  a single device are placed on the device minimising the estimated
+  completion time (the device's earliest compute slot plus the job's
+  modeled traffic over that device's roofline throughput — so a twice-as-
+  fast device is preferred even when slightly busier).  Jobs larger than
+  the biggest device shard across the whole cluster through
+  :mod:`repro.kernels.unified.sharded`, whose capability-weighted
+  partitioner sizes each device's shard proportional to its modeled
+  throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.formats.fcoo import FCOOTensor
+from repro.gpusim.cluster import ClusterSpec
+from repro.gpusim.device import DeviceSpec
+from repro.serve.job import Job, JobKind
+
+__all__ = ["JobGeometry", "job_geometry", "Placement", "Placer"]
+
+#: Bytes per stored factor/output element (the kernels' single precision).
+_VALUE_BYTES = 4.0
+
+
+@dataclass(frozen=True)
+class JobGeometry:
+    """Host-side size estimate of one job's device-memory needs.
+
+    Attributes
+    ----------
+    fcoo_bytes:
+        The F-COO encoding's storage (Table II accounting) — the bytes
+        staged over PCIe for a resident job, or streamed chunk-by-chunk.
+    resident_bytes:
+        Dense operands that must stay on-device for the whole kernel: the
+        gathered factor matrices plus the output (for decompositions, the
+        worst mode's operands).
+    output_bytes:
+        The output portion of ``resident_bytes`` (what an all-reduce would
+        move for a sharded dense-output kernel).
+    """
+
+    fcoo_bytes: float
+    resident_bytes: float
+    output_bytes: float
+    nnz: int = 0
+
+    @property
+    def footprint_bytes(self) -> float:
+        """One-shot device footprint: encoding plus resident operands."""
+        return self.fcoo_bytes + self.resident_bytes
+
+    @property
+    def factor_bytes(self) -> float:
+        """The input half of the resident operands — the dense factor
+        matrices that actually cross PCIe (the output is produced on the
+        device and only occupies memory there)."""
+        return self.resident_bytes - self.output_bytes
+
+    @property
+    def bytes_per_nnz(self) -> float:
+        """Encoding bytes per non-zero (sizes the minimal streamed chunk)."""
+        return self.fcoo_bytes / self.nnz if self.nnz else 0.0
+
+
+def _kernel_geometry(
+    job: Job,
+    kind: JobKind,
+    mode: int,
+    threadlen: int,
+    ranks: Optional[Sequence[int]] = None,
+) -> JobGeometry:
+    """Geometry of one kernel invocation (shared with the decomposition
+    estimates, which take the worst mode).  ``ranks`` gives the per-mode
+    factor widths (``job.rank`` everywhere by default; Tucker passes its
+    shape-clamped multilinear rank)."""
+    tensor = job.tensor
+    shape = tensor.shape
+    order = tensor.order
+    if ranks is None:
+        ranks = (job.rank,) * order
+    product_modes = (
+        (mode,) if kind is JobKind.SPTTM else tuple(m for m in range(order) if m != mode)
+    )
+    nnz = tensor.nnz
+    fcoo_bytes = FCOOTensor.estimate_storage_bytes(
+        nnz, len(product_modes), threadlen=threadlen
+    )
+
+    factor_bytes = sum(shape[m] * ranks[m] * _VALUE_BYTES for m in product_modes)
+    if kind is JobKind.SPTTM:
+        fibers = tensor.num_fibers(mode)
+        rank = ranks[mode]
+        output_bytes = fibers * rank * _VALUE_BYTES + fibers * (order - 1) * _VALUE_BYTES
+    elif kind is JobKind.SPMTTKRP:
+        output_bytes = shape[mode] * ranks[mode] * _VALUE_BYTES
+    else:  # SPTTMC: the unfolding's width is the product-mode ranks' product
+        out_width = 1
+        for m in product_modes:
+            out_width *= ranks[m]
+        output_bytes = shape[mode] * out_width * _VALUE_BYTES
+    return JobGeometry(
+        fcoo_bytes=float(fcoo_bytes),
+        resident_bytes=float(factor_bytes + output_bytes),
+        output_bytes=float(output_bytes),
+        nnz=nnz,
+    )
+
+
+def job_geometry(job: Job, *, threadlen: int = 8) -> JobGeometry:
+    """Device-memory geometry of a job, from host-side statistics alone.
+
+    Kernel jobs size their one invocation; decomposition jobs take the
+    worst per-mode geometry of their bottleneck kernel (CP-ALS runs one
+    SpMTTKRP per mode per sweep, Tucker one SpTTMc — with Tucker's
+    per-mode ranks clamped to the shape, exactly as ``tucker_hooi``
+    clamps them), since every mode's kernel must fit during the
+    decomposition.
+    """
+    if job.kind.is_kernel:
+        return _kernel_geometry(job, job.kind, job.mode, threadlen)
+    if job.kind is JobKind.CP_ALS:
+        inner, ranks = JobKind.SPMTTKRP, None
+    else:
+        inner, ranks = JobKind.SPTTMC, job.tucker_ranks
+    per_mode = [
+        _kernel_geometry(job, inner, mode, threadlen, ranks)
+        for mode in range(job.tensor.order)
+    ]
+    worst = max(per_mode, key=lambda g: g.footprint_bytes)
+    return worst
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where (and how) one job executes.
+
+    ``cluster`` is ``None`` for a single-device placement (``device_slots``
+    then has one entry and ``device`` is that slot's spec) and the serving
+    cluster itself for a sharded placement spanning every member (``device``
+    is then ``None``).
+    """
+
+    device_slots: Tuple[int, ...]
+    cluster: Optional[ClusterSpec]
+    block_size: int
+    threadlen: int
+    device: Optional[DeviceSpec] = None
+
+    @property
+    def sharded(self) -> bool:
+        """Whether the job shards across several devices."""
+        return self.cluster is not None
+
+    @property
+    def primary_device(self) -> DeviceSpec:
+        """The placement's nominal device: the chosen device for a
+        single-device placement, the cluster's first member otherwise
+        (sharded kernel calls ignore it — the cluster wins inside
+        ``resolve_cluster`` — but the decomposition engines and the tuner
+        need one definite spec)."""
+        if self.device is not None:
+            return self.device
+        return self.cluster.devices[0]
+
+
+class Placer:
+    """Capability-aware placement policy for one serving cluster."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        *,
+        block_size: int = 128,
+        threadlen: int = 8,
+        num_streams: int = 2,
+    ) -> None:
+        self.cluster = cluster
+        self.block_size = block_size
+        self.threadlen = threadlen
+        self.num_streams = max(1, int(num_streams))
+        #: Roofline throughput score per device slot (bytes/s) — the same
+        #: scores whose normalisation weights the shard partitioner, so
+        #: placement preference and shard sizing cannot diverge.
+        self.scores: Tuple[float, ...] = cluster.capability_scores()
+
+    # ------------------------------------------------------------------ #
+    def admit(self, job: Job, geometry: Optional[JobGeometry] = None) -> Optional[str]:
+        """Admission control: a rejection reason, or ``None`` to admit.
+
+        A job is admitted when at least one device can hold its resident
+        dense operands next to the configured number of minimal streamed
+        chunk buffers — the weakest execution mode the kernels support.
+        (Sharding does not relax this bound: every shard stages the full
+        factor matrices.)  Callers that already sized the job pass its
+        ``geometry`` to avoid recomputing it.
+        """
+        if geometry is None:
+            geometry = job_geometry(job, threadlen=self.threadlen)
+        needed = geometry.resident_bytes + self._min_chunk_bytes(geometry)
+        if needed > self.cluster.max_device_memory_bytes:
+            return (
+                f"resident operands need {needed:.0f} B but the largest device "
+                f"holds {self.cluster.max_device_memory_bytes} B"
+            )
+        return None
+
+    def _min_chunk_bytes(self, geometry: JobGeometry) -> float:
+        """Bytes of the smallest viable streamed chunk buffers: one
+        ``threadlen`` partition per in-flight stream."""
+        return self.num_streams * self.threadlen * geometry.bytes_per_nnz
+
+    def feasible_slots(self, geometry: JobGeometry) -> Tuple[int, ...]:
+        """Slots whose device can run the job at least in streamed mode."""
+        needed = geometry.resident_bytes + self._min_chunk_bytes(geometry)
+        return tuple(
+            slot
+            for slot, device in enumerate(self.cluster.devices)
+            if needed <= device.global_mem_bytes
+        )
+
+    def place(
+        self,
+        job: Job,
+        geometry: JobGeometry,
+        compute_free_s: Sequence[float],
+        now_s: float,
+    ) -> Placement:
+        """Choose the execution site of an admitted job.
+
+        Single-device placements minimise the estimated completion time
+        ``max(now, device free) + traffic / device roofline throughput``;
+        jobs whose one-shot footprint exceeds every device shard across the
+        whole cluster (capability-weighted shards, per-device streamed
+        fallback).
+        """
+        cluster = self.cluster
+        # Sharding stages the full dense operands on *every* member (only
+        # the non-zero stream is split), so it is feasible only when the
+        # resident bytes fit the smallest device.
+        resident_everywhere = (
+            geometry.resident_bytes + self._min_chunk_bytes(geometry)
+            <= cluster.min_device_memory_bytes
+        )
+        if (
+            cluster.num_devices > 1
+            and geometry.footprint_bytes > cluster.max_device_memory_bytes
+            and resident_everywhere
+        ):
+            return Placement(
+                device_slots=tuple(range(cluster.num_devices)),
+                cluster=cluster,
+                block_size=self.block_size,
+                threadlen=self.threadlen,
+            )
+        slots = self.feasible_slots(geometry)
+        if not slots:  # admit() keeps this unreachable; defensive
+            slots = tuple(range(cluster.num_devices))
+        traffic = geometry.footprint_bytes + geometry.output_bytes
+        # Prefer devices the job fits on one-shot (a streamed fallback
+        # re-ships the encoding every execution); among those, minimise the
+        # estimated completion time.
+        best = min(
+            slots,
+            key=lambda s: (
+                geometry.footprint_bytes > cluster.devices[s].global_mem_bytes,
+                max(now_s, compute_free_s[s]) + traffic / self.scores[s],
+                s,
+            ),
+        )
+        return Placement(
+            device_slots=(best,),
+            cluster=None,
+            block_size=self.block_size,
+            threadlen=self.threadlen,
+            device=cluster.devices[best],
+        )

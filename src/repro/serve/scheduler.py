@@ -1,0 +1,571 @@
+"""Event-driven multi-tenant scheduler over the simulated cluster.
+
+The scheduler turns a stream of :class:`~repro.serve.job.Job` s into a
+deterministic simulated-time schedule:
+
+* **admission** — on arrival a job is either shed (optional queue-depth
+  bound: a full queue rejects newcomers instead of growing without bound),
+  rejected by memory admission control *before* any preprocessing is spent
+  (a job whose resident dense operands cannot fit next to two minimal
+  streamed chunk buffers on any device — see
+  :meth:`~repro.serve.placement.Placer.admit`), or preprocessed: its F-COO
+  encoding (and, with ``autotune``, its tuned launch parameters) come from
+  the shared :class:`~repro.serve.cache.PreprocCache`.  Preprocessing is
+  host work done tenant-side and overlaps freely across jobs; a cache miss
+  delays only that job's stage-readiness, never the cluster.
+
+* **queueing** — admitted jobs wait in a priority queue
+  (``policy="priority"``: lower priority class first, FIFO within a class;
+  ``policy="fifo"``: strict arrival order).
+
+* **dispatch** — a job is dispatched when a copy engine frees *and* the job
+  is stage-ready, so its staging overlaps the predecessor's compute — the
+  cluster-level analog of the PR 1 stream pipeline, with the same
+  two-resource recurrence as :func:`repro.gpusim.streams.schedule_chunks`:
+  per device, the copy engine and the compute engine are separate serial
+  resources and a job's kernel starts at ``max(staging landed, compute
+  engine free)``.  Arrivals earlier than the dispatch instant always enter
+  the queue first, so a late high-priority job overtakes queued batch
+  work; a job still preprocessing never blocks stage-ready ones.
+
+* **batching** — compatible stage-ready jobs (same tensor content,
+  operation, mode and rank — i.e. the same F-COO encoding and launch
+  geometry) ride one dispatch: the encoding is staged once for the whole
+  batch and the members execute back to back on the batch's device.
+  Batching changes *when* work runs, never *what* it computes.
+
+Everything is simulated time derived from the deterministic cost models —
+two runs of the same workload produce identical schedules, which is what
+lets ``tests/test_serving.py`` assert bit-identical outputs and the CI
+regression gate track throughput/latency without timer noise.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.formats.fcoo import FCOOTensor
+from repro.gpusim.cluster import ClusterSpec
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.timing import OutOfDeviceMemory
+from repro.serve.cache import PreprocCache
+from repro.serve.execute import ExecutionOutcome, execute_job
+from repro.serve.job import Job, JobKind, JobResult, JobStatus
+from repro.serve.placement import JobGeometry, Placement, Placer, job_geometry
+
+__all__ = ["DeviceTimeline", "ScheduleOutcome", "Scheduler"]
+
+
+@dataclass
+class DeviceTimeline:
+    """Per-device serving state: the two engine horizons plus usage counters.
+
+    ``copy_free_s`` / ``compute_free_s`` are the absolute simulated times at
+    which the device's copy engine (PCIe staging) and compute engine are
+    next available — the same two serial resources the stream pipeline
+    model uses.  ``busy_s`` accumulates kernel-busy seconds (what the
+    utilisation report divides by the makespan) and ``jobs`` counts the
+    jobs (or shards) the device executed.
+    """
+
+    slot: int
+    device: DeviceSpec
+    copy_free_s: float = 0.0
+    compute_free_s: float = 0.0
+    busy_s: float = 0.0
+    jobs: int = 0
+
+
+@dataclass(eq=False)
+class _ReadyEntry:
+    """One admitted, preprocessed job waiting in the queue."""
+
+    job: Job
+    geometry: JobGeometry
+    encoding: Optional[FCOOTensor]
+    ready_s: float  # earliest staging start: preprocessing done AND the
+    #                 encodings it reuses finished building
+    preproc_s: float
+    encode_hit: bool
+    tuner_hit: Optional[bool]
+    launch: Optional[Tuple[int, int]]  # tuned (BLOCK_SIZE, threadlen)
+
+
+@dataclass
+class ScheduleOutcome:
+    """Everything one scheduler run produced."""
+
+    results: List[JobResult]
+    timelines: List[DeviceTimeline]
+
+    @property
+    def makespan_s(self) -> float:
+        """Completion time of the last job (0 for an all-rejected run)."""
+        return max((r.finish_s for r in self.results if r.completed), default=0.0)
+
+
+class Scheduler:
+    """Deterministic simulated-time scheduler for one serving cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The serving cluster.
+    cache:
+        Shared preprocessing cache (encodings + tuned launch configs).
+    policy:
+        ``"priority"`` (default) or ``"fifo"``.
+    max_batch:
+        Largest batch of compatible jobs per dispatch (1 disables batching).
+    max_queue_depth:
+        Queue bound for admission-time load shedding (``None``: unbounded).
+    block_size / threadlen:
+        Default launch parameters (overridden per job by the tuner cache
+        when ``autotune`` is on).
+    autotune:
+        Look up tuned ``(BLOCK_SIZE, threadlen)`` per kernel-job shape in
+        the cache (sweeping on a miss, reusing on a hit); tuning runs on
+        the cluster's most capable device.
+    num_streams:
+        Stream count for the kernels' out-of-core fallback.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        cache: Optional[PreprocCache] = None,
+        *,
+        policy: str = "priority",
+        max_batch: int = 4,
+        max_queue_depth: Optional[int] = None,
+        block_size: int = 128,
+        threadlen: int = 8,
+        autotune: bool = False,
+        num_streams: int = 2,
+    ) -> None:
+        if policy not in ("priority", "fifo"):
+            raise ValueError(f"policy must be 'priority' or 'fifo', got {policy!r}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be at least 1, got {max_batch}")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be at least 1, got {max_queue_depth}"
+            )
+        self.cluster = cluster
+        self.cache = cache if cache is not None else PreprocCache()
+        self.policy = policy
+        self.max_batch = max_batch
+        self.max_queue_depth = max_queue_depth
+        self.autotune = autotune
+        self.num_streams = num_streams
+        self.placer = Placer(
+            cluster,
+            block_size=block_size,
+            threadlen=threadlen,
+            num_streams=num_streams,
+        )
+        weights = cluster.capability_weights()
+        #: Where tuner sweeps run: the most capable member (ties: lowest slot).
+        self._tuner_device = cluster.devices[
+            max(range(cluster.num_devices), key=lambda s: (weights[s], -s))
+        ]
+
+    # ------------------------------------------------------------------ #
+    def _queue_key(self, job: Job) -> Tuple:
+        if self.policy == "priority":
+            return (job.priority, job.arrival_s, job.job_id)
+        return (job.arrival_s, job.job_id)
+
+    def _preprocess(
+        self,
+        job: Job,
+        geometry: JobGeometry,
+        availability: Dict[Tuple, float],
+    ) -> _ReadyEntry:
+        """Run one admitted job's host preprocessing through the cache.
+
+        ``availability`` maps a cache entry's key (encoding or tuner
+        config) to the simulated time its build completes: a cache *hit*
+        is free but cannot make the job stage-ready before the entry it
+        reuses physically exists, so a job arriving just behind the miss
+        that builds it waits for that build, not zero.
+        """
+        encoding = None
+        launch = None
+        tuner_hit: Optional[bool] = None
+        ready_s = job.arrival_s
+        if job.kind.is_kernel:
+            key = (job.tensor.content_key, job.operation.value, job.mode)
+            encoding, encode_hit, preproc_s = self.cache.encoding(
+                job.tensor, job.operation, job.mode
+            )
+            if encode_hit:
+                ready_s = max(ready_s, availability.get(key, job.arrival_s))
+            else:
+                availability[key] = job.arrival_s + preproc_s
+                ready_s = availability[key]
+            if self.autotune:
+                launch, tuner_hit, tune_s = self.cache.tuner_config(
+                    job.tensor,
+                    job.operation,
+                    job.mode,
+                    job.rank,
+                    device=self._tuner_device,
+                )
+                preproc_s += tune_s
+                tuner_key = (
+                    "tuner",
+                    job.tensor.content_key,
+                    job.operation.value,
+                    job.mode,
+                    job.rank,
+                )
+                if tuner_hit:
+                    ready_s = max(ready_s, availability.get(tuner_key, job.arrival_s))
+                else:
+                    # The sweep runs after this job's encode lands.
+                    ready_s += tune_s
+                    availability[tuner_key] = ready_s
+        else:
+            # Prime the cache for every mode the decomposition will sweep,
+            # so the driver's per-mode lookups hit; the misses are this
+            # job's preprocessing bill.
+            encode_hit, preproc_s = True, 0.0
+            for mode in range(job.tensor.order):
+                key = (job.tensor.content_key, job.operation.value, mode)
+                _, hit, cost_s = self.cache.encoding(job.tensor, job.operation, mode)
+                encode_hit = encode_hit and hit
+                preproc_s += cost_s
+                if hit:
+                    ready_s = max(ready_s, availability.get(key, job.arrival_s))
+                else:
+                    availability[key] = job.arrival_s + preproc_s
+                    ready_s = max(ready_s, availability[key])
+        return _ReadyEntry(
+            job=job,
+            geometry=geometry,
+            encoding=encoding,
+            ready_s=ready_s,
+            preproc_s=preproc_s,
+            encode_hit=encode_hit,
+            tuner_hit=tuner_hit,
+            launch=launch,
+        )
+
+    def _admit(
+        self,
+        pending: deque,
+        ready: List[Tuple[Tuple, _ReadyEntry]],
+        clock: float,
+        results: Dict[int, JobResult],
+        availability: Dict[Tuple, float],
+    ) -> None:
+        """Process arrivals up to ``clock``: shed, reject or preprocess."""
+        while pending and pending[0].arrival_s <= clock:
+            job = pending.popleft()
+            if self.max_queue_depth is not None and len(ready) >= self.max_queue_depth:
+                results[job.job_id] = self._rejected(
+                    job,
+                    f"queue full ({self.max_queue_depth} jobs waiting) at arrival",
+                )
+                continue
+            geometry = job_geometry(job, threadlen=self.placer.threadlen)
+            reason = self.placer.admit(job, geometry)
+            if reason is not None:
+                results[job.job_id] = self._rejected(job, reason)
+                continue
+            ready.append(
+                (self._queue_key(job), self._preprocess(job, geometry, availability))
+            )
+
+    @staticmethod
+    def _rejected(job: Job, reason: str) -> JobResult:
+        return JobResult(
+            job=job,
+            status=JobStatus.REJECTED,
+            reject_reason=reason,
+            stage_start_s=job.arrival_s,
+            exec_start_s=job.arrival_s,
+            finish_s=job.arrival_s,
+        )
+
+    def _pop_best_ready(
+        self, ready: List[Tuple[Tuple, _ReadyEntry]], t: float
+    ) -> Optional[_ReadyEntry]:
+        """Pop the best queued job that is stage-ready at ``t`` (work
+        conservation: a job still preprocessing never blocks ready ones)."""
+        candidates = [entry for entry in ready if entry[1].ready_s <= t]
+        if not candidates:
+            return None
+        best = min(candidates, key=lambda entry: entry[0])[1]
+        ready[:] = [e for e in ready if e[1].job.job_id != best.job.job_id]
+        return best
+
+    def _pop_batch_mates(
+        self, ready: List[Tuple[Tuple, _ReadyEntry]], leader: Job, t: float
+    ) -> List[_ReadyEntry]:
+        """Extract up to ``max_batch - 1`` stage-ready jobs batchable with
+        ``leader``."""
+        if self.max_batch <= 1 or not leader.kind.is_kernel:
+            return []
+        matching = sorted(
+            (
+                entry
+                for entry in ready
+                # The mate must itself be a kernel job: a decomposition on
+                # the same tensor shares the leader's batch_key (CP-ALS
+                # preprocesses the SpMTTKRP encoding) but is not one kernel
+                # invocation and must keep its own placement.
+                if entry[1].job.kind.is_kernel
+                and entry[1].job.batch_key == leader.batch_key
+                and entry[1].ready_s <= t
+            ),
+            key=lambda entry: entry[0],
+        )
+        take = matching[: self.max_batch - 1]
+        if take:
+            taken = {entry[1].job.job_id for entry in take}
+            ready[:] = [entry for entry in ready if entry[1].job.job_id not in taken]
+        return [entry[1] for entry in take]
+
+    # ------------------------------------------------------------------ #
+    def run(self, jobs: Sequence[Job]) -> ScheduleOutcome:
+        """Schedule and execute ``jobs``; returns the full ledger."""
+        ids = [job.job_id for job in jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("job ids must be unique within one scheduler run")
+        timelines = [
+            DeviceTimeline(slot=i, device=d) for i, d in enumerate(self.cluster.devices)
+        ]
+        pending = deque(sorted(jobs, key=lambda j: (j.arrival_s, j.job_id)))
+        ready: List[Tuple[Tuple, _ReadyEntry]] = []
+        results: Dict[int, JobResult] = {}
+        #: encoding key -> simulated time its host build completes, for
+        #: this run only (a fresh run restarts the simulated clock).
+        availability: Dict[Tuple, float] = {}
+        clock = 0.0
+        batch_seq = 0
+
+        while pending or ready:
+            self._admit(pending, ready, clock, results, availability)
+            if not ready:
+                if not pending:
+                    break
+                clock = pending[0].arrival_s
+                continue
+            # The next staging can begin when some copy engine frees...
+            t = max(clock, min(lane.copy_free_s for lane in timelines))
+            # ...but arrivals before that instant contend for the queue first.
+            if pending and pending[0].arrival_s <= t:
+                clock = max(clock, pending[0].arrival_s)
+                continue
+            entry = self._pop_best_ready(ready, t)
+            if entry is None:
+                # Everyone queued is still preprocessing; advance to the
+                # earliest readiness (or the next arrival).
+                next_ready = min(e[1].ready_s for e in ready)
+                next_arrival = pending[0].arrival_s if pending else math.inf
+                clock = min(next_ready, next_arrival)
+                continue
+            clock = t
+            batch_seq = self._dispatch(entry, t, ready, results, timelines, batch_seq)
+
+        ordered = [results[job_id] for job_id in sorted(results)]
+        return ScheduleOutcome(results=ordered, timelines=timelines)
+
+    # ------------------------------------------------------------------ #
+    def _dispatch(
+        self,
+        entry: _ReadyEntry,
+        t0: float,
+        ready: List[Tuple[Tuple, _ReadyEntry]],
+        results: Dict[int, JobResult],
+        timelines: List[DeviceTimeline],
+        batch_seq: int,
+    ) -> int:
+        job = entry.job
+        geometry = entry.geometry
+        placement = self.placer.place(
+            job, geometry, [t.compute_free_s for t in timelines], t0
+        )
+        if entry.launch is not None:
+            placement = replace(
+                placement, block_size=entry.launch[0], threadlen=entry.launch[1]
+            )
+
+        mates = [] if placement.sharded else self._pop_batch_mates(ready, job, t0)
+        batch_id: Optional[int] = None
+        if mates:
+            batch_id = batch_seq
+            batch_seq += 1
+
+        try:
+            outcome = execute_job(
+                job,
+                placement,
+                encoding=entry.encoding,
+                cache=self.cache,
+                num_streams=self.num_streams,
+            )
+        except OutOfDeviceMemory as exc:
+            # The admission estimate is first-order (autotune can raise the
+            # threadlen after sizing, and geometry is host arithmetic); a
+            # kernel-level capacity failure rejects this one job instead of
+            # aborting the whole serving run.
+            results[job.job_id] = self._rejected(
+                job, f"rejected at execution: {exc}"
+            )
+            for mate in mates:
+                ready.append((self._queue_key(mate.job), mate))
+            return batch_seq
+        results[job.job_id] = self._commit(
+            entry,
+            t0,
+            placement,
+            geometry,
+            outcome,
+            timelines,
+            batch_id=batch_id,
+            batch_leader=bool(mates),
+            encoding_staged=True,
+        )
+
+        for mate in mates:
+            # The batch shares the leader's encoding (already staged) and
+            # device; only the mate's dense operands still move.
+            mate_outcome = execute_job(
+                mate.job,
+                placement,
+                encoding=entry.encoding,
+                cache=self.cache,
+                num_streams=self.num_streams,
+            )
+            results[mate.job.job_id] = self._commit(
+                mate,
+                t0,
+                placement,
+                geometry,
+                mate_outcome,
+                timelines,
+                batch_id=batch_id,
+                batch_leader=False,
+                encoding_staged=False,
+            )
+        return batch_seq
+
+    # ------------------------------------------------------------------ #
+    def _staging_seconds(
+        self,
+        job: Job,
+        placement: Placement,
+        geometry: JobGeometry,
+        outcome: ExecutionOutcome,
+        *,
+        encoding_staged: bool,
+    ) -> float:
+        """Host-to-device staging time of one dispatched job.
+
+        Resident jobs ship the F-COO arrays once plus the dense factor
+        matrices (the output is produced on the device — it occupies
+        memory there but never crosses PCIe, matching the CP engine's
+        transfer accounting); a job that fell back to the streamed path
+        re-ships its chunks inside the kernel (charged there), so only the
+        factors stage here; batch mates reuse the leader's staged
+        encoding.  CP jobs charge their transfer inside the engine setup
+        (already part of ``exec_s``); Tucker has no setup accounting, so
+        its worst-mode staging is charged here.
+        """
+        if outcome.execution == "decomposition":
+            if job.kind is JobKind.TUCKER:
+                return (
+                    geometry.fcoo_bytes + geometry.factor_bytes
+                ) / placement.primary_device.pcie_bandwidth_bytes_per_s
+            return 0.0
+        if placement.sharded:
+            execution = getattr(outcome.profile, "sharded", None)
+            if execution is None:
+                return 0.0
+            # Every device stages its own shard (plus its replica of the
+            # dense factors) over its own host link, concurrently.
+            return max(
+                (
+                    (ledger.staged_bytes + geometry.factor_bytes)
+                    / self.cluster.devices[ledger.index].pcie_bandwidth_bytes_per_s
+                    for ledger in execution.shards
+                ),
+                default=0.0,
+            )
+        device = placement.device
+        fcoo_bytes = geometry.fcoo_bytes if encoding_staged else 0.0
+        if outcome.execution == "streamed":
+            fcoo_bytes = 0.0
+        return (fcoo_bytes + geometry.factor_bytes) / device.pcie_bandwidth_bytes_per_s
+
+    def _commit(
+        self,
+        entry: _ReadyEntry,
+        t0: float,
+        placement: Placement,
+        geometry: JobGeometry,
+        outcome: ExecutionOutcome,
+        timelines: List[DeviceTimeline],
+        *,
+        batch_id: Optional[int],
+        batch_leader: bool,
+        encoding_staged: bool,
+    ) -> JobResult:
+        """Price one executed job onto the device timelines."""
+        stage_s = self._staging_seconds(
+            entry.job, placement, geometry, outcome, encoding_staged=encoding_staged
+        )
+        slots = placement.device_slots
+        lanes = [timelines[s] for s in slots]
+        stage_start = max(t0, entry.ready_s, max(lane.copy_free_s for lane in lanes))
+        stage_end = stage_start + stage_s
+        exec_start = max(stage_end, max(lane.compute_free_s for lane in lanes))
+        exec_end = exec_start + outcome.exec_s
+
+        busy_by_slot: Dict[int, float]
+        if placement.sharded:
+            execution = getattr(outcome.profile, "sharded", None)
+            if execution is not None:
+                busy_by_slot = dict(execution.device_times)
+            else:
+                per_device = getattr(outcome.output, "device_time_by_device", None)
+                busy_by_slot = (
+                    dict(per_device)
+                    if per_device
+                    else {s: outcome.exec_s for s in slots}
+                )
+        else:
+            busy_by_slot = {slots[0]: outcome.exec_s}
+
+        for lane in lanes:
+            lane.copy_free_s = stage_end
+            lane.compute_free_s = exec_end
+            lane.busy_s += busy_by_slot.get(lane.slot, 0.0)
+            lane.jobs += 1
+
+        return JobResult(
+            job=entry.job,
+            status=JobStatus.COMPLETED,
+            output=outcome.output,
+            device_slots=slots,
+            execution=outcome.execution,
+            encode_cache_hit=entry.encode_hit,
+            tuner_cache_hit=entry.tuner_hit,
+            batch_id=batch_id,
+            batch_leader=batch_leader,
+            preproc_s=entry.preproc_s,
+            stage_s=stage_s,
+            exec_s=outcome.exec_s,
+            stage_start_s=stage_start,
+            exec_start_s=exec_start,
+            finish_s=exec_end,
+            block_size=placement.block_size,
+            threadlen=placement.threadlen,
+            placement=placement,
+        )

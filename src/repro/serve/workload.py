@@ -1,0 +1,248 @@
+"""Seeded synthetic serving workloads and the default serving cluster.
+
+A serving benchmark needs a *repeatable* multi-tenant traffic pattern:
+:func:`generate_workload` expands a :class:`WorkloadSpec` into a job list
+with exponential inter-arrival times, a configurable kind mix, a small
+shared tensor pool (so repeat submissions exercise the preprocessing
+cache), priority classes, and — optionally — a "whale" tensor larger than
+any single device (exercising the capability-weighted sharded path) and an
+inadmissible giant whose dense operands exceed every device (exercising
+admission control).  Everything derives from one seed; the same spec
+always yields the same workload.
+
+:func:`default_serving_cluster` is the heterogeneous node the serving
+experiments run on: two full-rate and two half-rate analog GPUs.  Like the
+capacity experiments, the devices are memory-scaled to the synthetic
+analogs' size (the pool tensors carry thousands of non-zeros, not the
+paper's 10^8) so the capacity effects — sharding, streamed fallback,
+admission rejects — appear at laptop scale; the interconnect latency is
+scaled down by the same reasoning as :func:`repro.bench.scaling.analog_interconnect`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.gpusim.cluster import ClusterSpec, InterconnectSpec
+from repro.gpusim.device import TITAN_X, scaled_device
+from repro.serve.job import Job, JobKind
+from repro.tensor.random import random_sparse_tensor
+from repro.tensor.sparse import SparseTensor
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "WorkloadSpec",
+    "generate_workload",
+    "default_serving_cluster",
+    "SERVE_INTERCONNECT",
+]
+
+#: The serving experiments' device link: PCIe-P2P bandwidth with the latency
+#: scaled to the analog workloads (the pool tensors are ~10^4 smaller than
+#: the paper's, so kernel times are microseconds; an unscaled 5 us hop would
+#: dominate every collective the way it never would at paper scale).
+SERVE_INTERCONNECT = InterconnectSpec("PCIe 3.0 x16 P2P [serving analog]", 12e9, 0.25e-6)
+
+
+def default_serving_cluster() -> ClusterSpec:
+    """The default heterogeneous serving node: 2 full-rate + 2 half-rate GPUs.
+
+    The half-rate members have half the DRAM/PCIe bandwidth (so their
+    capability weight — and therefore their shard share and placement rank —
+    is half the full-rate members') and half the memory.  Memory is scaled
+    to the synthetic analog workloads so the default workload's whale
+    tensor genuinely exceeds the largest device.
+    """
+    big = scaled_device(TITAN_X, 2.0e-5, name_suffix="serve big")
+    small = scaled_device(
+        TITAN_X, 1.0e-5, bandwidth_scale=0.5, name_suffix="serve small"
+    )
+    return ClusterSpec(
+        devices=(big, big, small, small),
+        interconnect=SERVE_INTERCONNECT,
+        name="serving node (2x full-rate + 2x half-rate)",
+    )
+
+
+def _default_kind_mix() -> Dict[JobKind, float]:
+    return {
+        JobKind.SPTTM: 0.30,
+        JobKind.SPMTTKRP: 0.28,
+        JobKind.SPTTMC: 0.20,
+        JobKind.CP_ALS: 0.14,
+        JobKind.TUCKER: 0.08,
+    }
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one synthetic serving workload.
+
+    Attributes
+    ----------
+    num_jobs / seed:
+        Workload size and the seed every random choice derives from.
+    num_tenants:
+        Tenants round-robin-ish over the tensor pool (tenant names are
+        informational; the cache keys on tensor content).
+    mean_interarrival_s:
+        Mean of the exponential inter-arrival distribution (simulated
+        seconds); sized so the default cluster runs moderately loaded.
+    kind_mix:
+        Relative frequency of each job kind (normalised internally).
+    rank_choices:
+        Ranks sampled *per pool tensor* (each tenant model has one rank, so
+        repeat submissions share tuner entries and batch keys; SpTTMc jobs
+        cap theirs at 8 — the unfolding width is the rank to the power
+        ``order - 1``).
+    pool_tensors:
+        Distinct small tensors in the shared pool.
+    whale_every:
+        Every ``n``-th job submits the pool's whale (an encoding larger
+        than any single device, so it shards); 0 disables whales.
+    giant_every:
+        Every ``n``-th job submits the inadmissible giant (dense operands
+        exceeding every device, so admission rejects it); 0 disables.
+    high_priority_fraction:
+        Fraction of jobs in the urgent class (priority 0; the rest are
+        priority 1).
+    """
+
+    num_jobs: int = 100
+    seed: int = 0
+    num_tenants: int = 6
+    mean_interarrival_s: float = 3.0e-6
+    kind_mix: Dict[JobKind, float] = field(default_factory=_default_kind_mix)
+    rank_choices: Tuple[int, ...] = (4, 8, 16)
+    pool_tensors: int = 5
+    whale_every: int = 9
+    giant_every: int = 33
+    high_priority_fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_jobs, "num_jobs")
+        check_positive_int(self.num_tenants, "num_tenants")
+        check_positive_int(self.pool_tensors, "pool_tensors")
+        if self.mean_interarrival_s <= 0:
+            raise ValueError(
+                f"mean_interarrival_s must be positive, got {self.mean_interarrival_s}"
+            )
+        if not self.kind_mix:
+            raise ValueError("kind_mix must not be empty")
+        if self.whale_every < 0 or self.giant_every < 0:
+            raise ValueError("whale_every / giant_every must be non-negative")
+        if not 0.0 <= self.high_priority_fraction <= 1.0:
+            raise ValueError(
+                f"high_priority_fraction must be in [0, 1], got {self.high_priority_fraction}"
+            )
+
+
+def _tensor_pool(spec: WorkloadSpec, rng: np.random.Generator) -> List[SparseTensor]:
+    """The shared pool of small tensors (orders 3 and 4, a few thousand nnz)."""
+    pool: List[SparseTensor] = []
+    for i in range(spec.pool_tensors):
+        order = 3 if i % 2 == 0 else 4
+        if order == 3:
+            shape = tuple(int(rng.integers(24, 64)) for _ in range(3))
+            nnz = int(rng.integers(600, 2400))
+        else:
+            shape = tuple(int(rng.integers(8, 20)) for _ in range(4))
+            nnz = int(rng.integers(400, 1200))
+        pool.append(
+            random_sparse_tensor(
+                shape,
+                nnz,
+                seed=int(rng.integers(0, 2**31 - 1)),
+                distribution="power",
+                concentration=1.0,
+            )
+        )
+    return pool
+
+
+def _whale_tensor(rng: np.random.Generator) -> SparseTensor:
+    """A tensor whose F-COO encoding exceeds any default serving device."""
+    return random_sparse_tensor(
+        (160, 200, 140),
+        48_000,
+        seed=int(rng.integers(0, 2**31 - 1)),
+        distribution="power",
+        concentration=1.1,
+    )
+
+
+def _giant_tensor(rng: np.random.Generator) -> SparseTensor:
+    """A tensor whose *dense operands* exceed every device: inadmissible.
+
+    The huge leading mode makes the factor matrix alone larger than the
+    scaled device memories while the non-zero count stays tiny.
+    """
+    k = 400
+    indices = np.stack(
+        [
+            rng.integers(0, 3_000_000, size=k),
+            rng.integers(0, 24, size=k),
+            rng.integers(0, 12, size=k),
+        ],
+        axis=1,
+    )
+    values = rng.standard_normal(k)
+    return SparseTensor(indices, values, (3_000_000, 24, 12))
+
+
+def generate_workload(spec: WorkloadSpec) -> List[Job]:
+    """Expand a :class:`WorkloadSpec` into a deterministic job list.
+
+    Jobs come back sorted by arrival time with ids in arrival order; the
+    same spec always produces the same list (tensors, factors and arrivals
+    all derive from ``spec.seed``).
+    """
+    rng = np.random.default_rng(spec.seed)
+    pool = _tensor_pool(spec, rng)
+    pool_ranks = [int(rng.choice(spec.rank_choices)) for _ in pool]
+    whale = _whale_tensor(rng) if spec.whale_every else None
+    giant = _giant_tensor(rng) if spec.giant_every else None
+    whale_rank, giant_rank = 8, 4
+
+    kinds = list(spec.kind_mix)
+    mix = np.asarray([spec.kind_mix[k] for k in kinds], dtype=np.float64)
+    if (mix < 0).any() or mix.sum() <= 0:
+        raise ValueError("kind_mix frequencies must be non-negative and sum > 0")
+    mix = mix / mix.sum()
+
+    jobs: List[Job] = []
+    clock = 0.0
+    for job_id in range(spec.num_jobs):
+        clock += float(rng.exponential(spec.mean_interarrival_s))
+        kind = kinds[int(rng.choice(len(kinds), p=mix))]
+        if spec.giant_every and job_id % spec.giant_every == spec.giant_every - 1:
+            tensor, kind, rank = giant, JobKind.SPMTTKRP, giant_rank
+        elif spec.whale_every and job_id % spec.whale_every == spec.whale_every - 1:
+            tensor, rank = whale, whale_rank
+            if not kind.is_kernel:
+                kind = JobKind.SPMTTKRP  # keep whale decompositions out of quick runs
+        else:
+            pick = int(rng.integers(0, len(pool)))
+            tensor, rank = pool[pick], pool_ranks[pick]
+        if kind in (JobKind.SPTTMC, JobKind.TUCKER):
+            rank = min(rank, 8)
+        mode = int(rng.integers(0, tensor.order))
+        priority = 0 if rng.random() < spec.high_priority_fraction else 1
+        jobs.append(
+            Job(
+                job_id=job_id,
+                tenant=f"tenant-{int(rng.integers(0, spec.num_tenants))}",
+                kind=kind,
+                tensor=tensor,
+                mode=mode,
+                rank=rank,
+                priority=priority,
+                arrival_s=clock,
+                iterations=2,
+                factor_seed=int(rng.integers(0, 2**31 - 1)),
+            )
+        )
+    return jobs

@@ -22,6 +22,7 @@ Design notes
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, Sequence, Tuple, Union
 
 import numpy as np
@@ -54,7 +55,7 @@ class SparseTensor:
         kernels in the paper (and ParTI) assume.
     """
 
-    __slots__ = ("_indices", "_values", "_shape")
+    __slots__ = ("_indices", "_values", "_shape", "_content_key")
 
     def __init__(
         self,
@@ -110,6 +111,7 @@ class SparseTensor:
         self._indices = indices
         self._values = np.ascontiguousarray(values, dtype=np.float64)
         self._shape = shape
+        self._content_key: Union[str, None] = None
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -181,6 +183,29 @@ class SparseTensor:
         """Fraction of entries that are non-zero (``nnz / prod(shape)``)."""
         denom = float(np.prod(np.asarray(self._shape, dtype=np.float64)))
         return self.nnz / denom if denom else 0.0
+
+    @property
+    def content_key(self) -> str:
+        """Short hex digest identifying the tensor's exact content.
+
+        Hashes the shape, coordinates and values, so two tensors share a key
+        exactly when they are numerically identical (after the constructor's
+        canonicalisation).  This is the cache key the serving layer's
+        :class:`~repro.serve.cache.PreprocCache` uses to recognise repeat
+        submissions of the same tensor — two tenants uploading the same data
+        hit the same cache entry regardless of how they name it.  Computed
+        lazily and memoised, which relies on the class's immutability
+        contract (see the module design notes): mutating a constructor
+        argument in place after building the tensor is unsupported
+        everywhere in the library — here it would leave a stale digest.
+        """
+        if self._content_key is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(np.asarray(self._shape, dtype=np.int64).tobytes())
+            digest.update(np.ascontiguousarray(self._indices).tobytes())
+            digest.update(self._values.tobytes())
+            self._content_key = digest.hexdigest()
+        return self._content_key
 
     def mode_indices(self, mode: int) -> np.ndarray:
         """The index column of one mode, as a read-only ``(nnz,)`` view."""

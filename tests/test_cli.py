@@ -44,6 +44,6 @@ class TestCli:
         expected = {
             "table2", "table3", "table4", "table5",
             "fig5", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10",
-            "streaming", "scaling",
+            "streaming", "scaling", "serve",
         }
         assert set(EXPERIMENTS) == expected
