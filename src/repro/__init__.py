@@ -59,6 +59,8 @@ from repro.gpusim import (
     ClusterSpec,
     DeviceSpec,
     InterconnectSpec,
+    MultiNodeClusterSpec,
+    NodeSpec,
     TITAN_X,
     LaunchConfig,
     OutOfDeviceMemory,
@@ -124,6 +126,8 @@ __all__ = [
     "TITAN_X",
     "ClusterSpec",
     "InterconnectSpec",
+    "MultiNodeClusterSpec",
+    "NodeSpec",
     "LaunchConfig",
     "OutOfDeviceMemory",
     "CpuSpec",

@@ -33,7 +33,7 @@ from repro.cpusim.cpu import CPU_I7_5820K, CpuSpec
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.csf import CSFTensor
 from repro.formats.mode_encoding import OperationKind
-from repro.gpusim.cluster import ClusterSpec, resolve_cluster
+from repro.gpusim.cluster import ClusterLike, resolve_cluster
 from repro.gpusim.device import DeviceSpec, TITAN_X
 from repro.kernels.baselines.splatt import splatt_csf_mode_order, splatt_mttkrp
 from repro.kernels.common import MTTKRPResult
@@ -87,7 +87,8 @@ class UnifiedGPUEngine:
         :class:`~repro.gpusim.timing.OutOfDeviceMemory`.
     cluster / devices:
         Multi-GPU controls forwarded to every MTTKRP: a
-        :class:`~repro.gpusim.cluster.ClusterSpec` (or a bare device count
+        :class:`~repro.gpusim.cluster.ClusterSpec` /
+        :class:`~repro.gpusim.cluster.MultiNodeClusterSpec` (or a bare device count
         building a homogeneous cluster of ``device``) shards every MTTKRP
         across the cluster and all-reduces the partial factor updates.
         The engine accumulates the per-device busy seconds of the whole
@@ -110,7 +111,7 @@ class UnifiedGPUEngine:
     streamed: Optional[bool] = None
     num_streams: int = 2
     chunk_nnz: Optional[int] = None
-    cluster: Optional[ClusterSpec] = None
+    cluster: Optional[ClusterLike] = None
     devices: Optional[int] = None
     preproc_cache: Optional[object] = None
     name: str = "unified-gpu"

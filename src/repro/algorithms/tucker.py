@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.formats.mode_encoding import OperationKind
-from repro.gpusim.cluster import ClusterSpec, resolve_cluster
+from repro.gpusim.cluster import ClusterLike, resolve_cluster
 from repro.gpusim.device import DeviceSpec, TITAN_X
 from repro.kernels.unified.sharded import ShardedTimeline
 from repro.kernels.unified.spttmc import unified_spttmc
@@ -91,7 +91,7 @@ def tucker_hooi(
     seed: SeedLike = 0,
     block_size: int = 128,
     threadlen: int = 8,
-    cluster: Optional[ClusterSpec] = None,
+    cluster: Optional[ClusterLike] = None,
     devices: Optional[int] = None,
     preproc_cache: Optional[object] = None,
 ) -> TuckerResult:

@@ -28,6 +28,9 @@ runner                          paper artefact
 :func:`run_scaling`             multi-GPU strong scaling of the sharded
                                 kernels (extension; no paper figure)
 :func:`run_weak_scaling`        multi-GPU weak scaling (extension)
+:func:`run_multinode_scaling`   multi-node scaling with hierarchical
+                                collectives over a two-tier interconnect
+                                (extension)
 :func:`run_serving`             multi-tenant serving over the simulated
                                 cluster (extension)
 ==============================  ===========================================
@@ -44,6 +47,7 @@ from repro.bench.memory import Fig9Result, run_fig9
 from repro.bench.cp_bench import Fig10Result, run_fig10
 from repro.bench.streaming import StreamingResult, run_streaming
 from repro.bench.scaling import ScalingResult, run_scaling, run_weak_scaling
+from repro.bench.multinode import MultiNodeScalingResult, run_multinode_scaling
 from repro.bench.serving import run_serving
 
 __all__ = [
@@ -71,5 +75,7 @@ __all__ = [
     "ScalingResult",
     "run_scaling",
     "run_weak_scaling",
+    "MultiNodeScalingResult",
+    "run_multinode_scaling",
     "run_serving",
 ]

@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro._version import __version__
+from repro.bench.multinode import run_multinode_scaling
 from repro.bench.scaling import run_scaling, run_weak_scaling
 from repro.bench.serving import run_serving
 from repro.bench.streaming import run_streaming
@@ -55,6 +56,7 @@ DEFAULT_TOLERANCE = 0.20
 #: The artifact files, keyed by suite name.
 ARTIFACT_FILES = {
     "scaling": "BENCH_scaling.json",
+    "multinode": "BENCH_multinode.json",
     "streaming": "BENCH_streaming.json",
     "serving": "BENCH_serving.json",
 }
@@ -73,6 +75,32 @@ def _scaling_metrics() -> Dict[str, float]:
     for row in weak.rows:
         key = f"weak/{row.operation}/gpus={row.num_devices}"
         metrics[key] = row.time_s
+    return metrics
+
+
+def _multinode_metrics() -> Dict[str, float]:
+    """Quick-mode multi-node subset: one dataset, 1/2/4 nodes of 2 GPUs.
+
+    Beyond the per-point kernel times, the suite tracks the modeled
+    hierarchical reduction seconds of the largest cluster per all-reduce
+    kernel, and ``.../hier_minus_flat_count`` pseudo-counts — 0 while the
+    hierarchical collective is no costlier than the flat ring on every
+    row, 1 the moment any row regresses past it (counts fail on any
+    increase, so the gate pins the tentpole property).
+    """
+    metrics: Dict[str, float] = {}
+    result = run_multinode_scaling(
+        rank=8, datasets=["brainq"], node_counts=(1, 2, 4), devices_per_node=2, seed=0
+    )
+    violations = 0
+    for row in result.rows:
+        key = f"multinode/{row.operation}/{row.workload}/nodes={row.num_nodes}"
+        metrics[key] = row.time_s
+        if row.num_nodes > 1:
+            metrics[f"{key}/reduction"] = row.reduction_s
+            if row.reduction_s > row.flat_reduction_s + 1e-15:
+                violations = 1
+    metrics["multinode/hier_minus_flat_count"] = float(violations)
     return metrics
 
 
@@ -114,6 +142,7 @@ def collect_metrics() -> Dict[str, Dict[str, float]]:
     """All regression metrics, grouped by suite (simulated seconds)."""
     return {
         "scaling": _scaling_metrics(),
+        "multinode": _multinode_metrics(),
         "streaming": _streaming_metrics(),
         "serving": _serving_metrics(),
     }

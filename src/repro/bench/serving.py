@@ -15,12 +15,20 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.gpusim.cluster import ClusterSpec
+from repro.gpusim.cluster import ClusterLike
 from repro.serve.cache import PreprocCache
 from repro.serve.engine import ServingEngine, ServingReport
-from repro.serve.workload import WorkloadSpec, generate_workload
+from repro.serve.workload import (
+    WorkloadSpec,
+    default_multinode_serving_cluster,
+    generate_workload,
+)
 
-__all__ = ["run_serving"]
+__all__ = ["run_serving", "DEFAULT_CROSS_NODE_EVERY"]
+
+#: Cross-node tenant cadence of the multi-node serving mode: every n-th job
+#: submits the tensor that exceeds any single node's aggregate memory.
+DEFAULT_CROSS_NODE_EVERY = 14
 
 
 def run_serving(
@@ -28,7 +36,8 @@ def run_serving(
     num_jobs: int = 100,
     seed: int = 0,
     policy: str = "priority",
-    cluster: Optional[ClusterSpec] = None,
+    cluster: Optional[ClusterLike] = None,
+    nodes: Optional[int] = None,
     autotune: bool = True,
     max_batch: int = 4,
     max_queue_depth: Optional[int] = None,
@@ -47,11 +56,23 @@ def run_serving(
     cluster:
         Serving node; defaults to the heterogeneous
         :func:`~repro.serve.workload.default_serving_cluster`.
+    nodes:
+        Multi-node serving mode: with ``nodes >= 2`` (and no explicit
+        ``cluster``) the engine runs on
+        :func:`~repro.serve.workload.default_multinode_serving_cluster`
+        and the workload adds cross-node tenants every
+        :data:`DEFAULT_CROSS_NODE_EVERY` jobs, so the report exercises
+        node-local sharding (off the NIC) *and* NIC-spanning jobs.
     autotune:
         Reuse tuned launch parameters through the preprocessing cache.
     max_batch / max_queue_depth / cache_capacity_bytes:
         Scheduler batching bound, admission queue bound, and cache budget.
     """
+    cross_node_every = 0
+    if nodes is not None and nodes >= 2:
+        if cluster is None:
+            cluster = default_multinode_serving_cluster(nodes)
+        cross_node_every = DEFAULT_CROSS_NODE_EVERY
     engine = ServingEngine(
         cluster,
         cache=PreprocCache(capacity_bytes=cache_capacity_bytes),
@@ -60,4 +81,10 @@ def run_serving(
         max_queue_depth=max_queue_depth,
         autotune=autotune,
     )
-    return engine.run(generate_workload(WorkloadSpec(num_jobs=num_jobs, seed=seed)))
+    return engine.run(
+        generate_workload(
+            WorkloadSpec(
+                num_jobs=num_jobs, seed=seed, cross_node_every=cross_node_every
+            )
+        )
+    )

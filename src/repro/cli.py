@@ -8,6 +8,8 @@ Usage::
     python -m repro all                  # everything
     python -m repro fig10 --rank 8 --iterations 3
     python -m repro serve --jobs 100     # multi-tenant serving report
+    python -m repro scaling --nodes 4    # multi-node hierarchical scaling
+    python -m repro serve --nodes 2      # multi-node serving (NIC tier)
 
 Each experiment prints the same rows/series the paper reports, rendered as a
 plain-text table (see :mod:`repro.bench`).
@@ -28,6 +30,7 @@ from repro.bench import (
     run_fig8,
     run_fig9,
     run_fig10,
+    run_multinode_scaling,
     run_scaling,
     run_serving,
     run_streaming,
@@ -49,6 +52,13 @@ def _render_fig7(args: argparse.Namespace) -> str:
 
 
 def _render_scaling(args: argparse.Namespace) -> str:
+    if args.nodes and args.nodes > 1:
+        # Power-of-two curve up to the requested count, which is always
+        # included exactly (mirroring how `serve --nodes N` honors N).
+        node_counts = tuple(
+            sorted({m for m in (1, 2, 4, 8) if m < args.nodes} | {args.nodes})
+        )
+        return run_multinode_scaling(rank=args.rank, node_counts=node_counts).render()
     parts = [run_scaling(rank=args.rank).render(), run_weak_scaling(rank=args.rank).render()]
     return "\n\n".join(parts)
 
@@ -69,7 +79,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "streaming": lambda args: run_streaming(rank=args.rank).render(),
     "scaling": _render_scaling,
     "serve": lambda args: run_serving(
-        num_jobs=args.jobs, seed=args.seed, policy=args.policy
+        num_jobs=args.jobs, seed=args.seed, policy=args.policy, nodes=args.nodes or None
     ).render(),
 }
 
@@ -117,6 +127,16 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["priority", "fifo"],
         default="priority",
         help="queueing policy for the serve experiment (default priority)",
+    )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=0,
+        help=(
+            "multi-node mode for the scaling and serve experiments: run on this "
+            "many simulated nodes over a two-tier interconnect (NIC vs intra-node "
+            "P2P); 0 keeps the single-node experiments (default 0)"
+        ),
     )
     return parser
 

@@ -33,9 +33,14 @@ effects is modelled explicitly:
 
 from repro.gpusim.device import DeviceSpec, TITAN_X, scaled_device
 from repro.gpusim.cluster import (
+    ClusterLike,
     ClusterSpec,
+    ETHERNET_10G,
+    INFINIBAND_EDR,
     InterconnectSpec,
+    MultiNodeClusterSpec,
     NVLINK1,
+    NodeSpec,
     PCIE3_P2P,
     resolve_cluster,
 )
@@ -55,9 +60,14 @@ __all__ = [
     "DeviceSpec",
     "TITAN_X",
     "scaled_device",
+    "ClusterLike",
     "ClusterSpec",
+    "ETHERNET_10G",
+    "INFINIBAND_EDR",
     "InterconnectSpec",
+    "MultiNodeClusterSpec",
     "NVLINK1",
+    "NodeSpec",
     "PCIE3_P2P",
     "resolve_cluster",
     "LaunchConfig",

@@ -45,6 +45,7 @@ from repro.kernels.unified.sharded import (
     ShardedExecution,
     execute_sharded,
     partition_shards,
+    partition_shards_hierarchical,
 )
 
 __all__ = [
@@ -59,4 +60,5 @@ __all__ = [
     "ShardedExecution",
     "execute_sharded",
     "partition_shards",
+    "partition_shards_hierarchical",
 ]

@@ -38,7 +38,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.formats.fcoo import FCOOChunk, FCOOTensor
-from repro.gpusim.cluster import ClusterSpec
+from repro.gpusim.cluster import ClusterLike, MultiNodeClusterSpec
 from repro.gpusim.counters import KernelCounters, KernelProfile
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.launch import LaunchConfig
@@ -60,6 +60,7 @@ __all__ = [
     "ShardedExecution",
     "ShardedTimeline",
     "partition_shards",
+    "partition_shards_hierarchical",
     "execute_sharded",
     "sharded_unified_kernel",
 ]
@@ -114,23 +115,36 @@ def partition_shards(
         raise ValueError(
             f"need one weight per shard ({num_shards}), got {len(weights)}"
         )
+    n_parts = -(-fcoo.nnz // threadlen)
+    alloc = _allocate_partitions(n_parts, weights)
+    return _chunks_from_allocation(fcoo, alloc, threadlen)
+
+
+def _allocate_partitions(n_parts: int, weights: Sequence[float]) -> List[int]:
+    """Allocate ``n_parts`` whole thread partitions by largest remainder.
+
+    Floor each slot's ideal share, then hand the leftover partitions to
+    the largest fractional parts (ties broken toward the heavier weight,
+    then the lower slot, for determinism).
+    """
+    weights = [float(w) for w in weights]
     if any(not np.isfinite(w) or w <= 0.0 for w in weights):
         raise ValueError(f"shard weights must be positive and finite, got {weights}")
-
-    # Allocate whole threadlen-partitions by largest remainder: floor the
-    # ideal share, then hand the leftover partitions to the largest
-    # fractional parts (ties broken toward the heavier weight, then the
-    # lower slot, for determinism).
-    n_parts = -(-fcoo.nnz // threadlen)
     total = sum(weights)
     ideal = [n_parts * w / total for w in weights]
     alloc = [int(share) for share in ideal]
     order = sorted(
-        range(num_shards), key=lambda i: (-(ideal[i] - alloc[i]), -weights[i], i)
+        range(len(weights)), key=lambda i: (-(ideal[i] - alloc[i]), -weights[i], i)
     )
     for i in order[: n_parts - sum(alloc)]:
         alloc[i] += 1
+    return alloc
 
+
+def _chunks_from_allocation(
+    fcoo: FCOOTensor, alloc: Sequence[int], threadlen: int
+) -> List[FCOOChunk]:
+    """Materialise contiguous shard spans from a per-slot partition count."""
     chunks: List[FCOOChunk] = []
     consumed = 0
     for parts in alloc:
@@ -139,6 +153,44 @@ def partition_shards(
         chunks.append(fcoo.chunk_span(start, stop, threadlen=threadlen))
         consumed += parts
     return chunks
+
+
+def partition_shards_hierarchical(
+    fcoo: FCOOTensor,
+    cluster: MultiNodeClusterSpec,
+    *,
+    threadlen: int = 1,
+) -> List[FCOOChunk]:
+    """Topology-aware sharding: node spans first, devices within them.
+
+    The ``threadlen``-aligned partitions of the non-zero stream are first
+    allocated to *nodes* proportionally to each node's aggregate
+    capability (:meth:`~repro.gpusim.cluster.MultiNodeClusterSpec.node_capability_weights`),
+    so every node owns one contiguous span; each node's span is then
+    subdivided across its member devices proportionally to their
+    individual capabilities.  Exactly ``cluster.num_devices`` chunks come
+    back in flat slot order, empty placeholders included, so
+    ``shards[i]`` always executes on flat device slot ``i``.
+
+    Boundaries are ``threadlen``-aligned everywhere, and node-span
+    boundaries coincide with shard boundaries by construction — a segment
+    straddling two nodes is merged by the same global-segment-id
+    bookkeeping as any other shard boundary, only priced over the NIC by
+    the reduction model instead of the P2P tier.
+    """
+    threadlen = check_positive_int(threadlen, "threadlen")
+    if fcoo.nnz == 0:
+        return []
+    n_parts = -(-fcoo.nnz // threadlen)
+    node_alloc = _allocate_partitions(n_parts, cluster.node_capability_weights())
+    scores = cluster.capability_scores()
+    alloc: List[int] = []
+    start = 0
+    for node, node_parts in zip(cluster.nodes, node_alloc):
+        node_scores = scores[start : start + node.num_devices]
+        start += node.num_devices
+        alloc.extend(_allocate_partitions(node_parts, node_scores))
+    return _chunks_from_allocation(fcoo, alloc, threadlen)
 
 
 @dataclass(frozen=True)
@@ -199,7 +251,7 @@ class ShardedExecution:
         executed).
     """
 
-    cluster: ClusterSpec
+    cluster: ClusterLike
     threadlen: int
     shards: List[ShardLedger]
     reduction_kind: str
@@ -299,7 +351,7 @@ def execute_sharded(
     fcoo: FCOOTensor,
     shard_kernel: ShardKernel,
     *,
-    cluster: ClusterSpec,
+    cluster: ClusterLike,
     threadlen: int,
     output_bytes: float,
     reduction: str = "allreduce",
@@ -344,13 +396,19 @@ def execute_sharded(
         raise ValueError(
             f"reduction must be 'allreduce', 'boundary' or 'gather', got {reduction!r}"
         )
-    # Heterogeneous clusters get capability-weighted shards (proportional to
-    # each member's modeled throughput, so the shards finish together); a
-    # homogeneous cluster keeps the exact even-split fast path.
-    weights = None if cluster.is_homogeneous else cluster.capability_weights()
-    shards = partition_shards(
-        fcoo, cluster.num_devices, threadlen=threadlen, weights=weights
-    )
+    if isinstance(cluster, MultiNodeClusterSpec):
+        # Topology-aware partitioning: nodes own capability-weighted
+        # contiguous spans, devices subdivide within their node, so a
+        # segment can only straddle the NIC at a node-span boundary.
+        shards = partition_shards_hierarchical(fcoo, cluster, threadlen=threadlen)
+    else:
+        # Heterogeneous clusters get capability-weighted shards (proportional
+        # to each member's modeled throughput, so the shards finish together);
+        # a homogeneous cluster keeps the exact even-split fast path.
+        weights = None if cluster.is_homogeneous else cluster.capability_weights()
+        shards = partition_shards(
+            fcoo, cluster.num_devices, threadlen=threadlen, weights=weights
+        )
 
     ledgers: List[ShardLedger] = []
     merged = KernelCounters()
@@ -401,6 +459,7 @@ def execute_sharded(
             (fcoo.num_segments, output_width if output_width else 1), dtype=np.float64
         )
 
+    multinode = isinstance(cluster, MultiNodeClusterSpec)
     if len(ledgers) <= 1:
         reduction_bytes, reduction_time = 0.0, 0.0
     elif reduction == "allreduce":
@@ -408,19 +467,41 @@ def execute_sharded(
         reduction_time = cluster.allreduce_time(reduction_bytes)
     elif reduction == "boundary":
         width = segment_sums.shape[1]
-        payloads = [
-            float(width * fcoo.value_dtype.itemsize)
-            for ledger in ledgers
-            if ledger.carries_in
+        # A carried segment's partial sum moves from the previous *executed*
+        # shard — with empty placeholder shards in between, that can be a
+        # lower slot than index - 1, possibly in another node.
+        pairs = [
+            (prev.index, cur.index)
+            for prev, cur in zip(ledgers, ledgers[1:])
+            if cur.carries_in
         ]
+        payloads = [float(width * fcoo.value_dtype.itemsize) for _ in pairs]
         reduction_bytes = float(sum(payloads))
-        reduction_time = cluster.neighbor_exchange_time(payloads)
+        if multinode:
+            # A boundary between two nodes' spans crosses the NIC; one
+            # inside a node rides that node's P2P tier.
+            reduction_time = cluster.neighbor_exchange_time(
+                payloads,
+                slots=[dst for _, dst in pairs],
+                sources=[src for src, _ in pairs],
+            )
+        else:
+            reduction_time = cluster.neighbor_exchange_time(payloads)
     else:
         width = segment_sums.shape[1]
-        payloads = [
-            ledger.num_segments * width * fcoo.value_dtype.itemsize
-            for ledger in ledgers
-        ]
+        if multinode:
+            # The hierarchical gather prices per tier, so it needs the
+            # full slot-aligned payload vector (idle slots ship nothing).
+            payloads = [0.0] * cluster.num_devices
+            for ledger in ledgers:
+                payloads[ledger.index] = (
+                    ledger.num_segments * width * fcoo.value_dtype.itemsize
+                )  # slot-aligned; idle slots keep 0.0
+        else:
+            payloads = [
+                ledger.num_segments * width * fcoo.value_dtype.itemsize
+                for ledger in ledgers
+            ]
         reduction_bytes = float(sum(payloads[1:]))
         reduction_time = cluster.gather_time(payloads)
 
@@ -458,7 +539,7 @@ def sharded_unified_kernel(
     block_size: int,
     threadlen: int,
     fused: bool,
-    cluster: ClusterSpec,
+    cluster: ClusterLike,
     streamed: Optional[bool],
     num_streams: int,
     chunk_nnz: Optional[int],

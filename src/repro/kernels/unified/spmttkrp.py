@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.mode_encoding import OperationKind
-from repro.gpusim.cluster import ClusterSpec, resolve_cluster
+from repro.gpusim.cluster import ClusterLike, resolve_cluster
 from repro.gpusim.device import DeviceSpec, TITAN_X
 from repro.gpusim.launch import LaunchConfig
 from repro.gpusim.scan import segment_reduce
@@ -95,7 +95,7 @@ def unified_spmttkrp(
     streamed: Optional[bool] = None,
     num_streams: int = 2,
     chunk_nnz: Optional[int] = None,
-    cluster: Optional[ClusterSpec] = None,
+    cluster: Optional[ClusterLike] = None,
     devices: Optional[int] = None,
 ) -> MTTKRPResult:
     """Compute MTTKRP with the unified F-COO algorithm.

@@ -30,7 +30,7 @@ import numpy as np
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.mode_encoding import OperationKind
 from repro.formats.semisparse import SemiSparseTensor
-from repro.gpusim.cluster import ClusterSpec, resolve_cluster
+from repro.gpusim.cluster import ClusterLike, resolve_cluster
 from repro.gpusim.device import DeviceSpec, TITAN_X
 from repro.gpusim.launch import LaunchConfig
 from repro.gpusim.scan import segment_reduce
@@ -67,7 +67,7 @@ def unified_spttm(
     streamed: Optional[bool] = None,
     num_streams: int = 2,
     chunk_nnz: Optional[int] = None,
-    cluster: Optional[ClusterSpec] = None,
+    cluster: Optional[ClusterLike] = None,
     devices: Optional[int] = None,
 ) -> SpTTMResult:
     """Compute SpTTM with the unified F-COO algorithm on the simulated GPU.
@@ -104,7 +104,8 @@ def unified_spttm(
         rounded down to a ``threadlen`` multiple); ``None`` sizes chunks to
         fill the device memory budget.
     cluster:
-        Optional :class:`~repro.gpusim.cluster.ClusterSpec`: the non-zero
+        Optional :class:`~repro.gpusim.cluster.ClusterSpec` or
+        :class:`~repro.gpusim.cluster.MultiNodeClusterSpec`: the non-zero
         stream shards across its devices on ``threadlen``-aligned
         boundaries, each shard runs on its own device (falling back to the
         streamed path per-device when it does not fit); the semi-sparse

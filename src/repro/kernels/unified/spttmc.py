@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.mode_encoding import OperationKind
-from repro.gpusim.cluster import ClusterSpec, resolve_cluster
+from repro.gpusim.cluster import ClusterLike, resolve_cluster
 from repro.gpusim.device import DeviceSpec, TITAN_X
 from repro.gpusim.launch import LaunchConfig
 from repro.gpusim.scan import segment_reduce
@@ -71,7 +71,7 @@ def unified_spttmc(
     streamed: Optional[bool] = None,
     num_streams: int = 2,
     chunk_nnz: Optional[int] = None,
-    cluster: Optional[ClusterSpec] = None,
+    cluster: Optional[ClusterLike] = None,
     devices: Optional[int] = None,
 ) -> TTMcResult:
     """Compute TTMc with the unified F-COO algorithm on the simulated GPU.

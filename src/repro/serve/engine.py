@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.gpusim.cluster import ClusterSpec
+from repro.gpusim.cluster import ClusterLike, MultiNodeClusterSpec, collapse_cluster
 from repro.serve.cache import CacheStats, PreprocCache
 from repro.serve.job import Job, JobResult
 from repro.serve.scheduler import DeviceTimeline, Scheduler
@@ -30,7 +30,7 @@ __all__ = ["ServingEngine", "ServingReport"]
 class ServingReport:
     """Everything one serving run produced, plus the derived metrics."""
 
-    cluster: ClusterSpec
+    cluster: ClusterLike
     policy: str
     results: List[JobResult]
     timelines: List[DeviceTimeline]
@@ -113,6 +113,26 @@ class ServingReport:
         """Completed jobs that rode in a batch (leaders included)."""
         return sum(1 for r in self.completed if r.batch_id is not None)
 
+    @property
+    def node_local_sharded_jobs(self) -> int:
+        """Completed sharded jobs kept inside one node (off the NIC)."""
+        return sum(
+            1
+            for r in self.completed
+            if r.placement is not None
+            and r.placement.sharded
+            and r.placement.node_index is not None
+        )
+
+    @property
+    def cross_node_jobs(self) -> int:
+        """Completed jobs whose shards reduced over the inter-node NIC."""
+        return sum(
+            1
+            for r in self.completed
+            if r.placement is not None and r.placement.crosses_nic
+        )
+
     # ------------------------------------------------------------------ #
     def render(self) -> str:
         """Plain-text serving report (summary, latency, devices, cache)."""
@@ -128,6 +148,13 @@ class ServingReport:
             f"({path_summary}), {len(self.rejected)} rejected, "
             f"{self.batched_jobs} batched"
         )
+        if isinstance(self.cluster, MultiNodeClusterSpec):
+            lines.append(
+                f"topology: {self.cluster.num_nodes} nodes over "
+                f"{self.cluster.nic.name}; sharded jobs: "
+                f"{self.node_local_sharded_jobs} node-local (off the NIC), "
+                f"{self.cross_node_jobs} cross-node"
+            )
         lines.append(
             f"makespan: {format_seconds(self.makespan_s)}  "
             f"throughput: {self.throughput_jobs_per_s:,.0f} jobs/s"
@@ -193,7 +220,7 @@ class ServingEngine:
 
     def __init__(
         self,
-        cluster: Optional[ClusterSpec] = None,
+        cluster: Optional[ClusterLike] = None,
         *,
         cache: Optional[PreprocCache] = None,
         policy: str = "priority",
@@ -204,7 +231,9 @@ class ServingEngine:
         autotune: bool = False,
         num_streams: int = 2,
     ) -> None:
-        self.cluster = cluster if cluster is not None else default_serving_cluster()
+        self.cluster = collapse_cluster(
+            cluster if cluster is not None else default_serving_cluster()
+        )
         self.cache = cache if cache is not None else PreprocCache()
         self.policy = policy
         self.scheduler = Scheduler(

@@ -19,6 +19,15 @@ statistics (no encoding is built before admission passes):
   :mod:`repro.kernels.unified.sharded`, whose capability-weighted
   partitioner sizes each device's shard proportional to its modeled
   throughput.
+
+On a two-tier :class:`~repro.gpusim.cluster.MultiNodeClusterSpec` the
+placer is additionally **node-aware**: an oversize job that fits inside a
+single node's aggregate memory shards across *that node only* — its
+collectives stay on the fast intra-node P2P tier and never cross the NIC —
+choosing among qualifying nodes by estimated completion time (data
+locality first, load balance among the local options).  Only a job too
+large for every individual node spills to a cluster-wide shard over the
+NIC.
 """
 
 from __future__ import annotations
@@ -27,7 +36,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from repro.formats.fcoo import FCOOTensor
-from repro.gpusim.cluster import ClusterSpec
+from repro.gpusim.cluster import ClusterLike, MultiNodeClusterSpec, collapse_cluster
 from repro.gpusim.device import DeviceSpec
 from repro.serve.job import Job, JobKind
 
@@ -151,21 +160,36 @@ class Placement:
     """Where (and how) one job executes.
 
     ``cluster`` is ``None`` for a single-device placement (``device_slots``
-    then has one entry and ``device`` is that slot's spec) and the serving
-    cluster itself for a sharded placement spanning every member (``device``
-    is then ``None``).
+    then has one entry and ``device`` is that slot's spec).  For a sharded
+    placement ``cluster`` is what the kernel executes on: the serving
+    cluster itself when the job spans every member, or — on a multi-node
+    serving cluster — one node's single-tier
+    :class:`~repro.gpusim.cluster.ClusterSpec` for a node-local shard
+    (``node_index`` then names the node and ``device_slots`` are the
+    node's *flat* serving slots).  ``device`` is ``None`` either way.
     """
 
     device_slots: Tuple[int, ...]
-    cluster: Optional[ClusterSpec]
+    cluster: Optional[ClusterLike]
     block_size: int
     threadlen: int
     device: Optional[DeviceSpec] = None
+    node_index: Optional[int] = None
 
     @property
     def sharded(self) -> bool:
         """Whether the job shards across several devices."""
         return self.cluster is not None
+
+    @property
+    def crosses_nic(self) -> bool:
+        """Whether this placement's execution touches the inter-node NIC.
+
+        Only a sharded placement whose execution cluster is itself a
+        multi-node spec reduces over the NIC; single-device and node-local
+        placements stay inside one node by construction.
+        """
+        return isinstance(self.cluster, MultiNodeClusterSpec)
 
     @property
     def primary_device(self) -> DeviceSpec:
@@ -180,17 +204,20 @@ class Placement:
 
 
 class Placer:
-    """Capability-aware placement policy for one serving cluster."""
+    """Capability-aware (and, over two tiers, node-aware) placement policy."""
 
     def __init__(
         self,
-        cluster: ClusterSpec,
+        cluster: ClusterLike,
         *,
         block_size: int = 128,
         threadlen: int = 8,
         num_streams: int = 2,
     ) -> None:
-        self.cluster = cluster
+        # A one-node "multi-node" cluster has no NIC tier to reason about;
+        # collapse it so every decision (and every recorded placement)
+        # uses the exact single-node code path.
+        cluster = self.cluster = collapse_cluster(cluster)
         self.block_size = block_size
         self.threadlen = threadlen
         self.num_streams = max(1, int(num_streams))
@@ -198,6 +225,11 @@ class Placer:
         #: scores whose normalisation weights the shard partitioner, so
         #: placement preference and shard sizing cannot diverge.
         self.scores: Tuple[float, ...] = cluster.capability_scores()
+
+    @property
+    def multinode(self) -> bool:
+        """Whether the serving cluster has an inter-node NIC tier."""
+        return isinstance(self.cluster, MultiNodeClusterSpec)
 
     # ------------------------------------------------------------------ #
     def admit(self, job: Job, geometry: Optional[JobGeometry] = None) -> Optional[str]:
@@ -234,6 +266,56 @@ class Placer:
             if needed <= device.global_mem_bytes
         )
 
+    def _node_local_placement(
+        self,
+        geometry: JobGeometry,
+        compute_free_s: Sequence[float],
+        now_s: float,
+    ) -> Optional[Placement]:
+        """The best single-node sharded placement, or ``None``.
+
+        A node qualifies when it has devices to shard over, every member
+        can hold the resident operands (next to minimal chunk buffers),
+        and the node's aggregate memory fits the whole job one-shot — the
+        encoding split across the members with each member's replica of
+        the dense operands.  Among qualifying nodes the placer minimises
+        the estimated completion time ``max(now, node's busiest compute
+        slot) + traffic / node aggregate throughput`` — data locality
+        first, load balance among the local options.
+        """
+        cluster = self.cluster
+        needed = geometry.resident_bytes + self._min_chunk_bytes(geometry)
+        best: Optional[Tuple[float, int]] = None
+        traffic = geometry.footprint_bytes + geometry.output_bytes
+        for index, node in enumerate(cluster.nodes):
+            if node.num_devices < 2:
+                continue
+            if needed > min(d.global_mem_bytes for d in node.devices):
+                continue
+            aggregate = (
+                geometry.fcoo_bytes + node.num_devices * geometry.resident_bytes
+            )
+            if aggregate > sum(d.global_mem_bytes for d in node.devices):
+                continue
+            slots = cluster.node_slots(index)
+            throughput = sum(self.scores[s] for s in slots)
+            finish = (
+                max([now_s] + [compute_free_s[s] for s in slots])
+                + traffic / throughput
+            )
+            if best is None or (finish, index) < best:
+                best = (finish, index)
+        if best is None:
+            return None
+        index = best[1]
+        return Placement(
+            device_slots=cluster.node_slots(index),
+            cluster=cluster.nodes[index].as_cluster(),
+            block_size=self.block_size,
+            threadlen=self.threadlen,
+            node_index=index,
+        )
+
     def place(
         self,
         job: Job,
@@ -245,9 +327,10 @@ class Placer:
 
         Single-device placements minimise the estimated completion time
         ``max(now, device free) + traffic / device roofline throughput``;
-        jobs whose one-shot footprint exceeds every device shard across the
-        whole cluster (capability-weighted shards, per-device streamed
-        fallback).
+        jobs whose one-shot footprint exceeds every device shard — inside
+        a single node when one can hold the whole job (the collectives
+        then never cross the NIC), across the whole cluster otherwise
+        (capability-weighted shards, per-device streamed fallback).
         """
         cluster = self.cluster
         # Sharding stages the full dense operands on *every* member (only
@@ -260,14 +343,18 @@ class Placer:
         if (
             cluster.num_devices > 1
             and geometry.footprint_bytes > cluster.max_device_memory_bytes
-            and resident_everywhere
         ):
-            return Placement(
-                device_slots=tuple(range(cluster.num_devices)),
-                cluster=cluster,
-                block_size=self.block_size,
-                threadlen=self.threadlen,
-            )
+            if self.multinode:
+                local = self._node_local_placement(geometry, compute_free_s, now_s)
+                if local is not None:
+                    return local
+            if resident_everywhere:
+                return Placement(
+                    device_slots=tuple(range(cluster.num_devices)),
+                    cluster=cluster,
+                    block_size=self.block_size,
+                    threadlen=self.threadlen,
+                )
         slots = self.feasible_slots(geometry)
         if not slots:  # admit() keeps this unreachable; defensive
             slots = tuple(range(cluster.num_devices))

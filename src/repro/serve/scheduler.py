@@ -48,7 +48,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.formats.fcoo import FCOOTensor
-from repro.gpusim.cluster import ClusterSpec
+from repro.gpusim.cluster import ClusterLike, collapse_cluster
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.timing import OutOfDeviceMemory
 from repro.serve.cache import PreprocCache
@@ -135,7 +135,7 @@ class Scheduler:
 
     def __init__(
         self,
-        cluster: ClusterSpec,
+        cluster: ClusterLike,
         cache: Optional[PreprocCache] = None,
         *,
         policy: str = "priority",
@@ -154,7 +154,9 @@ class Scheduler:
             raise ValueError(
                 f"max_queue_depth must be at least 1, got {max_queue_depth}"
             )
-        self.cluster = cluster
+        # Collapse a one-node multi-node spec (mirroring the placer), so
+        # timelines, placements and reports speak the same cluster.
+        self.cluster = cluster = collapse_cluster(cluster)
         self.cache = cache if cache is not None else PreprocCache()
         self.policy = policy
         self.max_batch = max_batch
@@ -489,11 +491,14 @@ class Scheduler:
             if execution is None:
                 return 0.0
             # Every device stages its own shard (plus its replica of the
-            # dense factors) over its own host link, concurrently.
+            # dense factors) over its own host link, concurrently.  The
+            # ledgers index the *execution* cluster — one node of the
+            # serving cluster for a node-local shard.
+            devices = placement.cluster.devices
             return max(
                 (
                     (ledger.staged_bytes + geometry.factor_bytes)
-                    / self.cluster.devices[ledger.index].pcie_bandwidth_bytes_per_s
+                    / devices[ledger.index].pcie_bandwidth_bytes_per_s
                     for ledger in execution.shards
                 ),
                 default=0.0,
@@ -530,13 +535,19 @@ class Scheduler:
 
         busy_by_slot: Dict[int, float]
         if placement.sharded:
+            # The execution ledgers index the placement's cluster (a node
+            # of the serving cluster for a node-local shard); translate the
+            # local device indices to the serving cluster's flat slots.
             execution = getattr(outcome.profile, "sharded", None)
             if execution is not None:
-                busy_by_slot = dict(execution.device_times)
+                busy_by_slot = {
+                    slots[local]: busy
+                    for local, busy in execution.device_times.items()
+                }
             else:
                 per_device = getattr(outcome.output, "device_time_by_device", None)
                 busy_by_slot = (
-                    dict(per_device)
+                    {slots[local]: busy for local, busy in per_device.items()}
                     if per_device
                     else {s: outcome.exec_s for s in slots}
                 )

@@ -26,7 +26,12 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.gpusim.cluster import ClusterSpec, InterconnectSpec
+from repro.gpusim.cluster import (
+    ClusterSpec,
+    InterconnectSpec,
+    MultiNodeClusterSpec,
+    NodeSpec,
+)
 from repro.gpusim.device import TITAN_X, scaled_device
 from repro.serve.job import Job, JobKind
 from repro.tensor.random import random_sparse_tensor
@@ -37,7 +42,9 @@ __all__ = [
     "WorkloadSpec",
     "generate_workload",
     "default_serving_cluster",
+    "default_multinode_serving_cluster",
     "SERVE_INTERCONNECT",
+    "SERVE_NIC",
 ]
 
 #: The serving experiments' device link: PCIe-P2P bandwidth with the latency
@@ -45,6 +52,12 @@ __all__ = [
 #: the paper's, so kernel times are microseconds; an unscaled 5 us hop would
 #: dominate every collective the way it never would at paper scale).
 SERVE_INTERCONNECT = InterconnectSpec("PCIe 3.0 x16 P2P [serving analog]", 12e9, 0.25e-6)
+
+#: The multi-node serving experiments' inter-node tier: a 10 GbE NIC with
+#: its latency scaled by the same factor as :data:`SERVE_INTERCONNECT` —
+#: roughly a tenth of the P2P bandwidth and 10x the P2P latency, so the NIC
+#: is unambiguously the slow tier and node locality genuinely pays.
+SERVE_NIC = InterconnectSpec("10 GbE NIC [serving analog]", 1.25e9, 2.5e-6)
 
 
 def default_serving_cluster() -> ClusterSpec:
@@ -64,6 +77,38 @@ def default_serving_cluster() -> ClusterSpec:
         devices=(big, big, small, small),
         interconnect=SERVE_INTERCONNECT,
         name="serving node (2x full-rate + 2x half-rate)",
+    )
+
+
+def default_multinode_serving_cluster(num_nodes: int = 2) -> MultiNodeClusterSpec:
+    """The default multi-node serving cluster: big and small nodes over a NIC.
+
+    Even-indexed nodes hold two full-rate devices, odd-indexed nodes two
+    half-rate/half-memory devices — the same device analogs as
+    :func:`default_serving_cluster`, regrouped into nodes — joined by the
+    :data:`SERVE_NIC` slow tier.  Sized so the default workload's whale
+    tensor fits a *big node's* aggregate memory (its shards stay inside
+    one node, off the NIC) while the cross-node tensor
+    (``WorkloadSpec.cross_node_every``) exceeds every node's aggregate and
+    must span the NIC.
+    """
+    check_positive_int(num_nodes, "num_nodes")
+    big = scaled_device(TITAN_X, 2.0e-5, name_suffix="serve big")
+    small = scaled_device(
+        TITAN_X, 1.0e-5, bandwidth_scale=0.5, name_suffix="serve small"
+    )
+    nodes = tuple(
+        NodeSpec(
+            devices=(big, big) if i % 2 == 0 else (small, small),
+            interconnect=SERVE_INTERCONNECT,
+            name=f"node{i} ({'full' if i % 2 == 0 else 'half'}-rate pair)",
+        )
+        for i in range(num_nodes)
+    )
+    return MultiNodeClusterSpec(
+        nodes=nodes,
+        nic=SERVE_NIC,
+        name=f"serving cluster ({num_nodes} nodes over {SERVE_NIC.name})",
     )
 
 
@@ -103,6 +148,14 @@ class WorkloadSpec:
     whale_every:
         Every ``n``-th job submits the pool's whale (an encoding larger
         than any single device, so it shards); 0 disables whales.
+    cross_node_every:
+        Every ``n``-th job submits the cross-node tensor — larger than any
+        single *node's* aggregate memory on the default multi-node serving
+        cluster, so its shards must span the NIC (on a single-node cluster
+        it simply shards cluster-wide, streaming where needed); 0 (the
+        default) disables it, keeping single-node workloads byte-identical
+        to previous releases.  These jobs model the cross-node tenants of
+        a multi-node deployment.
     giant_every:
         Every ``n``-th job submits the inadmissible giant (dense operands
         exceeding every device, so admission rejects it); 0 disables.
@@ -119,6 +172,7 @@ class WorkloadSpec:
     rank_choices: Tuple[int, ...] = (4, 8, 16)
     pool_tensors: int = 5
     whale_every: int = 9
+    cross_node_every: int = 0
     giant_every: int = 33
     high_priority_fraction: float = 0.15
 
@@ -132,8 +186,10 @@ class WorkloadSpec:
             )
         if not self.kind_mix:
             raise ValueError("kind_mix must not be empty")
-        if self.whale_every < 0 or self.giant_every < 0:
-            raise ValueError("whale_every / giant_every must be non-negative")
+        if self.whale_every < 0 or self.giant_every < 0 or self.cross_node_every < 0:
+            raise ValueError(
+                "whale_every / cross_node_every / giant_every must be non-negative"
+            )
         if not 0.0 <= self.high_priority_fraction <= 1.0:
             raise ValueError(
                 f"high_priority_fraction must be in [0, 1], got {self.high_priority_fraction}"
@@ -174,6 +230,24 @@ def _whale_tensor(rng: np.random.Generator) -> SparseTensor:
     )
 
 
+def _cross_node_tensor(rng: np.random.Generator) -> SparseTensor:
+    """A tensor bigger than any single *node* of the multi-node cluster.
+
+    Its F-COO encoding (plus a resident replica per member) exceeds even
+    the big node's aggregate memory, so the placer cannot keep the job
+    node-local: the shards span every node and the partial outputs reduce
+    over the NIC — the cross-node tenant the multi-node workload models.
+    The dense operands stay small, so the job is always admissible.
+    """
+    return random_sparse_tensor(
+        (240, 280, 200),
+        130_000,
+        seed=int(rng.integers(0, 2**31 - 1)),
+        distribution="power",
+        concentration=1.05,
+    )
+
+
 def _giant_tensor(rng: np.random.Generator) -> SparseTensor:
     """A tensor whose *dense operands* exceed every device: inadmissible.
 
@@ -205,7 +279,10 @@ def generate_workload(spec: WorkloadSpec) -> List[Job]:
     pool_ranks = [int(rng.choice(spec.rank_choices)) for _ in pool]
     whale = _whale_tensor(rng) if spec.whale_every else None
     giant = _giant_tensor(rng) if spec.giant_every else None
-    whale_rank, giant_rank = 8, 4
+    # Drawn only when enabled, so a spec without cross-node tenants keeps
+    # the exact RNG stream (and therefore workload) of previous releases.
+    cross = _cross_node_tensor(rng) if spec.cross_node_every else None
+    whale_rank, giant_rank, cross_rank = 8, 4, 8
 
     kinds = list(spec.kind_mix)
     mix = np.asarray([spec.kind_mix[k] for k in kinds], dtype=np.float64)
@@ -220,6 +297,13 @@ def generate_workload(spec: WorkloadSpec) -> List[Job]:
         kind = kinds[int(rng.choice(len(kinds), p=mix))]
         if spec.giant_every and job_id % spec.giant_every == spec.giant_every - 1:
             tensor, kind, rank = giant, JobKind.SPMTTKRP, giant_rank
+        elif (
+            spec.cross_node_every
+            and job_id % spec.cross_node_every == spec.cross_node_every - 1
+        ):
+            tensor, rank = cross, cross_rank
+            if not kind.is_kernel:
+                kind = JobKind.SPMTTKRP  # keep cross-node decompositions out
         elif spec.whale_every and job_id % spec.whale_every == spec.whale_every - 1:
             tensor, rank = whale, whale_rank
             if not kind.is_kernel:

@@ -7,6 +7,7 @@ import sys
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 # Allow running the tests from a source checkout without installation.
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
@@ -15,6 +16,21 @@ if _SRC not in sys.path:  # pragma: no cover - environment dependent
 
 from repro.tensor.random import random_factors, random_sparse_tensor  # noqa: E402
 from repro.tensor.sparse import SparseTensor  # noqa: E402
+
+# ---------------------------------------------------------------------- #
+# Hypothesis profiles
+#
+# "default" keeps per-PR CI fast; "nightly" sweeps a much larger input
+# space and is selected by the scheduled workflow via HYPOTHESIS_PROFILE.
+# Property tests pick the active profile up through plain ``settings()``.
+# ---------------------------------------------------------------------- #
+_COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.register_profile("default", max_examples=25, **_COMMON)
+settings.register_profile("nightly", max_examples=300, **_COMMON)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

@@ -1,0 +1,689 @@
+"""Property harness for multi-node hierarchical execution.
+
+The central claims:
+
+* **bit identity** — for every unified kernel and for CP-ALS/Tucker,
+  execution across a two-tier :class:`MultiNodeClusterSpec` (1/2/4 nodes,
+  node-boundary-straddling segments included) computes the same result as
+  one-shot single-GPU execution;
+* **the collective cost model** — the hierarchical all-reduce is never
+  costlier than the topology-oblivious flat ring whenever the NIC is the
+  slower (lower-bandwidth, higher-latency) tier, and a degenerate one-node
+  cluster reduces *exactly* to the existing :class:`ClusterSpec` costs;
+* **placer locality** — a sharded job that fits inside one node never
+  crosses the NIC; only jobs too large for every node spill cluster-wide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.cp import UnifiedGPUEngine, cp_als
+from repro.algorithms.tucker import tucker_hooi
+from repro.bench.multinode import run_multinode_scaling
+from repro.bench.regression import _multinode_metrics
+from repro.cli import main as cli_main
+from repro.formats.fcoo import FCOOTensor
+from repro.gpusim.cluster import (
+    ClusterSpec,
+    ETHERNET_10G,
+    InterconnectSpec,
+    MultiNodeClusterSpec,
+    NVLINK1,
+    NodeSpec,
+    PCIE3_P2P,
+    resolve_cluster,
+)
+from repro.gpusim.device import TITAN_X, scaled_device
+from repro.kernels.unified import partition_shards_hierarchical
+from repro.kernels.unified.spmttkrp import unified_spmttkrp
+from repro.kernels.unified.spttm import unified_spttm
+from repro.kernels.unified.spttmc import unified_spttmc
+from repro.serve import Job, JobKind, ServingEngine, WorkloadSpec, generate_workload
+from repro.serve.placement import Placer, job_geometry
+from repro.serve.workload import (
+    SERVE_NIC,
+    default_multinode_serving_cluster,
+    default_serving_cluster,
+)
+from repro.tensor.random import random_factors, random_sparse_tensor
+from test_streaming import CASE_PARAMS, CASES, run_kernel, run_reference
+
+THREADLEN = 4
+BLOCK_SIZE = 32
+RANK = 3
+
+
+def two_tier(
+    num_nodes: int = 2,
+    devices_per_node: int = 2,
+    *,
+    intra: InterconnectSpec = NVLINK1,
+    nic: InterconnectSpec = ETHERNET_10G,
+) -> MultiNodeClusterSpec:
+    return MultiNodeClusterSpec.homogeneous(
+        TITAN_X, num_nodes, devices_per_node, intra=intra, nic=nic
+    )
+
+
+# ---------------------------------------------------------------------- #
+# The cluster model
+# ---------------------------------------------------------------------- #
+
+
+class TestMultiNodeModel:
+    def test_construction_and_flat_layout(self):
+        cluster = two_tier(2, 4)
+        assert cluster.num_nodes == 2
+        assert cluster.num_devices == 8
+        assert cluster.node_slots(0) == (0, 1, 2, 3)
+        assert cluster.node_slots(1) == (4, 5, 6, 7)
+        assert cluster.device_node == (0, 0, 0, 0, 1, 1, 1, 1)
+        assert cluster.is_homogeneous
+        assert cluster.total_memory_bytes == 8 * TITAN_X.global_mem_bytes
+        cluster.validate()
+
+    def test_empty_and_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            MultiNodeClusterSpec(nodes=())
+        with pytest.raises(ValueError):
+            MultiNodeClusterSpec.homogeneous(TITAN_X, 0, 2)
+        with pytest.raises(ValueError):
+            NodeSpec.homogeneous(TITAN_X, 0)
+        with pytest.raises(ValueError):
+            MultiNodeClusterSpec(
+                nodes=(NodeSpec.homogeneous(TITAN_X, 2),),
+                nic=InterconnectSpec("bad", 0.0, 1e-6),
+            )
+        # A bare ClusterSpec is not a node.
+        with pytest.raises(ValueError):
+            MultiNodeClusterSpec(nodes=(ClusterSpec.homogeneous(TITAN_X, 2),))
+
+    def test_duplicate_device_id_across_nodes_rejected(self):
+        from dataclasses import replace
+
+        fast = TITAN_X
+        slow = replace(TITAN_X, num_sms=TITAN_X.num_sms // 2)  # same id
+        with pytest.raises(ValueError):
+            MultiNodeClusterSpec(
+                nodes=(
+                    NodeSpec(devices=(fast,)),
+                    NodeSpec(devices=(slow,)),
+                )
+            )
+
+    def test_node_as_cluster_round_trip(self):
+        node = NodeSpec.homogeneous(TITAN_X, 3, interconnect=NVLINK1, name="n0")
+        cluster = node.as_cluster()
+        assert isinstance(cluster, ClusterSpec)
+        assert cluster.devices == node.devices
+        assert cluster.interconnect is NVLINK1
+
+    def test_resolve_cluster_collapses_degenerates(self):
+        # One node -> the node's plain ClusterSpec (no NIC tier to model).
+        device, multi = resolve_cluster(TITAN_X, two_tier(1, 4), None)
+        assert isinstance(multi, ClusterSpec)
+        assert multi.num_devices == 4
+        # One node of one device -> plain single-device execution.
+        device, multi = resolve_cluster(TITAN_X, two_tier(1, 1), None)
+        assert multi is None and device == TITAN_X
+        # Several nodes stay multi-node.
+        device, multi = resolve_cluster(TITAN_X, two_tier(2, 2), None)
+        assert isinstance(multi, MultiNodeClusterSpec)
+        with pytest.raises(ValueError):
+            resolve_cluster(TITAN_X, two_tier(2, 2), 3)
+
+    def test_capability_weights_sum_and_node_grouping(self):
+        big = scaled_device(TITAN_X, 1.0, name_suffix="mn-big")
+        small = scaled_device(TITAN_X, 1.0, bandwidth_scale=0.5, name_suffix="mn-small")
+        cluster = MultiNodeClusterSpec(
+            nodes=(NodeSpec(devices=(big, big)), NodeSpec(devices=(small, small)))
+        )
+        weights = cluster.capability_weights()
+        node_weights = cluster.node_capability_weights()
+        assert sum(weights) == pytest.approx(1.0)
+        assert sum(node_weights) == pytest.approx(1.0)
+        # The full-rate node carries twice the half-rate node's weight.
+        assert node_weights[0] == pytest.approx(2.0 * node_weights[1])
+        assert node_weights[0] == pytest.approx(weights[0] + weights[1])
+
+
+# ---------------------------------------------------------------------- #
+# The hierarchical collective cost model
+# ---------------------------------------------------------------------- #
+
+
+class TestHierarchicalCollectives:
+    def test_one_node_degenerates_to_cluster_spec_exactly(self):
+        """A 1-node MultiNodeClusterSpec charges exactly ClusterSpec costs."""
+        node = NodeSpec.homogeneous(TITAN_X, 4, interconnect=NVLINK1)
+        multi = MultiNodeClusterSpec(nodes=(node,), nic=ETHERNET_10G)
+        flat = node.as_cluster()
+        for nbytes in (0.0, 8.0, 4096.0, 1e6, 64e6):
+            assert multi.hierarchical_allreduce_time(nbytes) == flat.allreduce_time(nbytes)
+            assert multi.allreduce_time(nbytes) == flat.allreduce_time(nbytes)
+            assert multi.broadcast_time(nbytes) == flat.broadcast_time(nbytes)
+        payloads = [1e6, 2e6, 0.0, 3e6]
+        assert multi.gather_time(payloads) == flat.gather_time(payloads)
+        assert multi.neighbor_exchange_time(
+            [4096.0], slots=[2]
+        ) == flat.neighbor_exchange_time([4096.0])
+
+    @pytest.mark.parametrize("num_nodes", [2, 3, 4])
+    @pytest.mark.parametrize("devices_per_node", [1, 2, 4])
+    def test_hierarchical_never_loses_to_flat_ring(self, num_nodes, devices_per_node):
+        """hierarchical <= flat whenever the NIC is the slower tier."""
+        cluster = two_tier(
+            num_nodes, devices_per_node, intra=PCIE3_P2P, nic=ETHERNET_10G
+        )
+        for nbytes in (0.0, 64.0, 4096.0, 1e6, 64e6):
+            hier = cluster.hierarchical_allreduce_time(nbytes)
+            flat = cluster.flat_allreduce_time(nbytes)
+            assert hier <= flat + 1e-18, (num_nodes, devices_per_node, nbytes)
+            assert cluster.allreduce_time(nbytes) == min(hier, flat)
+
+    def test_hierarchical_strictly_wins_with_slow_nic(self):
+        cluster = two_tier(2, 4, intra=NVLINK1, nic=ETHERNET_10G)
+        assert cluster.hierarchical_allreduce_time(64e6) < cluster.flat_allreduce_time(
+            64e6
+        )
+        assert cluster.allreduce_algorithm(64e6) == "hierarchical"
+
+    def test_flat_ring_can_win_when_nic_is_fast(self):
+        """Algorithm selection is real: a NIC faster than the P2P tier can
+        flip the choice, and allreduce_time still takes the cheaper one."""
+        fast_nic = InterconnectSpec("fat NIC", 100e9, 0.5e-6)
+        slow_p2p = InterconnectSpec("slow P2P", 2e9, 10e-6)
+        cluster = two_tier(4, 2, intra=slow_p2p, nic=fast_nic)
+        nbytes = 64e6
+        assert cluster.allreduce_time(nbytes) == min(
+            cluster.hierarchical_allreduce_time(nbytes),
+            cluster.flat_allreduce_time(nbytes),
+        )
+
+    @given(
+        num_nodes=st.integers(min_value=2, max_value=5),
+        devices_per_node=st.integers(min_value=1, max_value=5),
+        p2p_bw=st.floats(min_value=1e9, max_value=1e12),
+        nic_ratio=st.floats(min_value=1e-3, max_value=1.0),
+        p2p_lat=st.floats(min_value=0.0, max_value=1e-5),
+        lat_factor=st.floats(min_value=1.0, max_value=100.0),
+        nbytes=st.floats(min_value=0.0, max_value=1e9),
+    )
+    def test_hierarchical_never_loses_property(
+        self, num_nodes, devices_per_node, p2p_bw, nic_ratio, p2p_lat, lat_factor, nbytes
+    ):
+        """Hypothesis sweep of the tentpole inequality: for any equal-node
+        cluster whose NIC has no more bandwidth and no less latency than
+        the P2P tier, hierarchical <= flat ring."""
+        intra = InterconnectSpec("p2p", p2p_bw, p2p_lat)
+        nic = InterconnectSpec("nic", p2p_bw * nic_ratio, p2p_lat * lat_factor)
+        cluster = two_tier(num_nodes, devices_per_node, intra=intra, nic=nic)
+        hier = cluster.hierarchical_allreduce_time(nbytes)
+        flat = cluster.flat_allreduce_time(nbytes)
+        assert hier <= flat * (1.0 + 1e-12) + 1e-18
+
+    def test_broadcast_and_gather_price_both_tiers(self):
+        one = two_tier(1, 4)
+        two = two_tier(2, 4)
+        four = two_tier(4, 4)
+        # More nodes -> more NIC stages for the same payload.
+        assert two.broadcast_time(1e6) > one.broadcast_time(1e6)
+        assert four.broadcast_time(1e6) > two.broadcast_time(1e6)
+        # Gather: payloads on remote nodes cross the NIC, the root node's
+        # own payloads do not.
+        local = [1e6] * 4 + [0.0] * 4
+        remote = [0.0] * 4 + [1e6] * 4
+        assert two.gather_time(local) < two.gather_time(remote)
+        with pytest.raises(ValueError):
+            two.gather_time([1.0] * 3)  # must be slot-aligned
+
+    def test_neighbor_exchange_tiers(self):
+        cluster = two_tier(2, 2, intra=NVLINK1, nic=ETHERNET_10G)
+        payload = [65536.0]
+        intra_cost = cluster.neighbor_exchange_time(payload, slots=[1])  # inside node 0
+        nic_cost = cluster.neighbor_exchange_time(payload, slots=[2])  # node 0 -> 1
+        assert nic_cost > intra_cost
+        # Without slots the conservative bound prices the slowest tier.
+        assert cluster.neighbor_exchange_time(payload) == nic_cost
+        with pytest.raises(ValueError):
+            cluster.neighbor_exchange_time(payload, slots=[0])
+        with pytest.raises(ValueError):
+            cluster.neighbor_exchange_time(payload, slots=[1, 2])
+
+    def test_neighbor_exchange_respects_explicit_source(self):
+        """An empty placeholder shard can put the physical sender in
+        another node: slot 3's neighbor-by-index is slot 2 (same node),
+        but a source in node 0 must be priced over the NIC."""
+        cluster = two_tier(2, 2, intra=NVLINK1, nic=ETHERNET_10G)
+        payload = [65536.0]
+        adjacent = cluster.neighbor_exchange_time(payload, slots=[3])
+        crossing = cluster.neighbor_exchange_time(payload, slots=[3], sources=[1])
+        assert crossing > adjacent  # NIC, not node 1's P2P tier
+        assert crossing == cluster.neighbor_exchange_time(payload, slots=[2])
+        with pytest.raises(ValueError):
+            cluster.neighbor_exchange_time(payload, slots=[2], sources=[2])
+        with pytest.raises(ValueError):
+            cluster.neighbor_exchange_time(payload, sources=[0])
+
+    def test_boundary_reduction_prices_nic_past_empty_placeholder(self):
+        """SpTTM on a cluster where one device is allocated no partitions:
+        the carrying shard's physical predecessor is in the *other* node,
+        so the boundary exchange must be priced over the NIC."""
+        big = scaled_device(TITAN_X, 1.0, name_suffix="mn-big")
+        feeble = scaled_device(
+            TITAN_X, 1.0, bandwidth_scale=1e-6, name_suffix="mn-feeble"
+        )
+        cluster = MultiNodeClusterSpec(
+            nodes=(NodeSpec(devices=(big,)), NodeSpec(devices=(feeble, big))),
+            nic=ETHERNET_10G,
+        )
+        tensor = CASES["single-segment"]()  # one fiber: every boundary carries
+        factors = [np.asarray(f) for f in random_factors(tensor.shape, RANK, seed=5)]
+        result = run_kernel(unified_spttm, tensor, factors, 2, cluster=cluster)
+        execution = result.profile.sharded
+        assert execution is not None and execution.reduction_kind == "boundary"
+        # The feeble device (flat slot 1) got no partitions; slots 0 and 2
+        # executed, and slot 2's carried segment arrives from node 0.
+        executed = [ledger.index for ledger in execution.shards]
+        assert executed == [0, 2]
+        assert execution.shards[1].carries_in
+        expected = cluster.neighbor_exchange_time(
+            [execution.reduction_bytes], slots=[2], sources=[0]
+        )
+        assert execution.reduction_time_s == pytest.approx(expected)
+        # Bit identity still holds with the placeholder in the middle.
+        one_shot = run_kernel(unified_spttm, tensor, factors, 2, streamed=False)
+        assert result.output.allclose(one_shot.output)
+
+
+# ---------------------------------------------------------------------- #
+# Topology-aware partitioning
+# ---------------------------------------------------------------------- #
+
+
+class TestHierarchicalPartition:
+    def test_slot_aligned_contiguous_coverage(self):
+        fcoo = FCOOTensor.from_sparse(CASES["order3-power"](), "spmttkrp", 0)
+        cluster = two_tier(2, 2)
+        shards = partition_shards_hierarchical(fcoo, cluster, threadlen=THREADLEN)
+        assert len(shards) == cluster.num_devices
+        assert shards[0].start == 0
+        assert shards[-1].stop == fcoo.nnz
+        for prev, nxt in zip(shards, shards[1:]):
+            assert prev.stop == nxt.start
+            assert nxt.start % THREADLEN == 0
+        assert sum(s.nnz for s in shards) == fcoo.nnz
+
+    def test_node_spans_follow_node_weights(self):
+        big = scaled_device(TITAN_X, 1.0, name_suffix="mn-big")
+        small = scaled_device(TITAN_X, 1.0, bandwidth_scale=0.5, name_suffix="mn-small")
+        cluster = MultiNodeClusterSpec(
+            nodes=(NodeSpec(devices=(big, big)), NodeSpec(devices=(small, small)))
+        )
+        tensor = random_sparse_tensor((40, 60, 50), 3000, seed=0)
+        fcoo = FCOOTensor.from_sparse(tensor, "spmttkrp", 0)
+        shards = partition_shards_hierarchical(fcoo, cluster, threadlen=THREADLEN)
+        node0 = shards[0].nnz + shards[1].nnz
+        node1 = shards[2].nnz + shards[3].nnz
+        # The full-rate node gets ~2x the non-zeros (threadlen granularity).
+        assert node0 == pytest.approx(2.0 * node1, rel=0.05)
+        # Devices inside one node split evenly (identical capabilities).
+        assert abs(shards[0].nnz - shards[1].nnz) <= THREADLEN
+
+    def test_empty_and_short_streams(self):
+        cluster = two_tier(2, 2)
+        empty = FCOOTensor.from_sparse(CASES["empty"](), "spmttkrp", 0)
+        assert partition_shards_hierarchical(empty, cluster, threadlen=THREADLEN) == []
+        short = FCOOTensor.from_sparse(CASES["nnz-below-threadlen"](), "spmttkrp", 0)
+        shards = partition_shards_hierarchical(short, cluster, threadlen=THREADLEN)
+        assert len(shards) == cluster.num_devices
+        assert sum(s.nnz for s in shards) == short.nnz
+        assert sum(1 for s in shards if s.nnz) == 1  # 3 nnz < one partition
+
+
+# ---------------------------------------------------------------------- #
+# Bit identity across nodes
+# ---------------------------------------------------------------------- #
+
+
+class TestMultiNodeEqualsOneShot:
+    """The property: multi-node output == one-shot output == reference."""
+
+    @pytest.mark.parametrize("kernel", [unified_spttm, unified_spmttkrp, unified_spttmc])
+    @pytest.mark.parametrize("num_nodes", [1, 2, 4])
+    @pytest.mark.parametrize("build", CASE_PARAMS)
+    def test_multinode_matches_one_shot_and_reference(self, kernel, num_nodes, build):
+        tensor = build()
+        factors = [np.asarray(f) for f in random_factors(tensor.shape, RANK, seed=5)]
+        mode = tensor.order - 1 if kernel is unified_spttm else 0
+        cluster = two_tier(num_nodes, 2)
+
+        one_shot = run_kernel(kernel, tensor, factors, mode, streamed=False)
+        multi = run_kernel(kernel, tensor, factors, mode, cluster=cluster)
+        reference = run_reference(kernel, tensor, factors, mode)
+
+        if kernel is unified_spttm:
+            assert multi.output.allclose(one_shot.output)
+            assert multi.output.allclose(reference, rtol=1e-5, atol=1e-6)
+        else:
+            np.testing.assert_allclose(
+                multi.output, one_shot.output, rtol=1e-10, atol=1e-12
+            )
+            np.testing.assert_allclose(multi.output, reference, rtol=1e-5, atol=1e-6)
+
+    def test_node_boundary_straddling_segment(self):
+        """The crafted 30-nnz fiber spans shard AND node-span boundaries."""
+        tensor = CASES["boundary-straddle"]()
+        factors = [np.asarray(f) for f in random_factors(tensor.shape, RANK, seed=5)]
+        cluster = two_tier(4, 1)  # every shard boundary is a node boundary
+        one_shot = run_kernel(unified_spmttkrp, tensor, factors, 0, streamed=False)
+        multi = run_kernel(unified_spmttkrp, tensor, factors, 0, cluster=cluster)
+        execution = multi.profile.sharded
+        assert execution is not None
+        assert any(s.carries_in for s in execution.shards)
+        np.testing.assert_allclose(
+            multi.output, one_shot.output, rtol=1e-10, atol=1e-12
+        )
+
+    def test_reduction_pricing_uses_selected_algorithm(self):
+        tensor = CASES["order3-power"]()
+        factors = [np.asarray(f) for f in random_factors(tensor.shape, RANK, seed=5)]
+        cluster = two_tier(2, 2)
+        mttkrp = run_kernel(unified_spmttkrp, tensor, factors, 0, cluster=cluster)
+        execution = mttkrp.profile.sharded
+        assert execution.reduction_kind == "allreduce"
+        assert execution.reduction_time_s == pytest.approx(
+            cluster.allreduce_time(execution.reduction_bytes)
+        )
+        assert execution.reduction_time_s <= cluster.flat_allreduce_time(
+            execution.reduction_bytes
+        )
+        spttm = run_kernel(unified_spttm, tensor, factors, 2, cluster=cluster)
+        assert spttm.profile.sharded.reduction_kind == "boundary"
+
+    def test_streamed_fallback_shard_on_multinode(self):
+        tensor = CASES["order3-power"]()
+        factors = [np.asarray(f) for f in random_factors(tensor.shape, RANK, seed=7)]
+        tiny = scaled_device(TITAN_X, 3.2e-7, name_suffix="tiny")
+        cluster = MultiNodeClusterSpec(
+            nodes=(
+                NodeSpec.homogeneous(tiny, 1),
+                NodeSpec.homogeneous(tiny, 1),
+            ),
+            nic=ETHERNET_10G,
+        )
+        one_shot = unified_spmttkrp(
+            tensor, factors, 0, block_size=BLOCK_SIZE, threadlen=THREADLEN
+        )
+        multi = unified_spmttkrp(
+            tensor,
+            factors,
+            0,
+            block_size=BLOCK_SIZE,
+            threadlen=THREADLEN,
+            cluster=cluster,
+        )
+        execution = multi.profile.sharded
+        assert execution is not None and execution.has_streaming_shards
+        np.testing.assert_allclose(
+            multi.output, one_shot.output, rtol=1e-10, atol=1e-12
+        )
+
+    def test_cp_als_multinode_matches_single_gpu(self):
+        tensor = CASES["order3-power"]()
+        cluster = two_tier(2, 2)
+        single = cp_als(
+            tensor, 4, engine=UnifiedGPUEngine(), max_iterations=2, seed=0,
+            compute_fit=False,
+        )
+        multi = cp_als(
+            tensor, 4, engine=UnifiedGPUEngine(cluster=cluster), max_iterations=2,
+            seed=0, compute_fit=False,
+        )
+        for single_f, multi_f in zip(single.factors, multi.factors):
+            np.testing.assert_allclose(single_f, multi_f, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(single.weights, multi.weights, rtol=1e-9)
+        assert set(multi.device_time_by_device) == {0, 1, 2, 3}
+        assert 0.0 < multi.parallel_efficiency <= 1.0
+
+    def test_tucker_multinode_matches_single_gpu(self):
+        tensor = CASES["order3-power"]()
+        single = tucker_hooi(tensor, (3, 3, 3), max_iterations=1, seed=0)
+        multi = tucker_hooi(
+            tensor, (3, 3, 3), max_iterations=1, seed=0, cluster=two_tier(2, 2)
+        )
+        for single_f, multi_f in zip(single.factors, multi.factors):
+            np.testing.assert_allclose(single_f, multi_f, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(single.core, multi.core, rtol=1e-9, atol=1e-12)
+
+    @given(
+        dims=st.tuples(*(st.integers(min_value=2, max_value=14),) * 3),
+        nnz=st.integers(min_value=1, max_value=220),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        num_nodes=st.integers(min_value=1, max_value=4),
+        devices_per_node=st.integers(min_value=1, max_value=3),
+    )
+    def test_multinode_equals_one_shot_property(
+        self, dims, nnz, seed, num_nodes, devices_per_node
+    ):
+        """Hypothesis sweep: arbitrary tensors x node topologies agree."""
+        tensor = random_sparse_tensor(dims, nnz, seed=seed)
+        factors = [np.asarray(f) for f in random_factors(dims, RANK, seed=seed)]
+        one_shot = run_kernel(unified_spmttkrp, tensor, factors, 0, streamed=False)
+        multi = run_kernel(
+            unified_spmttkrp,
+            tensor,
+            factors,
+            0,
+            cluster=two_tier(num_nodes, devices_per_node),
+        )
+        np.testing.assert_allclose(
+            multi.output, one_shot.output, rtol=1e-10, atol=1e-12
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Node-aware placement
+# ---------------------------------------------------------------------- #
+
+
+def _kernel_job(tensor, job_id=0, kind=JobKind.SPMTTKRP, rank=8) -> Job:
+    return Job(
+        job_id=job_id,
+        tenant="t",
+        kind=kind,
+        tensor=tensor,
+        mode=0,
+        rank=rank,
+        arrival_s=0.0,
+        factor_seed=3,
+    )
+
+
+class TestNodeAwarePlacement:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        return default_multinode_serving_cluster()
+
+    @pytest.fixture(scope="class")
+    def placer(self, cluster):
+        return Placer(cluster)
+
+    def _place(self, placer, job):
+        geometry = job_geometry(job, threadlen=placer.threadlen)
+        assert placer.admit(job, geometry) is None
+        free = [0.0] * placer.cluster.num_devices
+        return placer.place(job, geometry, free, 0.0)
+
+    def test_small_job_stays_single_device(self, placer):
+        tensor = random_sparse_tensor((10, 12, 14), 300, seed=2)
+        placement = self._place(placer, _kernel_job(tensor))
+        assert not placement.sharded
+        assert not placement.crosses_nic
+
+    def test_node_fit_job_never_crosses_nic(self, placer, cluster):
+        """The whale exceeds any device but fits the big node: node-local."""
+        rng = np.random.default_rng(1)
+        from repro.serve.workload import _whale_tensor
+
+        whale = _whale_tensor(rng)
+        geometry = job_geometry(_kernel_job(whale), threadlen=placer.threadlen)
+        assert geometry.footprint_bytes > cluster.max_device_memory_bytes
+        placement = self._place(placer, _kernel_job(whale))
+        assert placement.sharded
+        assert not placement.crosses_nic
+        assert placement.node_index == 0  # the big node
+        assert placement.device_slots == cluster.node_slots(0)
+        assert isinstance(placement.cluster, ClusterSpec)
+
+    def test_locality_prefers_less_loaded_qualifying_node(self):
+        """With two equally capable nodes, load breaks the locality tie."""
+        big = scaled_device(TITAN_X, 2.0e-5, name_suffix="serve big")
+        cluster = MultiNodeClusterSpec(
+            nodes=(NodeSpec(devices=(big, big)), NodeSpec(devices=(big, big))),
+            nic=SERVE_NIC,
+        )
+        placer = Placer(cluster)
+        rng = np.random.default_rng(1)
+        from repro.serve.workload import _whale_tensor
+
+        job = _kernel_job(_whale_tensor(rng))
+        geometry = job_geometry(job, threadlen=placer.threadlen)
+        busy_node0 = placer.place(job, geometry, [5.0, 5.0, 0.0, 0.0], 0.0)
+        assert busy_node0.node_index == 1
+        busy_node1 = placer.place(job, geometry, [0.0, 0.0, 5.0, 5.0], 0.0)
+        assert busy_node1.node_index == 0
+
+    def test_cross_node_job_spills_over_nic(self, placer, cluster):
+        rng = np.random.default_rng(2)
+        from repro.serve.workload import _cross_node_tensor
+
+        cross = _cross_node_tensor(rng)
+        geometry = job_geometry(_kernel_job(cross), threadlen=placer.threadlen)
+        # Too big for any single node's aggregate...
+        for index, node in enumerate(cluster.nodes):
+            aggregate = geometry.fcoo_bytes + node.num_devices * geometry.resident_bytes
+            assert aggregate > sum(d.global_mem_bytes for d in node.devices), index
+        placement = self._place(placer, _kernel_job(cross))
+        # ...so it spans every node over the NIC.
+        assert placement.sharded
+        assert placement.crosses_nic
+        assert placement.node_index is None
+        assert placement.device_slots == tuple(range(cluster.num_devices))
+
+    def test_one_node_multinode_collapses(self):
+        placer = Placer(default_multinode_serving_cluster(1))
+        assert not placer.multinode
+        assert isinstance(placer.cluster, ClusterSpec)
+
+
+# ---------------------------------------------------------------------- #
+# Multi-node serving
+# ---------------------------------------------------------------------- #
+
+
+class TestMultiNodeServing:
+    def test_workload_cross_node_tenants_and_rng_stability(self):
+        base = generate_workload(WorkloadSpec(num_jobs=30, seed=0))
+        with_cross = generate_workload(
+            WorkloadSpec(num_jobs=30, seed=0, cross_node_every=14)
+        )
+        assert len(base) == len(with_cross)
+        # The cadence produces cross-node tenants, always on kernel kinds,
+        # all sharing the one cross tensor.
+        cross_jobs = [
+            job
+            for job_id, job in enumerate(with_cross)
+            if job_id % 14 == 13 and (job_id % 33 != 32)
+        ]
+        assert cross_jobs and all(j.kind.is_kernel for j in cross_jobs)
+        assert len({j.tensor.content_key for j in cross_jobs}) == 1
+        # With the feature disabled (the default), the workload is
+        # byte-identical run to run — the cross tensor draw must not touch
+        # the RNG stream, guarding the committed serving baseline.
+        disabled = generate_workload(WorkloadSpec(num_jobs=30, seed=0))
+        for a, b in zip(base, disabled):
+            assert a.tensor.content_key == b.tensor.content_key
+            assert a.arrival_s == b.arrival_s and a.kind is b.kind
+
+    def test_multinode_serving_exercises_both_shard_paths(self):
+        report = ServingEngine(default_multinode_serving_cluster()).run(
+            generate_workload(WorkloadSpec(num_jobs=60, seed=0, cross_node_every=14))
+        )
+        assert report.node_local_sharded_jobs > 0
+        assert report.cross_node_jobs > 0
+        assert "node-local (off the NIC)" in report.render()
+        # Node-local shards never reduce over the NIC.
+        for result in report.completed:
+            if result.placement is not None and result.placement.node_index is not None:
+                assert not result.placement.crosses_nic
+
+    def test_multinode_serving_deterministic(self):
+        jobs = generate_workload(WorkloadSpec(num_jobs=25, seed=3, cross_node_every=14))
+        first = ServingEngine(default_multinode_serving_cluster()).run(jobs)
+        second = ServingEngine(default_multinode_serving_cluster()).run(jobs)
+        assert [r.finish_s for r in first.results] == [
+            r.finish_s for r in second.results
+        ]
+        assert first.makespan_s == second.makespan_s
+
+    def test_single_node_serving_unchanged(self):
+        """The default workload/cluster keep their exact pre-multi-node
+        behaviour (guards the committed BENCH_serving baseline)."""
+        jobs = generate_workload(WorkloadSpec(num_jobs=20, seed=0))
+        report = ServingEngine(default_serving_cluster()).run(jobs)
+        assert report.cross_node_jobs == 0
+        assert report.node_local_sharded_jobs == 0
+        assert "topology:" not in report.render()
+
+
+# ---------------------------------------------------------------------- #
+# Bench runner, regression metrics and CLI surfaces
+# ---------------------------------------------------------------------- #
+
+
+class TestMultiNodeBench:
+    def test_multinode_scaling_structure(self):
+        result = run_multinode_scaling(
+            rank=4, datasets=["brainq"], node_counts=(1, 2, 4), devices_per_node=2,
+            seed=0,
+        )
+        for op in ("spttm", "spmttkrp", "spttmc"):
+            curve = result.rows_for(op, "brainq")
+            assert [r.num_nodes for r in curve] == [1, 2, 4]
+            assert curve[0].speedup == pytest.approx(1.0)
+            for row in curve[1:]:
+                assert row.num_devices == row.num_nodes * 2
+                # The tentpole inequality, visible per row.
+                assert row.reduction_s <= row.flat_reduction_s + 1e-15
+        assert "Multi-node scaling" in result.render()
+        assert "hierarchical" in result.render()
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ValueError):
+            run_multinode_scaling(rank=4, operations=("spmv",), datasets=["brainq"])
+        with pytest.raises(ValueError):
+            run_multinode_scaling(rank=4, devices_per_node=0)
+
+    def test_regression_metrics_include_multinode(self):
+        metrics = _multinode_metrics()
+        assert metrics["multinode/hier_minus_flat_count"] == 0.0
+        for op in ("spttm", "spmttkrp", "spttmc"):
+            for nodes in (1, 2, 4):
+                assert f"multinode/{op}/brainq/nodes={nodes}" in metrics
+            assert f"multinode/{op}/brainq/nodes=4/reduction" in metrics
+
+    def test_cli_scaling_nodes(self, capsys):
+        assert cli_main(["scaling", "--nodes", "2", "--rank", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Multi-node scaling" in out
+        assert "hierarchical" in out
+
+    def test_cli_serve_nodes(self, capsys):
+        assert cli_main(["serve", "--nodes", "2", "--jobs", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "topology: 2 nodes" in out

@@ -12,7 +12,7 @@ These cover the invariants the rest of the system leans on:
 from typing import Tuple
 
 import numpy as np
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.formats.csf import CSFTensor
@@ -30,11 +30,10 @@ from repro.tensor.sparse import SparseTensor
 # Strategies
 # ---------------------------------------------------------------------- #
 
-SETTINGS = settings(
-    max_examples=25,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
-)
+# Inherit everything (max_examples, deadline, health checks) from the
+# active profile registered in conftest.py: the per-PR "default" profile,
+# or the high-examples "nightly" one under HYPOTHESIS_PROFILE=nightly.
+SETTINGS = settings()
 
 
 @st.composite

@@ -20,6 +20,8 @@ from dataclasses import replace
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.algorithms.cp import UnifiedGPUEngine, cp_als
 from repro.algorithms.tucker import tucker_hooi
@@ -925,3 +927,37 @@ class TestWorkloadAndSurfaces:
     def test_cli_serve_fifo_policy(self, capsys):
         assert cli_main(["serve", "--jobs", "8", "--policy", "fifo"]) == 0
         assert "policy=fifo" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------- #
+# Hypothesis sweep (the nightly CI profile raises max_examples)
+# ---------------------------------------------------------------------- #
+
+
+class TestServingHypothesis:
+    """Arbitrary small workloads: serving is deterministic and replayable.
+
+    For any seeded workload, a serving run is (a) reproducible — a fresh
+    engine on the same jobs yields the identical schedule — and (b) honest
+    about numerics — replaying every completed job's recorded placement
+    through the pure ``execute_job`` reproduces its output bit for bit.
+    """
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        num_jobs=st.integers(min_value=2, max_value=8),
+        policy=st.sampled_from(["priority", "fifo"]),
+    )
+    def test_deterministic_and_replayable(self, seed, num_jobs, policy):
+        spec = WorkloadSpec(num_jobs=num_jobs, seed=seed, giant_every=5)
+        jobs = generate_workload(spec)
+        first = ServingEngine(default_serving_cluster(), policy=policy).run(jobs)
+        second = ServingEngine(default_serving_cluster(), policy=policy).run(jobs)
+        assert [r.status for r in first.results] == [r.status for r in second.results]
+        for a, b in zip(first.results, second.results):
+            assert a.finish_s == b.finish_s
+            assert a.device_slots == b.device_slots
+            if a.completed and a.job.kind.is_kernel:
+                assert_same_output(a.output, b.output)
+                replay = execute_job(a.job, a.placement)
+                assert_same_output(a.output, replay.output)

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.algorithms.cp import UnifiedGPUEngine, cp_als
 from repro.algorithms.tucker import tucker_hooi
@@ -404,3 +406,34 @@ class TestScalingHarness:
     def test_unknown_operation_rejected(self):
         with pytest.raises(ValueError):
             run_scaling(rank=4, operations=("spmv",), datasets=["brainq"])
+
+
+# ---------------------------------------------------------------------- #
+# Hypothesis sweep (the nightly CI profile raises max_examples)
+# ---------------------------------------------------------------------- #
+
+
+class TestShardedHypothesis:
+    """Arbitrary tensors x device counts: sharded == one-shot.
+
+    The parametrized corpus above pins the known-adversarial shapes; this
+    sweep searches the space around them under the active Hypothesis
+    profile (per-PR default, or the nightly high-examples profile).
+    """
+
+    @given(
+        dims=st.tuples(*(st.integers(min_value=2, max_value=14),) * 3),
+        nnz=st.integers(min_value=1, max_value=220),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        num_devices=st.integers(min_value=2, max_value=4),
+    )
+    def test_sharded_equals_one_shot(self, dims, nnz, seed, num_devices):
+        tensor = random_sparse_tensor(dims, nnz, seed=seed)
+        factors = [np.asarray(f) for f in random_factors(dims, RANK, seed=seed)]
+        one_shot = run_kernel(unified_spmttkrp, tensor, factors, 0, streamed=False)
+        sharded = run_kernel(
+            unified_spmttkrp, tensor, factors, 0, devices=num_devices
+        )
+        np.testing.assert_allclose(
+            sharded.output, one_shot.output, rtol=1e-10, atol=1e-12
+        )

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.algorithms.cp import UnifiedGPUEngine, cp_als
 from repro.formats.fcoo import FCOOTensor
@@ -429,3 +431,39 @@ class TestEngineAndTunerIntegration:
         assert execution is not None
         assert execution.num_streams == 3
         assert execution.chunk_nnz == 64
+
+
+# ---------------------------------------------------------------------- #
+# Hypothesis sweep (the nightly CI profile raises max_examples)
+# ---------------------------------------------------------------------- #
+
+
+class TestStreamedHypothesis:
+    """Arbitrary tensors x chunk sizes: chunked == one-shot.
+
+    The parametrized corpus above pins the known-adversarial shapes; this
+    sweep searches the space around them under the active Hypothesis
+    profile (per-PR default, or the nightly high-examples profile).
+    """
+
+    @given(
+        dims=st.tuples(*(st.integers(min_value=2, max_value=14),) * 3),
+        nnz=st.integers(min_value=1, max_value=220),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        chunk_parts=st.integers(min_value=1, max_value=5),
+    )
+    def test_chunked_equals_one_shot(self, dims, nnz, seed, chunk_parts):
+        tensor = random_sparse_tensor(dims, nnz, seed=seed)
+        factors = [np.asarray(f) for f in random_factors(dims, RANK, seed=seed)]
+        one_shot = run_kernel(unified_spmttkrp, tensor, factors, 0, streamed=False)
+        streamed = run_kernel(
+            unified_spmttkrp,
+            tensor,
+            factors,
+            0,
+            streamed=True,
+            chunk_nnz=chunk_parts * THREADLEN,
+        )
+        np.testing.assert_allclose(
+            streamed.output, one_shot.output, rtol=1e-10, atol=1e-12
+        )
