@@ -61,7 +61,9 @@ from repro.gpusim import (
     InterconnectSpec,
     MultiNodeClusterSpec,
     NodeSpec,
+    SimClock,
     TITAN_X,
+    Timeline,
     LaunchConfig,
     OutOfDeviceMemory,
 )
@@ -128,6 +130,8 @@ __all__ = [
     "InterconnectSpec",
     "MultiNodeClusterSpec",
     "NodeSpec",
+    "Timeline",
+    "SimClock",
     "LaunchConfig",
     "OutOfDeviceMemory",
     "CpuSpec",

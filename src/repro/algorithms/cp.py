@@ -35,6 +35,7 @@ from repro.formats.csf import CSFTensor
 from repro.formats.mode_encoding import OperationKind
 from repro.gpusim.cluster import ClusterLike, resolve_cluster
 from repro.gpusim.device import DeviceSpec, TITAN_X
+from repro.gpusim.timeline import Timeline, device_compute_key
 from repro.kernels.baselines.splatt import splatt_csf_mode_order, splatt_mttkrp
 from repro.kernels.common import MTTKRPResult
 from repro.kernels.unified.sharded import ShardedTimeline
@@ -206,6 +207,17 @@ class UnifiedGPUEngine:
 
     # ------------------------------------------------------------------ #
     @property
+    def resolved_cluster(self) -> Optional[ClusterLike]:
+        """The cluster MTTKRPs shard across (``None`` in single-GPU mode).
+
+        This is the normalised form of the ``cluster=`` / ``devices=``
+        inputs (see :func:`~repro.gpusim.cluster.resolve_cluster`) —
+        what :func:`cp_als` books collective time against on the unified
+        timeline.
+        """
+        return self._cluster
+
+    @property
     def device_timelines(self) -> Optional[Dict[int, float]]:
         """Per-device busy seconds across all MTTKRPs run so far.
 
@@ -326,6 +338,20 @@ class CPResult:
     parallel_efficiency:
         Cluster busy fraction over the sharded MTTKRP makespans, in
         ``(0, 1]`` (``None`` for single-GPU engines).
+    makespan_s:
+        Modeled completion time of the decomposition's iteration work on
+        the unified timeline (setup excluded, like :attr:`total_time_s`).
+        Equals :attr:`total_time_s` up to float association when
+        ``overlap_modes`` is off; with it on, never above — the mode-
+        ``k`` all-reduce rides the link/NIC resources while the dense
+        update books compute.
+    overlap_modes:
+        Whether the run overlapped each mode's collective with its dense
+        update (see :func:`cp_als`).
+    timeline:
+        The :class:`~repro.gpusim.timeline.Timeline` the decomposition's
+        per-mode MTTKRP computes, collectives and dense updates were
+        booked on (queryable; Chrome-trace exportable).
     """
 
     factors: List[np.ndarray]
@@ -338,11 +364,23 @@ class CPResult:
     engine_name: str
     device_time_by_device: Optional[Dict[int, float]] = None
     parallel_efficiency: Optional[float] = None
+    makespan_s: Optional[float] = None
+    overlap_modes: bool = False
+    timeline: Optional[Timeline] = None
 
     @property
     def total_time_s(self) -> float:
-        """Total simulated decomposition time (MTTKRPs + dense updates)."""
+        """Total serial simulated decomposition time (MTTKRPs + dense
+        updates, no cross-phase overlap) — the pre-timeline ledger sum."""
         return sum(self.mttkrp_time_by_mode.values()) + self.other_time_s
+
+    @property
+    def overlap_saved_s(self) -> float:
+        """Modeled seconds ``overlap_modes`` saved over serial execution
+        (0 when the timeline was not tracked or nothing overlapped)."""
+        if self.makespan_s is None:
+            return 0.0
+        return max(0.0, self.total_time_s - self.makespan_s)
 
     @property
     def final_fit(self) -> Optional[float]:
@@ -360,6 +398,7 @@ def cp_als(
     seed: SeedLike = 0,
     compute_fit: bool = True,
     initial_factors: Optional[Sequence[np.ndarray]] = None,
+    overlap_modes: bool = False,
 ) -> CPResult:
     """Run CP-ALS (Algorithm 1) on a sparse tensor.
 
@@ -383,6 +422,17 @@ def cp_als(
         evaluation per iteration; disable for pure benchmarking).
     initial_factors:
         Optional explicit initial factors (overrides ``seed``).
+    overlap_modes:
+        Intra-kernel pipelining on the unified timeline: mode ``k``'s
+        partial-output all-reduce books the cluster's link/NIC resources
+        while mode ``k``'s dense update (the normal-equations solve on the
+        reduce-scattered rows each device owns) books the compute engines;
+        mode ``k + 1``'s MTTKRP waits for both — the updated factor must be
+        fully distributed — so the numeric iteration order, and hence every
+        factor, is bit-identical to the sequential schedule.  Only
+        ``CPResult.makespan_s`` moves, and only downward: each mode pays
+        ``max(collective, dense)`` instead of their sum.  A single-GPU
+        engine has no collective, so the flag is a modeled no-op there.
 
     Returns
     -------
@@ -416,6 +466,20 @@ def cp_als(
     previous_fit = -np.inf
     iterations_run = 0
 
+    # The decomposition's own timeline: per-device compute engines plus —
+    # through the cluster's booking API — the link/NIC resources its
+    # collectives occupy.  Booking is pure modeled time; the numeric
+    # iteration below never consults it, which is what keeps the factors
+    # bit-identical whether or not the modes overlap.
+    cluster = getattr(engine, "resolved_cluster", None)
+    num_slots = cluster.num_devices if cluster is not None else 1
+    timeline = Timeline()
+    compute_lanes = [
+        timeline.resource(device_compute_key(slot), category="compute")
+        for slot in range(num_slots)
+    ]
+    kernel_ready = 0.0  # when the next mode's MTTKRP may start
+
     grams = [f.T @ f for f in factors]
     for _iteration in range(max_iterations):
         iterations_run += 1
@@ -423,6 +487,34 @@ def cp_als(
             result = engine.mttkrp(factors, mode)
             mttkrp_time_by_mode[mode] += result.estimated_time_s
             m_matrix = result.output
+
+            # Book this mode on the timeline: per-device shard compute,
+            # then the partial-output collective on the link/NIC tier.
+            execution = getattr(getattr(result, "profile", None), "sharded", None)
+            if execution is not None:
+                compute_span = execution.max_shard_time_s
+                reduce_s = execution.reduction_time_s
+                busy_by_slot = execution.device_times
+            else:
+                compute_span = result.estimated_time_s
+                reduce_s = 0.0
+                busy_by_slot = {0: compute_span}
+            kernel_start = kernel_ready
+            for lane in compute_lanes:
+                kernel_start = max(kernel_start, lane.free_s)
+            for slot, lane in enumerate(compute_lanes):
+                busy = busy_by_slot.get(slot, 0.0)
+                if busy > 0.0:
+                    lane.book(busy, ready_s=kernel_start, label=f"mttkrp:mode{mode}")
+            kernel_end = kernel_start + compute_span
+            reduce_end = kernel_end
+            if reduce_s > 0.0 and cluster is not None:
+                reduce_end = cluster.book_collective(
+                    timeline,
+                    reduce_s,
+                    ready_s=kernel_end,
+                    label=f"allreduce:mode{mode}",
+                ).end_s
 
             v = np.ones((rank, rank), dtype=np.float64)
             for m in range(order):
@@ -432,7 +524,21 @@ def cp_als(
             normalized, weights = normalize_columns(updated)
             factors[mode] = normalized
             grams[mode] = normalized.T @ normalized
-            other_time += engine.dense_update_time(tensor.shape[mode], rank, order)
+            dense_s = engine.dense_update_time(tensor.shape[mode], rank, order)
+            other_time += dense_s
+            # Sequential: the dense update waits for the all-reduce.  With
+            # overlap_modes the solve proceeds on each device's reduce-
+            # scattered rows while the collective's tail rides the links,
+            # so the dense update is gated on the kernel only; the next
+            # mode still waits for the fully distributed factor
+            # (kernel_ready = reduce_end below).
+            timeline.book_together(
+                compute_lanes,
+                dense_s,
+                ready_s=kernel_end if overlap_modes else reduce_end,
+                label=f"dense:mode{mode}",
+            )
+            kernel_ready = reduce_end
 
         if compute_fit:
             fit = cp_fit(tensor, factors, weights)
@@ -452,4 +558,7 @@ def cp_als(
         engine_name=engine.name,
         device_time_by_device=getattr(engine, "device_timelines", None),
         parallel_efficiency=getattr(engine, "parallel_efficiency", None),
+        makespan_s=timeline.makespan_s,
+        overlap_modes=overlap_modes,
+        timeline=timeline,
     )

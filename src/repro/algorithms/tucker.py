@@ -23,6 +23,7 @@ import numpy as np
 from repro.formats.mode_encoding import OperationKind
 from repro.gpusim.cluster import ClusterLike, resolve_cluster
 from repro.gpusim.device import DeviceSpec, TITAN_X
+from repro.gpusim.timeline import Timeline, device_compute_key
 from repro.kernels.unified.sharded import ShardedTimeline
 from repro.kernels.unified.spttmc import unified_spttmc
 from repro.tensor.sparse import SparseTensor
@@ -59,6 +60,17 @@ class TuckerResult:
     parallel_efficiency:
         Cluster busy fraction over the sharded TTMc makespans, in
         ``(0, 1]`` (``None`` for single-GPU runs).
+    makespan_s:
+        Modeled completion time of the kernel work on the unified
+        timeline: each sweep's SpTTMc computes book the per-device compute
+        engines and their all-reduces book the cluster's link/NIC
+        resources, sequentially — HOOI's SVD consumes the *fully* reduced
+        unfolding, so (unlike CP-ALS's solve) there is no dense phase to
+        hide a collective behind.  Equals :attr:`total_time_s` up to float
+        association.
+    timeline:
+        The :class:`~repro.gpusim.timeline.Timeline` those bookings landed
+        on (queryable; Chrome-trace exportable).
     """
 
     core: np.ndarray
@@ -69,6 +81,8 @@ class TuckerResult:
     device_time_by_device: Optional[Dict[int, float]] = None
     parallel_efficiency: Optional[float] = None
     preproc_time_s: float = 0.0
+    makespan_s: Optional[float] = None
+    timeline: Optional[Timeline] = None
 
     @property
     def total_time_s(self) -> float:
@@ -151,6 +165,17 @@ def tucker_hooi(
 
     device, multi = resolve_cluster(device, cluster, devices)
     timeline = ShardedTimeline(multi.num_devices if multi is not None else 1)
+    # The decomposition's unified timeline: per-device compute engines plus
+    # the link/NIC resources the sharded all-reduces book.  HOOI is
+    # strictly sequential on it — every SVD needs the fully reduced
+    # unfolding — so the makespan equals the serial ledger sum; keeping
+    # the bookings anyway gives Tucker the same queryable/exportable trace
+    # as CP-ALS and the serving scheduler.
+    unified_timeline = Timeline()
+    compute_lanes = [
+        unified_timeline.resource(device_compute_key(slot), category="compute")
+        for slot in range(multi.num_devices if multi is not None else 1)
+    ]
 
     preproc_time = 0.0
 
@@ -172,6 +197,17 @@ def tucker_hooi(
             cluster=multi,
         )
         timeline.observe(result.profile)
+        execution = getattr(result.profile, "sharded", None)
+        if execution is not None:
+            execution.book(
+                unified_timeline,
+                ready_s=unified_timeline.makespan_s,
+                label=f"spttmc:mode{ttmc_mode}",
+            )
+        else:
+            compute_lanes[0].book(
+                result.estimated_time_s, label=f"spttmc:mode{ttmc_mode}"
+            )
         return result
 
     for _iteration in range(max_iterations):
@@ -210,6 +246,8 @@ def tucker_hooi(
         ),
         parallel_efficiency=timeline.parallel_efficiency if multi is not None else None,
         preproc_time_s=preproc_time,
+        makespan_s=unified_timeline.makespan_s,
+        timeline=unified_timeline,
     )
 
 

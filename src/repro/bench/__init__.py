@@ -46,7 +46,12 @@ from repro.bench.ranks import Fig8Result, run_fig8
 from repro.bench.memory import Fig9Result, run_fig9
 from repro.bench.cp_bench import Fig10Result, run_fig10
 from repro.bench.streaming import StreamingResult, run_streaming
-from repro.bench.scaling import ScalingResult, run_scaling, run_weak_scaling
+from repro.bench.scaling import (
+    ScalingResult,
+    collect_scaling_trace,
+    run_scaling,
+    run_weak_scaling,
+)
 from repro.bench.multinode import MultiNodeScalingResult, run_multinode_scaling
 from repro.bench.serving import run_serving
 
@@ -73,6 +78,7 @@ __all__ = [
     "StreamingResult",
     "run_streaming",
     "ScalingResult",
+    "collect_scaling_trace",
     "run_scaling",
     "run_weak_scaling",
     "MultiNodeScalingResult",

@@ -38,6 +38,7 @@ from repro.bench.multinode import run_multinode_scaling
 from repro.bench.scaling import run_scaling, run_weak_scaling
 from repro.bench.serving import run_serving
 from repro.bench.streaming import run_streaming
+from repro.gpusim.timeline import Timeline
 
 __all__ = [
     "DEFAULT_BASELINE_DIR",
@@ -59,6 +60,7 @@ ARTIFACT_FILES = {
     "multinode": "BENCH_multinode.json",
     "streaming": "BENCH_streaming.json",
     "serving": "BENCH_serving.json",
+    "timeline": "BENCH_timeline.json",
 }
 
 
@@ -138,6 +140,91 @@ def _serving_metrics() -> Dict[str, float]:
     }
 
 
+def _timeline_metrics() -> Dict[str, float]:
+    """Unified-timeline suite: NIC congestion and intra-kernel overlap.
+
+    Two deterministic scenarios pin the tentpole properties of the
+    simulated-time resource engine:
+
+    * **congestion** — two cross-node all-reduces booked concurrently on a
+      shared two-node timeline.  ``.../congestion_slowdown_ratio`` is the
+      second collective's finish over the idle-NIC closed form (larger
+      means the contention model got more pessimistic, which the ratio
+      tolerance flags), and ``.../contended_lt_idle_count`` counts — over
+      a payload/topology sweep — any booked collective finishing *earlier*
+      than the idle model, which must never happen (``_count``: any
+      increase fails).
+    * **overlap** — a sharded CP-ALS run with ``overlap_modes`` on vs off
+      (identical factors by construction).  ``.../overlap_makespan`` is
+      the overlapped modeled makespan (seconds, lower is better) and
+      ``.../overlap_time_ratio`` is overlapped over sequential makespan —
+      at most 1, the inverse of the overlap speedup.  The ratio tolerance
+      alone cannot catch a *silently disabled* overlap (the ratio is
+      bounded by 1.0, inside +20 % of any healthy baseline), so two
+      zero-tolerance counts pin the property:
+      ``.../overlap_gt_sequential_count`` — the overlapped makespan
+      exceeded the sequential one (the engine guarantee broke) — and
+      ``.../overlap_lost_count`` — the scenario, constructed to hide well
+      over 1 % of the sequential makespan, saved 1 % or less, i.e.
+      ``overlap_modes`` stopped overlapping anything.
+    """
+    from repro.algorithms.cp import UnifiedGPUEngine, cp_als
+    from repro.gpusim.cluster import ETHERNET_10G, MultiNodeClusterSpec
+    from repro.tensor.random import random_sparse_tensor
+
+    metrics: Dict[str, float] = {}
+    contended_violations = 0
+
+    def contended_ends(num_nodes: int, nbytes: float) -> Tuple[float, float]:
+        cluster = MultiNodeClusterSpec.homogeneous(
+            num_nodes=num_nodes, devices_per_node=2, nic=ETHERNET_10G
+        )
+        idle = cluster.allreduce_time(nbytes)
+        timeline = Timeline()
+        first = cluster.book_allreduce(timeline, nbytes)
+        second = cluster.book_allreduce(timeline, nbytes)
+        return idle, max(first.end_s, second.end_s)
+
+    for num_nodes in (2, 3):
+        for nbytes in (64 * 1024, 1 << 20, 8 << 20):
+            idle, contended = contended_ends(num_nodes, float(nbytes))
+            if contended < idle:
+                contended_violations += 1
+    idle, contended = contended_ends(2, float(8 << 20))
+    metrics["timeline/congestion_slowdown_ratio"] = contended / idle
+    metrics["timeline/contended_lt_idle_count"] = float(contended_violations)
+
+    cluster = MultiNodeClusterSpec.homogeneous(
+        num_nodes=2, devices_per_node=2, nic=ETHERNET_10G
+    )
+    # A tall mode-0 makes the dense update big enough to hide a visible
+    # fraction of the collective behind, so a lost overlap moves the ratio.
+    tensor = random_sparse_tensor((60_000, 60, 50), 12_000, seed=3)
+    sequential = cp_als(
+        tensor,
+        16,
+        engine=UnifiedGPUEngine(cluster=cluster),
+        max_iterations=2,
+        compute_fit=False,
+    )
+    overlapped = cp_als(
+        tensor,
+        16,
+        engine=UnifiedGPUEngine(cluster=cluster),
+        max_iterations=2,
+        compute_fit=False,
+        overlap_modes=True,
+    )
+    ratio = overlapped.makespan_s / sequential.makespan_s
+    metrics["timeline/overlap_makespan"] = overlapped.makespan_s
+    metrics["timeline/overlap_time_ratio"] = ratio
+    metrics["timeline/overlap_gt_sequential_count"] = float(
+        overlapped.makespan_s > sequential.makespan_s
+    )
+    metrics["timeline/overlap_lost_count"] = float(ratio > 0.99)
+    return metrics
+
+
 def collect_metrics() -> Dict[str, Dict[str, float]]:
     """All regression metrics, grouped by suite (simulated seconds)."""
     return {
@@ -145,6 +232,7 @@ def collect_metrics() -> Dict[str, Dict[str, float]]:
         "multinode": _multinode_metrics(),
         "streaming": _streaming_metrics(),
         "serving": _serving_metrics(),
+        "timeline": _timeline_metrics(),
     }
 
 

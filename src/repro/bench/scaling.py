@@ -34,8 +34,15 @@ import numpy as np
 from repro.data.registry import DATASETS, load_dataset
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.mode_encoding import OperationKind
-from repro.gpusim.cluster import ClusterSpec, InterconnectSpec, PCIE3_P2P
+from repro.gpusim.cluster import (
+    ETHERNET_10G,
+    ClusterSpec,
+    InterconnectSpec,
+    MultiNodeClusterSpec,
+    PCIE3_P2P,
+)
 from repro.gpusim.device import DeviceSpec, TITAN_X
+from repro.gpusim.timeline import Timeline, device_compute_key
 from repro.kernels.unified.spmttkrp import unified_spmttkrp
 from repro.kernels.unified.spttm import unified_spttm
 from repro.kernels.unified.spttmc import unified_spttmc
@@ -47,6 +54,7 @@ __all__ = [
     "ScalingRow",
     "ScalingResult",
     "analog_interconnect",
+    "collect_scaling_trace",
     "run_scaling",
     "run_weak_scaling",
     "DEFAULT_DEVICE_COUNTS",
@@ -181,6 +189,16 @@ _OPERATION_KINDS = {
     "spmttkrp": OperationKind.SPMTTKRP,
     "spttmc": OperationKind.SPTTMC,
 }
+
+
+def _op_payload_scale(operation: str, dense_payload_scale: float) -> Optional[float]:
+    """The analog payload-scale rule, single-sourced for every runner.
+
+    SpTTM only exchanges boundary fibers (payload ~ nnz-shaped, shrinking
+    like the time scale, so the bandwidth stays untouched); the dense
+    factor/unfolding outputs of the other two shrink with the mode size.
+    """
+    return None if operation == "spttm" else dense_payload_scale
 
 
 def _run_operation(
@@ -335,14 +353,10 @@ def run_scaling(
             op_rank = _effective_rank(op, rank, spttmc_rank)
             factors = [np.asarray(f) for f in random_factors(tensor.shape, op_rank, seed=seed)]
             fcoo = FCOOTensor.from_sparse(tensor, _OPERATION_KINDS[op], mode)
-            # SpTTM only exchanges boundary fibers (payload ~ nnz-shaped,
-            # latency-bound); the dense factor/unfolding outputs of the
-            # other two shrink with the mode size instead.
-            payload_scale = None if op == "spttm" else dense_payload_scale
             scaled_link = analog_interconnect(
                 interconnect,
                 time_scale=time_scale,
-                payload_scale=payload_scale,
+                payload_scale=_op_payload_scale(op, dense_payload_scale),
                 name_suffix=f"analog {name}",
             )
             rows.extend(
@@ -362,6 +376,96 @@ def run_scaling(
     return ScalingResult(
         rank=rank, kind="strong", device_counts=tuple(int(d) for d in device_counts), rows=rows
     )
+
+
+def collect_scaling_trace(
+    *,
+    rank: int = 8,
+    dataset: str = "brainq",
+    num_devices: int = 4,
+    num_nodes: int = 1,
+    device: DeviceSpec = TITAN_X,
+    interconnect: InterconnectSpec = PCIE3_P2P,
+    nic: InterconnectSpec = ETHERNET_10G,
+    block_size: int = 128,
+    threadlen: int = 8,
+    spttmc_rank: Optional[int] = None,
+    seed: int = 0,
+) -> Timeline:
+    """Book one sharded run of each kernel onto a shared unified timeline.
+
+    The three unified kernels execute back to back on a sharded cluster
+    (the interconnect projected to analog scale with the same
+    :func:`_op_payload_scale` rule the scaling tables use) and each
+    execution's ledger books its shard computes and partial-output
+    collective onto one :class:`~repro.gpusim.timeline.Timeline` through
+    :meth:`~repro.kernels.unified.sharded.ShardedExecution.book`.  With
+    ``num_nodes > 1`` the cluster is a two-tier
+    :class:`~repro.gpusim.cluster.MultiNodeClusterSpec` of
+    ``num_nodes x num_devices`` GPUs (matching the topology of ``scaling
+    --nodes``), so the trace additionally shows the per-node ``nic:*``
+    lanes.  Backs ``python -m repro scaling --trace out.json``:
+    per-device compute lanes plus the link/NIC lanes of the reductions,
+    viewable in ``chrome://tracing``.
+    """
+    spec = DATASETS[dataset]
+    tensor = load_dataset(dataset)
+    mode = 0
+    time_scale = tensor.nnz / spec.paper_nnz
+    dense_payload_scale = tensor.shape[mode] / spec.paper_shape[mode]
+    timeline = Timeline()
+    clock = 0.0
+    for op in SCALING_OPERATIONS:
+        op_rank = _effective_rank(op, rank, spttmc_rank)
+        factors = [np.asarray(f) for f in random_factors(tensor.shape, op_rank, seed=seed)]
+        fcoo = FCOOTensor.from_sparse(tensor, _OPERATION_KINDS[op], mode)
+        payload_scale = _op_payload_scale(op, dense_payload_scale)
+        scaled_link = analog_interconnect(
+            interconnect,
+            time_scale=time_scale,
+            payload_scale=payload_scale,
+            name_suffix=f"analog {dataset}",
+        )
+        if num_nodes > 1:
+            cluster = MultiNodeClusterSpec.homogeneous(
+                device,
+                num_nodes,
+                num_devices,
+                intra=scaled_link,
+                nic=analog_interconnect(
+                    nic,
+                    time_scale=time_scale,
+                    payload_scale=payload_scale,
+                    name_suffix=f"analog {dataset}",
+                ),
+            )
+        elif num_devices > 1:
+            cluster = ClusterSpec.homogeneous(
+                device, num_devices, interconnect=scaled_link
+            )
+        else:
+            cluster = None
+        result = _run_operation(
+            op,
+            fcoo,
+            factors,
+            mode,
+            cluster=cluster,
+            device=device,
+            block_size=block_size,
+            threadlen=threadlen,
+        )
+        execution = getattr(result.profile, "sharded", None)
+        if execution is not None:
+            _, clock = execution.book(timeline, ready_s=clock, label=op)
+        else:
+            clock = timeline.book(
+                timeline.resource(device_compute_key(0), category="compute"),
+                result.estimated_time_s,
+                ready_s=clock,
+                label=op,
+            ).end_s
+    return timeline
 
 
 def run_weak_scaling(

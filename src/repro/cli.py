@@ -10,6 +10,10 @@ Usage::
     python -m repro serve --jobs 100     # multi-tenant serving report
     python -m repro scaling --nodes 4    # multi-node hierarchical scaling
     python -m repro serve --nodes 2      # multi-node serving (NIC tier)
+    python -m repro serve --trace out.json    # export the serving run's
+                                              # timeline as a Chrome trace
+    python -m repro scaling --trace out.json  # ditto for a sharded-kernel
+                                              # sequence (chrome://tracing)
 
 Each experiment prints the same rows/series the paper reports, rendered as a
 plain-text table (see :mod:`repro.bench`).
@@ -22,6 +26,7 @@ import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.bench import (
+    collect_scaling_trace,
     platform_report,
     run_fig5,
     run_fig6a,
@@ -51,6 +56,15 @@ def _render_fig7(args: argparse.Namespace) -> str:
     return "\n\n".join(parts)
 
 
+def _write_trace(timeline, path: str) -> str:
+    """Write a timeline's Chrome trace to ``path``; returns a report line."""
+    timeline.write_chrome_trace(path)
+    return (
+        f"timeline trace written to {path} "
+        f"({len(timeline.events)} events; open in chrome://tracing)"
+    )
+
+
 def _render_scaling(args: argparse.Namespace) -> str:
     if args.nodes and args.nodes > 1:
         # Power-of-two curve up to the requested count, which is always
@@ -58,8 +72,33 @@ def _render_scaling(args: argparse.Namespace) -> str:
         node_counts = tuple(
             sorted({m for m in (1, 2, 4, 8) if m < args.nodes} | {args.nodes})
         )
-        return run_multinode_scaling(rank=args.rank, node_counts=node_counts).render()
-    parts = [run_scaling(rank=args.rank).render(), run_weak_scaling(rank=args.rank).render()]
+        parts = [run_multinode_scaling(rank=args.rank, node_counts=node_counts).render()]
+    else:
+        parts = [
+            run_scaling(rank=args.rank).render(),
+            run_weak_scaling(rank=args.rank).render(),
+        ]
+    if args.trace:
+        # Trace the same topology the tables above ran: a two-tier
+        # multi-node cluster under --nodes, the single-node default
+        # otherwise (2 GPUs per node mirrors `scaling --nodes`).
+        num_nodes = args.nodes if args.nodes and args.nodes > 1 else 1
+        timeline = collect_scaling_trace(
+            rank=min(args.rank, 8),
+            num_nodes=num_nodes,
+            num_devices=2 if num_nodes > 1 else 4,
+        )
+        parts.append(_write_trace(timeline, args.trace))
+    return "\n\n".join(parts)
+
+
+def _render_serve(args: argparse.Namespace) -> str:
+    report = run_serving(
+        num_jobs=args.jobs, seed=args.seed, policy=args.policy, nodes=args.nodes or None
+    )
+    parts = [report.render()]
+    if args.trace:
+        parts.append(_write_trace(report.timeline, args.trace))
     return "\n\n".join(parts)
 
 
@@ -78,9 +117,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "fig10": lambda args: run_fig10(iterations=args.iterations).render(),
     "streaming": lambda args: run_streaming(rank=args.rank).render(),
     "scaling": _render_scaling,
-    "serve": lambda args: run_serving(
-        num_jobs=args.jobs, seed=args.seed, policy=args.policy, nodes=args.nodes or None
-    ).render(),
+    "serve": _render_serve,
 }
 
 
@@ -138,6 +175,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "P2P); 0 keeps the single-node experiments (default 0)"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "for the serve and scaling experiments: export the run's unified "
+            "timeline (per-device copy/compute engines, link/NIC collectives) "
+            "as a Chrome chrome://tracing JSON file at PATH"
+        ),
+    )
     return parser
 
 
@@ -163,6 +210,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"unknown experiment(s): {', '.join(unknown)}; "
             f"choose from {', '.join(EXPERIMENTS)} or 'all'"
         )
+
+    if args.trace:
+        # --trace belongs to exactly one timeline-producing experiment per
+        # run: several would silently overwrite each other's file, and an
+        # experiment without a timeline would leave an empty "trace".
+        consumers = [name for name in requested if name in ("serve", "scaling")]
+        if len(consumers) != 1:
+            parser.error(
+                "--trace requires exactly one of the 'serve' or 'scaling' "
+                f"experiments in the run; got {requested}"
+            )
+        # Fail on an unwritable trace path up front, not after the
+        # experiment has already run.
+        try:
+            with open(args.trace, "a", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            parser.error(f"cannot write --trace file {args.trace!r}: {exc}")
 
     for i, name in enumerate(requested):
         if i:

@@ -25,8 +25,15 @@ effects is modelled explicitly:
 * :mod:`~repro.gpusim.atomics` — atomic-update contention model.
 * :mod:`~repro.gpusim.scan` — the segmented-scan primitive (numeric result
   plus cost contribution).
-* :mod:`~repro.gpusim.streams` — the multi-stream transfer/compute overlap
-  pipeline used by the out-of-core streamed execution path.
+* :mod:`~repro.gpusim.timeline` — the unified simulated-time resource
+  engine: serial resources (copy/compute engines, intra-node links,
+  per-node NICs) with busy-until bookkeeping, dependency-ordered task
+  booking, per-resource utilisation and a Chrome-trace-exportable event
+  trace.  The stream pipeline, the cluster collectives and the serving
+  scheduler all book time on it.
+* :mod:`~repro.gpusim.streams` — compatibility shim re-exporting the
+  multi-stream transfer/compute overlap pipeline, which now lives in
+  :mod:`~repro.gpusim.timeline`.
 * :mod:`~repro.gpusim.timing` — conversion of a counter ledger into
   estimated kernel time on a device.
 """
@@ -54,6 +61,15 @@ from repro.gpusim.memory import (
 from repro.gpusim.atomics import atomic_contention_factor, atomic_cost_ops
 from repro.gpusim.scan import segment_reduce, segmented_scan_counters
 from repro.gpusim.streams import ChunkTiming, StreamSchedule, pipeline_time, schedule_chunks
+from repro.gpusim.timeline import (
+    Booking,
+    GangBooking,
+    Resource,
+    SimClock,
+    Timeline,
+    device_compute_key,
+    device_copy_key,
+)
 from repro.gpusim.timing import estimate_kernel_time, OutOfDeviceMemory, check_device_fit
 
 __all__ = [
@@ -84,6 +100,13 @@ __all__ = [
     "StreamSchedule",
     "pipeline_time",
     "schedule_chunks",
+    "Booking",
+    "GangBooking",
+    "Resource",
+    "SimClock",
+    "Timeline",
+    "device_compute_key",
+    "device_copy_key",
     "estimate_kernel_time",
     "OutOfDeviceMemory",
     "check_device_fit",

@@ -35,15 +35,24 @@ P2P/NVLink and an inter-node NIC — and hierarchical collectives
 (reduce-scatter inside each node, a ring across the nodes, an intra-node
 all-gather) whose modeled cost is never worse than the topology-oblivious
 flat ring, and strictly better whenever the NIC is the slower tier.
+
+Each collective exists in two forms: the closed-form ``*_time`` scalar
+(the cost on idle links) and a ``book_*`` variant that *books* that cost
+onto the shared :class:`~repro.gpusim.timeline.Timeline` — the intra-node
+links and the per-node NICs are explicit serial resources there, so two
+concurrent cross-node collectives queue on the shared NIC instead of each
+pricing it as idle.  On an idle timeline the booked end time equals the
+closed form exactly; contention can only push it later.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import ceil, log2
-from typing import Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.gpusim.device import DeviceSpec, TITAN_X
+from repro.gpusim.timeline import GangBooking, Resource, Timeline
 
 __all__ = [
     "InterconnectSpec",
@@ -322,6 +331,92 @@ class ClusterSpec:
         stages = ceil(log2(n))
         return stages * (
             nbytes / self.interconnect.bandwidth_bytes_per_s + self.interconnect.latency_s
+        )
+
+    # ------------------------------------------------------------------ #
+    # Timeline bookings: collectives as occupancy of the shared link
+    # ------------------------------------------------------------------ #
+    def link_resource_key(self) -> str:
+        """Resource key of this cluster's shared device-to-device link.
+
+        Keyed by the cluster *name*, so a node viewed through
+        :meth:`NodeSpec.as_cluster` books the same link resource as the
+        enclosing :class:`MultiNodeClusterSpec` does for that node — a
+        node-local collective and a cluster-wide one contend correctly on
+        a shared timeline.
+        """
+        return f"link:{self.name}"
+
+    def collective_resources(self, timeline: Timeline) -> Tuple[Resource, ...]:
+        """The timeline resources a collective of this cluster occupies."""
+        return (timeline.resource(self.link_resource_key(), category="link"),)
+
+    def book_collective(
+        self,
+        timeline: Timeline,
+        duration_s: float,
+        *,
+        ready_s: float = 0.0,
+        label: str = "collective",
+    ) -> GangBooking:
+        """Book a pre-priced collective of ``duration_s`` onto the link.
+
+        The booking starts at ``max(ready_s, link free)``: on an idle
+        timeline it ends exactly ``duration_s`` after ``ready_s`` — the
+        closed-form cost — and a busy link delays it, which is how
+        link/NIC *contention* between concurrent jobs falls out of the
+        shared timeline instead of each job pricing the link as idle.
+        """
+        return timeline.book_together(
+            self.collective_resources(timeline),
+            duration_s,
+            ready_s=ready_s,
+            label=label,
+        )
+
+    def book_allreduce(
+        self, timeline: Timeline, nbytes: float, *, ready_s: float = 0.0, label: str = "allreduce"
+    ) -> GangBooking:
+        """Book a ring all-reduce (:meth:`allreduce_time`) onto the link."""
+        return self.book_collective(
+            timeline, self.allreduce_time(nbytes), ready_s=ready_s, label=label
+        )
+
+    def book_gather(
+        self,
+        timeline: Timeline,
+        nbytes_per_device: Sequence[float],
+        *,
+        ready_s: float = 0.0,
+        label: str = "gather",
+    ) -> GangBooking:
+        """Book a root gather (:meth:`gather_time`) onto the link."""
+        return self.book_collective(
+            timeline, self.gather_time(nbytes_per_device), ready_s=ready_s, label=label
+        )
+
+    def book_neighbor_exchange(
+        self,
+        timeline: Timeline,
+        nbytes_per_boundary: Sequence[float],
+        *,
+        ready_s: float = 0.0,
+        label: str = "boundary-exchange",
+    ) -> GangBooking:
+        """Book a boundary exchange (:meth:`neighbor_exchange_time`)."""
+        return self.book_collective(
+            timeline,
+            self.neighbor_exchange_time(nbytes_per_boundary),
+            ready_s=ready_s,
+            label=label,
+        )
+
+    def book_broadcast(
+        self, timeline: Timeline, nbytes: float, *, ready_s: float = 0.0, label: str = "broadcast"
+    ) -> GangBooking:
+        """Book a broadcast (:meth:`broadcast_time`) onto the link."""
+        return self.book_collective(
+            timeline, self.broadcast_time(nbytes), ready_s=ready_s, label=label
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -793,6 +888,106 @@ class MultiNodeClusterSpec:
                 ceil(log2(n)) * (nbytes / link.bandwidth_bytes_per_s + link.latency_s),
             )
         return inter + intra
+
+    # ------------------------------------------------------------------ #
+    # Timeline bookings: collectives occupy every participating tier
+    # ------------------------------------------------------------------ #
+    def nic_resource_key(self, node_index: int) -> str:
+        """Resource key of one node's NIC (the inter-node serial resource)."""
+        return f"nic:{self.nodes[node_index].name}"
+
+    def collective_resources(self, timeline: Timeline) -> Tuple[Resource, ...]:
+        """The timeline resources a cluster-wide collective occupies.
+
+        Every multi-device node's intra-node link (keyed exactly as that
+        node's standalone :meth:`ClusterSpec.link_resource_key`, so
+        node-local jobs contend with cluster-wide ones) plus — whenever
+        the cluster spans nodes — every node's NIC.  A collective holds
+        all of them for its window: the intra phases ride the links, the
+        inter-node ring rides the NIC lanes, and no second collective can
+        slot into either tier meanwhile.
+        """
+        resources: List[Resource] = [
+            timeline.resource(node.as_cluster().link_resource_key(), category="link")
+            for node in self.nodes
+            if node.num_devices > 1
+        ]
+        if self.num_nodes > 1:
+            resources.extend(
+                timeline.resource(self.nic_resource_key(i), category="nic")
+                for i in range(self.num_nodes)
+            )
+        return tuple(resources)
+
+    def book_collective(
+        self,
+        timeline: Timeline,
+        duration_s: float,
+        *,
+        ready_s: float = 0.0,
+        label: str = "collective",
+    ) -> GangBooking:
+        """Book a pre-priced collective onto every participating tier.
+
+        On an idle timeline the booking ends exactly ``duration_s`` after
+        ``ready_s`` — the closed-form cost.  When another job's collective
+        already holds a shared NIC, this one waits for it: shared-NIC
+        *congestion* under concurrent cross-node jobs, with the idle model
+        as the exact lower bound (and the degenerate single-job case).
+        """
+        return timeline.book_together(
+            self.collective_resources(timeline),
+            duration_s,
+            ready_s=ready_s,
+            label=label,
+        )
+
+    def book_allreduce(
+        self, timeline: Timeline, nbytes: float, *, ready_s: float = 0.0, label: str = "allreduce"
+    ) -> GangBooking:
+        """Book an all-reduce (:meth:`allreduce_time`, algorithm-selected)."""
+        return self.book_collective(
+            timeline, self.allreduce_time(nbytes), ready_s=ready_s, label=label
+        )
+
+    def book_gather(
+        self,
+        timeline: Timeline,
+        nbytes_per_slot: Sequence[float],
+        *,
+        ready_s: float = 0.0,
+        label: str = "gather",
+    ) -> GangBooking:
+        """Book a hierarchical gather (:meth:`gather_time`)."""
+        return self.book_collective(
+            timeline, self.gather_time(nbytes_per_slot), ready_s=ready_s, label=label
+        )
+
+    def book_neighbor_exchange(
+        self,
+        timeline: Timeline,
+        nbytes_per_boundary: Sequence[float],
+        *,
+        ready_s: float = 0.0,
+        label: str = "boundary-exchange",
+        slots: Optional[Sequence[int]] = None,
+        sources: Optional[Sequence[int]] = None,
+    ) -> GangBooking:
+        """Book a boundary exchange (:meth:`neighbor_exchange_time`)."""
+        return self.book_collective(
+            timeline,
+            self.neighbor_exchange_time(nbytes_per_boundary, slots=slots, sources=sources),
+            ready_s=ready_s,
+            label=label,
+        )
+
+    def book_broadcast(
+        self, timeline: Timeline, nbytes: float, *, ready_s: float = 0.0, label: str = "broadcast"
+    ) -> GangBooking:
+        """Book a two-tier broadcast (:meth:`broadcast_time`)."""
+        return self.book_collective(
+            timeline, self.broadcast_time(nbytes), ready_s=ready_s, label=label
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

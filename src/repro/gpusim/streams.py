@@ -1,182 +1,31 @@
-"""Multi-stream transfer/compute overlap model for out-of-core execution.
+"""Multi-stream transfer/compute overlap model — compatibility shim.
 
-The paper targets tensors larger than device memory by partitioning the
-non-zero stream, shipping each partition over PCIe on its own CUDA stream,
-and overlapping the host-to-device copy of partition ``i + 1`` with the
-kernel execution of partition ``i`` (Section IV-D, "employing CUDA streams
-to optimize the data communication and computation overlap").  This module
-models that pipeline.
+.. deprecated::
+    The pipeline model now lives in :mod:`repro.gpusim.timeline`, the
+    unified simulated-time resource engine: the copy and compute engines
+    are ordinary :class:`~repro.gpusim.timeline.Resource` s of a
+    :class:`~repro.gpusim.timeline.Timeline`, and the ``num_streams``
+    buffer bound is a dependency gate on the booking of the chunk
+    ``num_streams`` positions earlier.  This module re-exports the public
+    surface unchanged so downstream imports (bench runners, example
+    scripts, the serving scheduler's documentation references) keep
+    working; new code should import from :mod:`repro.gpusim.timeline`.
 
-Two serial resources exist:
-
-* the **copy engine(s)** — transfers on different streams still serialise on
-  the DMA engines (one on consumer Maxwell parts), and
-* the **compute engine** — the chunks' kernels execute back-to-back.
-
-``num_streams`` bounds how many chunks are *in flight*: a chunk's transfer
-may only start once the buffer of the chunk ``num_streams`` positions
-earlier has been freed by its kernel completing.  With one stream the
-pipeline degenerates to fully serial execution (transfer, compute, transfer,
-compute, ...); with two or more streams each pipelined chunk is charged
-``max(transfer, compute)`` instead of their sum, which is exactly the
-overlap benefit the paper claims.
-
-The schedule is computed by event-driven recurrence, not a closed form, so
-uneven chunk sizes (the tail chunk is almost always short) are handled
-exactly.
+The modeled semantics are exactly the originals: transfers on different
+streams serialise on the DMA engine, kernels serialise on the compute
+engine, a chunk's transfer may only start once the buffer of the chunk
+``num_streams`` positions earlier has been freed, and the resolved times
+are bit-identical to the pre-refactor event-driven recurrence (the
+property harness in ``tests/test_timeline.py`` proves it).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
-
-from repro.util.validation import check_positive_int
+from repro.gpusim.timeline import (
+    ChunkTiming,
+    StreamSchedule,
+    pipeline_time,
+    schedule_chunks,
+)
 
 __all__ = ["ChunkTiming", "StreamSchedule", "schedule_chunks", "pipeline_time"]
-
-
-@dataclass(frozen=True)
-class ChunkTiming:
-    """Transfer and compute cost of one pipelined chunk (seconds)."""
-
-    transfer_s: float
-    compute_s: float
-
-    def __post_init__(self) -> None:
-        if self.transfer_s < 0 or self.compute_s < 0:
-            raise ValueError(
-                f"chunk times must be non-negative, got "
-                f"transfer={self.transfer_s}, compute={self.compute_s}"
-            )
-
-    @property
-    def serial_s(self) -> float:
-        """Cost when transfer and compute cannot overlap."""
-        return self.transfer_s + self.compute_s
-
-
-@dataclass(frozen=True)
-class StreamSchedule:
-    """Resolved pipeline schedule for a sequence of chunks.
-
-    Attributes
-    ----------
-    num_streams:
-        Buffers/streams in flight (1 disables overlap).
-    timings:
-        The per-chunk :class:`ChunkTiming` inputs, in execution order.
-    transfer_ends / compute_ends:
-        Absolute completion times of each chunk's copy and kernel.
-    """
-
-    num_streams: int
-    timings: Tuple[ChunkTiming, ...]
-    transfer_ends: Tuple[float, ...]
-    compute_ends: Tuple[float, ...]
-
-    # ------------------------------------------------------------------ #
-    @property
-    def total_time_s(self) -> float:
-        """Makespan of the pipeline (last kernel completion)."""
-        return self.compute_ends[-1] if self.compute_ends else 0.0
-
-    @property
-    def transfer_time_s(self) -> float:
-        """Total PCIe busy time (sum of chunk transfers)."""
-        return sum(t.transfer_s for t in self.timings)
-
-    @property
-    def compute_time_s(self) -> float:
-        """Total kernel busy time (sum of chunk computes)."""
-        return sum(t.compute_s for t in self.timings)
-
-    @property
-    def serial_time_s(self) -> float:
-        """Time with no overlap at all: ``sum(transfer + compute)``."""
-        return self.transfer_time_s + self.compute_time_s
-
-    @property
-    def ideal_time_s(self) -> float:
-        """Perfect-overlap lower bound: ``max(sum transfer, sum compute)``.
-
-        Unattainable in full — the first transfer and the last kernel can
-        never be hidden — so a real schedule lands strictly between this and
-        :attr:`serial_time_s` whenever there are at least two chunks with
-        non-trivial costs on both sides.
-        """
-        return max(self.transfer_time_s, self.compute_time_s)
-
-    @property
-    def overlap_saved_s(self) -> float:
-        """Wall-clock seconds the pipeline saved over serial execution."""
-        return self.serial_time_s - self.total_time_s
-
-    @property
-    def overlap_efficiency(self) -> float:
-        """Fraction of the ideal overlap saving actually achieved (0..1).
-
-        Clamped below at 0: a serial schedule's saving is exactly zero, but
-        the two sides are accumulated in different orders and may differ by
-        a few ulps.
-        """
-        attainable = self.serial_time_s - self.ideal_time_s
-        if attainable <= 0.0:
-            return 1.0
-        return max(0.0, self.overlap_saved_s / attainable)
-
-
-def schedule_chunks(
-    timings: Sequence[ChunkTiming],
-    num_streams: int,
-) -> StreamSchedule:
-    """Resolve the pipelined schedule of ``timings`` with ``num_streams`` buffers.
-
-    Recurrence per chunk ``i`` (times are absolute):
-
-    * the transfer starts when the copy engine is free **and** the buffer of
-      chunk ``i - num_streams`` has been released by its kernel;
-    * the kernel starts when the transfer has landed **and** the compute
-      engine is free.
-
-    Returns a :class:`StreamSchedule`; an empty ``timings`` yields a schedule
-    with ``total_time_s == 0``.
-    """
-    num_streams = check_positive_int(num_streams, "num_streams")
-    transfer_ends: List[float] = []
-    compute_ends: List[float] = []
-    for i, timing in enumerate(timings):
-        if not isinstance(timing, ChunkTiming):
-            raise TypeError(f"timings[{i}] must be a ChunkTiming, got {type(timing).__name__}")
-        copy_free = transfer_ends[i - 1] if i >= 1 else 0.0
-        buffer_free = compute_ends[i - num_streams] if i >= num_streams else 0.0
-        transfer_end = max(copy_free, buffer_free) + timing.transfer_s
-        compute_free = compute_ends[i - 1] if i >= 1 else 0.0
-        compute_end = max(transfer_end, compute_free) + timing.compute_s
-        transfer_ends.append(transfer_end)
-        compute_ends.append(compute_end)
-    return StreamSchedule(
-        num_streams=num_streams,
-        timings=tuple(timings),
-        transfer_ends=tuple(transfer_ends),
-        compute_ends=tuple(compute_ends),
-    )
-
-
-def pipeline_time(
-    transfer_times: Sequence[float],
-    compute_times: Sequence[float],
-    num_streams: int,
-) -> float:
-    """Makespan of a chunk pipeline given parallel per-chunk time lists.
-
-    Convenience wrapper over :func:`schedule_chunks` for callers that keep
-    transfers and computes in separate arrays.
-    """
-    if len(transfer_times) != len(compute_times):
-        raise ValueError(
-            f"transfer_times and compute_times must have equal length, "
-            f"got {len(transfer_times)} and {len(compute_times)}"
-        )
-    timings = [ChunkTiming(float(t), float(c)) for t, c in zip(transfer_times, compute_times)]
-    return schedule_chunks(timings, num_streams).total_time_s

@@ -42,6 +42,7 @@ from repro.gpusim.cluster import ClusterLike, MultiNodeClusterSpec
 from repro.gpusim.counters import KernelCounters, KernelProfile
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.timeline import Timeline, device_compute_key
 from repro.gpusim.timing import profile_from_counters
 from repro.kernels.unified._model import (
     unified_device_footprint,
@@ -307,6 +308,49 @@ class ShardedExecution:
     def has_streaming_shards(self) -> bool:
         """Whether any shard fell back to the per-device streamed path."""
         return any(s.streaming is not None for s in self.shards)
+
+    # ------------------------------------------------------------------ #
+    def book(
+        self,
+        timeline: Timeline,
+        *,
+        ready_s: float = 0.0,
+        label: str = "sharded-kernel",
+    ) -> Tuple[float, float]:
+        """Book this execution onto a shared timeline; returns ``(start, end)``.
+
+        Each shard's busy seconds book its device slot's compute engine
+        (all shards start together — they run concurrently) and the
+        partial-output reduction books the cluster's collective resources
+        (intra-node links, per-node NICs) after the slowest shard.  On an
+        idle timeline ``end - start`` equals :attr:`total_time_s` (up to
+        float association); busy collective resources — another job's
+        in-flight all-reduce on a shared NIC — can only push the end
+        later.  This is how the decomposition drivers and the scaling
+        trace exporter place kernel executions on the unified timeline.
+        """
+        compute = [
+            timeline.resource(device_compute_key(s.index), category="compute")
+            for s in self.shards
+        ]
+        start = ready_s
+        for resource in compute:
+            start = max(start, resource.free_s)
+        for resource, shard in zip(compute, self.shards):
+            resource.book(
+                shard.time_s, ready_s=start, label=f"{label}:shard{shard.index}"
+            )
+        compute_end = start + self.max_shard_time_s
+        end = compute_end
+        if self.reduction_time_s > 0.0 and len(self.shards) > 1:
+            gang = self.cluster.book_collective(
+                timeline,
+                self.reduction_time_s,
+                ready_s=compute_end,
+                label=f"{label}:{self.reduction_kind}",
+            )
+            end = gang.end_s
+        return start, end
 
 
 class ShardedTimeline:

@@ -14,9 +14,12 @@ existing kernels, cluster model and decomposition drivers:
   jobs sharded across the cluster proportional to modeled throughput);
 * :mod:`~repro.serve.scheduler` — the event-driven simulated-time
   scheduler: priority/FIFO queueing, load shedding, batching of compatible
-  jobs, and per-device copy/compute engine timelines that overlap one
-  job's staging with another's execution (the PR 1 stream model, lifted to
-  whole jobs);
+  jobs, all booked onto the shared
+  :class:`~repro.gpusim.timeline.Timeline` — per-device copy/compute
+  engine resources overlap one job's staging with another's execution
+  (the PR 1 stream model, lifted to whole jobs), and sharded jobs'
+  collectives book the link/NIC resources, so concurrent cross-node jobs
+  contend for a shared NIC instead of pricing it as idle;
 * :mod:`~repro.serve.execute` — the pure (job, placement) -> output
   mapping, shared by the scheduler and the bit-identity property harness;
 * :mod:`~repro.serve.workload` — seeded synthetic multi-tenant workloads

@@ -11,12 +11,13 @@ the same plain-text tables the rest of the benchmark harness emits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.gpusim.cluster import ClusterLike, MultiNodeClusterSpec, collapse_cluster
+from repro.gpusim.timeline import Timeline, device_compute_key
 from repro.serve.cache import CacheStats, PreprocCache
 from repro.serve.job import Job, JobResult
 from repro.serve.scheduler import DeviceTimeline, Scheduler
@@ -35,6 +36,10 @@ class ServingReport:
     results: List[JobResult]
     timelines: List[DeviceTimeline]
     cache_stats: CacheStats
+    #: The run's shared simulated-time timeline (per-device copy/compute
+    #: engines plus the link/NIC resources booked by sharded collectives).
+    #: ``None`` only for reports constructed without a scheduler run.
+    timeline: Optional[Timeline] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------ #
     @property
@@ -84,13 +89,36 @@ class ServingReport:
         waits = [r.queue_wait_s for r in self.completed]
         return float(np.mean(waits)) if waits else 0.0
 
+    def _device_busy_s(self, slot: int) -> float:
+        """One device's busy seconds, from the shared timeline's compute
+        engine resource.
+
+        The utilisation metrics derive from the engine's own per-resource
+        busy time — the sum of the busy-marked bookings on the device's
+        compute engine — rather than a scheduler-side accumulator, so the
+        report cannot drift from the timeline (the pre-timeline
+        accumulators could, e.g. under batching).  The
+        :class:`~repro.serve.scheduler.DeviceTimeline` views carry the
+        same numbers as a fallback for reports built without a timeline.
+        """
+        if self.timeline is not None:
+            return self.timeline.busy_s(device_compute_key(slot))
+        return next(t.busy_s for t in self.timelines if t.slot == slot)
+
     @property
     def device_utilization(self) -> Dict[int, float]:
-        """Per-device busy fraction of the makespan, in ``[0, 1]``."""
+        """Per-device busy fraction of the makespan, in ``[0, 1]``.
+
+        Busy time is the device's compute-engine resource busy time on the
+        shared timeline (see :meth:`_device_busy_s`).
+        """
         makespan = self.makespan_s
         if makespan <= 0:
             return {t.slot: 0.0 for t in self.timelines}
-        return {t.slot: min(1.0, t.busy_s / makespan) for t in self.timelines}
+        return {
+            t.slot: min(1.0, self._device_busy_s(t.slot) / makespan)
+            for t in self.timelines
+        }
 
     @property
     def overall_utilization(self) -> float:
@@ -98,7 +126,7 @@ class ServingReport:
         makespan = self.makespan_s
         if makespan <= 0:
             return 0.0
-        busy = sum(t.busy_s for t in self.timelines)
+        busy = sum(self._device_busy_s(t.slot) for t in self.timelines)
         return min(1.0, busy / (len(self.timelines) * makespan))
 
     def execution_counts(self) -> Dict[str, int]:
@@ -177,7 +205,7 @@ class ServingReport:
                 t.slot,
                 t.device.name,
                 t.jobs,
-                format_seconds(t.busy_s),
+                format_seconds(self._device_busy_s(t.slot)),
                 f"{utilization[t.slot] * 100.0:.0f}%",
             ]
             for t in self.timelines
@@ -265,6 +293,7 @@ class ServingEngine:
             results=outcome.results,
             timelines=outcome.timelines,
             cache_stats=self.cache.stats.since(before),
+            timeline=outcome.timeline,
         )
 
     def run_workload(self, spec: Optional[WorkloadSpec] = None) -> ServingReport:

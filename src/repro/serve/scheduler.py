@@ -19,20 +19,30 @@ deterministic simulated-time schedule:
   ``policy="fifo"``: strict arrival order).
 
 * **dispatch** — a job is dispatched when a copy engine frees *and* the job
-  is stage-ready, so its staging overlaps the predecessor's compute — the
-  cluster-level analog of the PR 1 stream pipeline, with the same
-  two-resource recurrence as :func:`repro.gpusim.streams.schedule_chunks`:
-  per device, the copy engine and the compute engine are separate serial
-  resources and a job's kernel starts at ``max(staging landed, compute
-  engine free)``.  Arrivals earlier than the dispatch instant always enter
-  the queue first, so a late high-priority job overtakes queued batch
-  work; a job still preprocessing never blocks stage-ready ones.
+  is stage-ready, so its staging overlaps the predecessor's compute.
+  Arrivals earlier than the dispatch instant always enter the queue first,
+  so a late high-priority job overtakes queued batch work; a job still
+  preprocessing never blocks stage-ready ones.
 
 * **batching** — compatible stage-ready jobs (same tensor content,
   operation, mode and rank — i.e. the same F-COO encoding and launch
   geometry) ride one dispatch: the encoding is staged once for the whole
   batch and the members execute back to back on the batch's device.
   Batching changes *when* work runs, never *what* it computes.
+
+All time bookkeeping lives on one shared
+:class:`~repro.gpusim.timeline.Timeline`: every device contributes a copy
+engine and a compute engine resource (the PR 1 stream-pipeline pair, now
+first-class), and a sharded job's partial-output collective books the
+execution cluster's intra-node link / per-node NIC resources through
+:meth:`~repro.gpusim.cluster.ClusterSpec.book_collective`.  On idle
+resources the booked schedule reproduces the pre-refactor closed forms bit
+for bit; when concurrent cross-node jobs share a NIC, the later collective
+queues behind the earlier one and the job finishes later — shared-NIC
+congestion, falling out of the resource model instead of being priced as
+idle.  The timeline also powers the per-resource utilisation of
+:class:`~repro.serve.engine.ServingReport` and the ``--trace`` Chrome
+trace export.
 
 Everything is simulated time derived from the deterministic cost models —
 two runs of the same workload produce identical schedules, which is what
@@ -44,12 +54,18 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.formats.fcoo import FCOOTensor
 from repro.gpusim.cluster import ClusterLike, collapse_cluster
 from repro.gpusim.device import DeviceSpec
+from repro.gpusim.timeline import (
+    Resource,
+    Timeline,
+    device_compute_key,
+    device_copy_key,
+)
 from repro.gpusim.timing import OutOfDeviceMemory
 from repro.serve.cache import PreprocCache
 from repro.serve.execute import ExecutionOutcome, execute_job
@@ -61,14 +77,18 @@ __all__ = ["DeviceTimeline", "ScheduleOutcome", "Scheduler"]
 
 @dataclass
 class DeviceTimeline:
-    """Per-device serving state: the two engine horizons plus usage counters.
+    """Per-device serving summary — a *view* over the shared timeline.
 
-    ``copy_free_s`` / ``compute_free_s`` are the absolute simulated times at
-    which the device's copy engine (PCIe staging) and compute engine are
-    next available — the same two serial resources the stream pipeline
-    model uses.  ``busy_s`` accumulates kernel-busy seconds (what the
-    utilisation report divides by the makespan) and ``jobs`` counts the
-    jobs (or shards) the device executed.
+    .. deprecated::
+        The scheduler no longer accumulates per-device horizons here; the
+        shared :class:`~repro.gpusim.timeline.Timeline` (see
+        :attr:`ScheduleOutcome.timeline`) is the source of truth, and one
+        :class:`DeviceTimeline` per device is derived from it after the
+        run for backward compatibility.  ``copy_free_s`` /
+        ``compute_free_s`` are the final horizons of the device's copy and
+        compute engine resources, and ``busy_s`` is the compute engine's
+        accumulated busy time (the sum of its busy-marked bookings — what
+        the utilisation report divides by the makespan).
     """
 
     slot: int
@@ -95,11 +115,25 @@ class _ReadyEntry:
 
 
 @dataclass
+class _RunState:
+    """The shared timeline of one scheduler run plus its device resources."""
+
+    timeline: Timeline
+    copy: List[Resource]
+    compute: List[Resource]
+    jobs: List[int]
+
+
+@dataclass
 class ScheduleOutcome:
     """Everything one scheduler run produced."""
 
     results: List[JobResult]
     timelines: List[DeviceTimeline]
+    #: The shared simulated-time timeline of the run: per-device copy and
+    #: compute engines plus the link/NIC resources the sharded jobs'
+    #: collectives booked.  Export with ``timeline.write_chrome_trace``.
+    timeline: Optional[Timeline] = field(default=None, repr=False)
 
     @property
     def makespan_s(self) -> float:
@@ -339,30 +373,40 @@ class Scheduler:
         ids = [job.job_id for job in jobs]
         if len(set(ids)) != len(ids):
             raise ValueError("job ids must be unique within one scheduler run")
-        timelines = [
-            DeviceTimeline(slot=i, device=d) for i, d in enumerate(self.cluster.devices)
-        ]
+        timeline = Timeline()
+        state = _RunState(
+            timeline=timeline,
+            copy=[
+                timeline.resource(device_copy_key(i), category="copy")
+                for i in range(self.cluster.num_devices)
+            ],
+            compute=[
+                timeline.resource(device_compute_key(i), category="compute")
+                for i in range(self.cluster.num_devices)
+            ],
+            jobs=[0] * self.cluster.num_devices,
+        )
         pending = deque(sorted(jobs, key=lambda j: (j.arrival_s, j.job_id)))
         ready: List[Tuple[Tuple, _ReadyEntry]] = []
         results: Dict[int, JobResult] = {}
         #: encoding key -> simulated time its host build completes, for
         #: this run only (a fresh run restarts the simulated clock).
         availability: Dict[Tuple, float] = {}
-        clock = 0.0
+        clock = timeline.clock
         batch_seq = 0
 
         while pending or ready:
-            self._admit(pending, ready, clock, results, availability)
+            self._admit(pending, ready, clock.now_s, results, availability)
             if not ready:
                 if not pending:
                     break
-                clock = pending[0].arrival_s
+                clock.advance_to(pending[0].arrival_s)
                 continue
             # The next staging can begin when some copy engine frees...
-            t = max(clock, min(lane.copy_free_s for lane in timelines))
+            t = max(clock.now_s, min(lane.free_s for lane in state.copy))
             # ...but arrivals before that instant contend for the queue first.
             if pending and pending[0].arrival_s <= t:
-                clock = max(clock, pending[0].arrival_s)
+                clock.advance_to(pending[0].arrival_s)
                 continue
             entry = self._pop_best_ready(ready, t)
             if entry is None:
@@ -370,13 +414,24 @@ class Scheduler:
                 # earliest readiness (or the next arrival).
                 next_ready = min(e[1].ready_s for e in ready)
                 next_arrival = pending[0].arrival_s if pending else math.inf
-                clock = min(next_ready, next_arrival)
+                clock.advance_to(min(next_ready, next_arrival))
                 continue
-            clock = t
-            batch_seq = self._dispatch(entry, t, ready, results, timelines, batch_seq)
+            clock.advance_to(t)
+            batch_seq = self._dispatch(entry, t, ready, results, state, batch_seq)
 
         ordered = [results[job_id] for job_id in sorted(results)]
-        return ScheduleOutcome(results=ordered, timelines=timelines)
+        timelines = [
+            DeviceTimeline(
+                slot=i,
+                device=d,
+                copy_free_s=state.copy[i].free_s,
+                compute_free_s=state.compute[i].free_s,
+                busy_s=state.compute[i].busy_s,
+                jobs=state.jobs[i],
+            )
+            for i, d in enumerate(self.cluster.devices)
+        ]
+        return ScheduleOutcome(results=ordered, timelines=timelines, timeline=timeline)
 
     # ------------------------------------------------------------------ #
     def _dispatch(
@@ -385,13 +440,13 @@ class Scheduler:
         t0: float,
         ready: List[Tuple[Tuple, _ReadyEntry]],
         results: Dict[int, JobResult],
-        timelines: List[DeviceTimeline],
+        state: _RunState,
         batch_seq: int,
     ) -> int:
         job = entry.job
         geometry = entry.geometry
         placement = self.placer.place(
-            job, geometry, [t.compute_free_s for t in timelines], t0
+            job, geometry, [lane.free_s for lane in state.compute], t0
         )
         if entry.launch is not None:
             placement = replace(
@@ -429,7 +484,7 @@ class Scheduler:
             placement,
             geometry,
             outcome,
-            timelines,
+            state,
             batch_id=batch_id,
             batch_leader=bool(mates),
             encoding_staged=True,
@@ -451,7 +506,7 @@ class Scheduler:
                 placement,
                 geometry,
                 mate_outcome,
-                timelines,
+                state,
                 batch_id=batch_id,
                 batch_leader=False,
                 encoding_staged=False,
@@ -516,29 +571,45 @@ class Scheduler:
         placement: Placement,
         geometry: JobGeometry,
         outcome: ExecutionOutcome,
-        timelines: List[DeviceTimeline],
+        state: _RunState,
         *,
         batch_id: Optional[int],
         batch_leader: bool,
         encoding_staged: bool,
     ) -> JobResult:
-        """Price one executed job onto the device timelines."""
+        """Book one executed job onto the shared timeline.
+
+        Staging gang-books the placement's copy engines, execution books
+        each device's compute engine for its actual busy seconds, and a
+        sharded job's partial-output collective books the execution
+        cluster's link/NIC resources after the slowest shard.  On idle
+        resources the resolved times equal the pre-refactor closed forms
+        bit for bit (``finish == exec_start + exec_s``); a collective that
+        queues behind another job's on a shared NIC pushes the finish
+        later — never earlier.  Every participating compute engine is held
+        (a non-busy reservation) until the job completes, since the
+        devices take part in the collective.
+        """
+        job = entry.job
+        tag = f"job{job.job_id}"
         stage_s = self._staging_seconds(
-            entry.job, placement, geometry, outcome, encoding_staged=encoding_staged
+            job, placement, geometry, outcome, encoding_staged=encoding_staged
         )
         slots = placement.device_slots
-        lanes = [timelines[s] for s in slots]
-        stage_start = max(t0, entry.ready_s, max(lane.copy_free_s for lane in lanes))
-        stage_end = stage_start + stage_s
-        exec_start = max(stage_end, max(lane.compute_free_s for lane in lanes))
-        exec_end = exec_start + outcome.exec_s
+        copy_lanes = [state.copy[s] for s in slots]
+        compute_lanes = [state.compute[s] for s in slots]
 
+        stage = state.timeline.book_together(
+            copy_lanes, stage_s, ready_s=max(t0, entry.ready_s), label=f"stage:{tag}"
+        )
+        stage_start, stage_end = stage.start_s, stage.end_s
+
+        execution = getattr(outcome.profile, "sharded", None) if placement.sharded else None
         busy_by_slot: Dict[int, float]
         if placement.sharded:
             # The execution ledgers index the placement's cluster (a node
             # of the serving cluster for a node-local shard); translate the
             # local device indices to the serving cluster's flat slots.
-            execution = getattr(outcome.profile, "sharded", None)
             if execution is not None:
                 busy_by_slot = {
                     slots[local]: busy
@@ -554,14 +625,75 @@ class Scheduler:
         else:
             busy_by_slot = {slots[0]: outcome.exec_s}
 
-        for lane in lanes:
-            lane.copy_free_s = stage_end
-            lane.compute_free_s = exec_end
-            lane.busy_s += busy_by_slot.get(lane.slot, 0.0)
-            lane.jobs += 1
+        exec_start = stage_end
+        for lane in compute_lanes:
+            exec_start = max(exec_start, lane.free_s)
+        for lane, slot in zip(compute_lanes, slots):
+            busy = busy_by_slot.get(slot, 0.0)
+            if busy > 0.0:
+                lane.book(busy, ready_s=exec_start, label=f"exec:{tag}")
+
+        # The idle-resource closed form; link/NIC contention can only delay it.
+        finish = exec_start + outcome.exec_s
+        if placement.sharded:
+            if execution is not None:
+                reduction_s = execution.reduction_time_s
+                compute_span = execution.max_shard_time_s
+                reduction_kind = execution.reduction_kind
+            else:
+                # A sharded decomposition: its per-mode collectives live on
+                # the driver's own timeline (CPResult/TuckerResult carry
+                # it); book their aggregate on the serving cluster's
+                # link/NIC resources so decomposition jobs contend for a
+                # shared NIC exactly like kernel jobs do.  One tail
+                # booking is the job-level granularity the scheduler
+                # prices everything else at.
+                result_timeline = getattr(outcome.output, "timeline", None)
+                reduction_s = (
+                    sum(
+                        e.duration_s
+                        for e in result_timeline.events
+                        if e.busy and e.category in ("link", "nic")
+                    )
+                    if result_timeline is not None
+                    else 0.0
+                )
+                compute_span = outcome.exec_s - reduction_s
+                reduction_kind = "collectives"
+        else:
+            reduction_s = 0.0
+            compute_span = outcome.exec_s
+        if reduction_s > 0.0 and placement.cluster is not None:
+            compute_end = exec_start + compute_span
+            resources = placement.cluster.collective_resources(state.timeline)
+            red_start = compute_end
+            for resource in resources:
+                red_start = max(red_start, resource.free_s)
+            if red_start > compute_end:
+                # The collective queued behind another job's on a shared
+                # link/NIC: the whole job completes later.
+                finish = red_start + reduction_s
+            state.timeline.book_together(
+                resources,
+                finish - red_start,
+                ready_s=red_start,
+                label=f"{reduction_kind}:{tag}",
+            )
+        # Hold every participating compute engine to the job's completion
+        # (the devices take part in the collective; nothing else may slot in).
+        for lane in compute_lanes:
+            if finish > lane.free_s:
+                lane.book(
+                    finish - lane.free_s,
+                    ready_s=lane.free_s,
+                    label=f"barrier:{tag}",
+                    busy=False,
+                )
+        for slot in slots:
+            state.jobs[slot] += 1
 
         return JobResult(
-            job=entry.job,
+            job=job,
             status=JobStatus.COMPLETED,
             output=outcome.output,
             device_slots=slots,
@@ -575,7 +707,7 @@ class Scheduler:
             exec_s=outcome.exec_s,
             stage_start_s=stage_start,
             exec_start_s=exec_start,
-            finish_s=exec_end,
+            finish_s=finish,
             block_size=placement.block_size,
             threadlen=placement.threadlen,
             placement=placement,
