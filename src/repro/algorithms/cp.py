@@ -22,7 +22,7 @@ matching Figure 10's breakdown.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
@@ -33,12 +33,12 @@ from repro.cpusim.cpu import CPU_I7_5820K, CpuSpec
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.csf import CSFTensor
 from repro.formats.mode_encoding import OperationKind
-from repro.gpusim.cluster import ClusterLike, resolve_cluster
+from repro.gpusim.cluster import ClusterLike, MultiNodeClusterSpec, NodeFailure, resolve_cluster
 from repro.gpusim.device import DeviceSpec, TITAN_X
 from repro.gpusim.timeline import Timeline, device_compute_key
 from repro.kernels.baselines.splatt import splatt_csf_mode_order, splatt_mttkrp
 from repro.kernels.common import MTTKRPResult
-from repro.kernels.unified.sharded import ShardedTimeline
+from repro.kernels.unified.sharded import RecoveryPlan, ShardedTimeline, plan_node_recovery
 from repro.kernels.unified.spmttkrp import spmttkrp_footprint, unified_spmttkrp
 from repro.kernels.unified.streaming import should_stream
 from repro.tensor.random import random_factors
@@ -46,7 +46,14 @@ from repro.tensor.sparse import SparseTensor
 from repro.util.rng import SeedLike
 from repro.util.validation import check_positive_int, check_rank
 
-__all__ = ["CPResult", "cp_als", "CPEngine", "UnifiedGPUEngine", "SplattCPUEngine"]
+__all__ = [
+    "CPResult",
+    "RecoveryRecord",
+    "cp_als",
+    "CPEngine",
+    "UnifiedGPUEngine",
+    "SplattCPUEngine",
+]
 
 
 class CPEngine(Protocol):
@@ -124,6 +131,9 @@ class UnifiedGPUEngine:
         self._timeline = ShardedTimeline(
             self._cluster.num_devices if self._cluster is not None else 1
         )
+        # survivor-local slot -> original physical slot, set by evict_node();
+        # None while no node has been lost.
+        self._slot_map: Optional[Tuple[int, ...]] = None
 
     def prepare(self, tensor: SparseTensor, rank: int) -> float:
         """Encode F-COO for every mode on the host and transfer once to the GPU.
@@ -202,10 +212,61 @@ class UnifiedGPUEngine:
             chunk_nnz=self.chunk_nnz,
             cluster=self._cluster,
         )
-        self._timeline.observe(result.profile)
+        self._timeline.observe(result.profile, slot_map=self._slot_map)
         return result
 
+    def evict_node(self, node_index: int) -> List[RecoveryPlan]:
+        """Drop a failed node and re-partition every mode onto the survivors.
+
+        Called by the decomposition drivers when a
+        :class:`~repro.gpusim.cluster.NodeFailure` fires mid-run.  For each
+        prepared mode encoding a :class:`~repro.kernels.unified.sharded.RecoveryPlan`
+        is computed against the pre-failure topology (what must be re-staged
+        onto each survivor), then the engine switches to the survivor
+        cluster so every subsequent :meth:`mttkrp` shards across it.  The
+        returned plans carry the modeled re-staging cost; booking them on a
+        timeline is the caller's job (the engine itself never books).
+
+        ``node_index`` is interpreted against the engine's *current*
+        topology — after a previous eviction, indices refer to the
+        survivor cluster.
+        """
+        cluster = self._cluster
+        if not isinstance(cluster, MultiNodeClusterSpec):
+            raise RuntimeError(
+                "evict_node() requires a multi-node cluster engine; "
+                f"current cluster is {type(cluster).__name__}"
+            )
+        plans = [
+            plan_node_recovery(
+                self._encodings[mode],
+                cluster,
+                node_index,
+                threadlen=self._params_for(mode)[1],
+            )
+            for mode in sorted(self._encodings)
+        ]
+        local_to_current = cluster.surviving_slots(node_index)
+        previous = self._slot_map
+        # Compose with any earlier eviction so the map always lands on the
+        # original physical slots the decomposition's lanes are keyed by.
+        self._slot_map = tuple(
+            previous[slot] if previous is not None else slot for slot in local_to_current
+        )
+        self._cluster = cluster.without_node(node_index)
+        return plans
+
     # ------------------------------------------------------------------ #
+    @property
+    def slot_map(self) -> Optional[Tuple[int, ...]]:
+        """Survivor-local slot -> original physical slot after a node loss.
+
+        ``None`` while the full topology is intact.  The decomposition
+        drivers use this to keep timeline bookings and per-device ledgers
+        keyed by physical slot across an eviction.
+        """
+        return self._slot_map
+
     @property
     def resolved_cluster(self) -> Optional[ClusterLike]:
         """The cluster MTTKRPs shard across (``None`` in single-GPU mode).
@@ -309,6 +370,37 @@ class SplattCPUEngine:
         return max(compute, memory)
 
 
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """Ledger entry for one mid-run node loss survived by checkpoint/replay.
+
+    Attributes
+    ----------
+    failure:
+        The :class:`~repro.gpusim.cluster.NodeFailure` that fired.
+    iteration:
+        0-based ALS sweep that was interrupted (and then replayed in full
+        from its iteration-boundary checkpoint).
+    mode:
+        Mode boundary at which the loss was detected; the partial sweep up
+        to and including this mode is discarded as wasted work.
+    restage_s:
+        Modeled seconds spent re-staging the failed node's shards onto the
+        survivors (booked on the decomposition timeline's copy lanes).
+    restaged_bytes:
+        Total bytes re-staged across all modes and survivors.
+    survivor_devices:
+        Device count of the topology the run continued on.
+    """
+
+    failure: NodeFailure
+    iteration: int
+    mode: int
+    restage_s: float
+    restaged_bytes: float
+    survivor_devices: int
+
+
 @dataclass
 class CPResult:
     """Result of a CP-ALS run.
@@ -352,6 +444,14 @@ class CPResult:
         The :class:`~repro.gpusim.timeline.Timeline` the decomposition's
         per-mode MTTKRP computes, collectives and dense updates were
         booked on (queryable; Chrome-trace exportable).
+    recoveries:
+        One :class:`RecoveryRecord` per node loss survived mid-run (empty
+        for failure-free runs).
+    recovery_overhead_s:
+        Total modeled re-staging seconds across all recoveries.  The
+        replayed sweeps' compute cost is *not* in here — it lands in the
+        ordinary per-mode ledgers and :attr:`makespan_s` like any other
+        executed work.
     """
 
     factors: List[np.ndarray]
@@ -367,6 +467,8 @@ class CPResult:
     makespan_s: Optional[float] = None
     overlap_modes: bool = False
     timeline: Optional[Timeline] = None
+    recoveries: List[RecoveryRecord] = field(default_factory=list)
+    recovery_overhead_s: float = 0.0
 
     @property
     def total_time_s(self) -> float:
@@ -399,6 +501,7 @@ def cp_als(
     compute_fit: bool = True,
     initial_factors: Optional[Sequence[np.ndarray]] = None,
     overlap_modes: bool = False,
+    chaos: Optional[Sequence[NodeFailure]] = None,
 ) -> CPResult:
     """Run CP-ALS (Algorithm 1) on a sparse tensor.
 
@@ -433,6 +536,24 @@ def cp_als(
         ``CPResult.makespan_s`` moves, and only downward: each mode pays
         ``max(collective, dense)`` instead of their sum.  A single-GPU
         engine has no collective, so the flag is a modeled no-op there.
+    chaos:
+        Optional :class:`~repro.gpusim.cluster.NodeFailure` events to
+        survive.  A failure *fires* at the first mode boundary whose
+        modeled completion time reaches ``failure.time_s`` while the
+        engine shards across a multi-node cluster containing
+        ``failure.node_index`` (indices read against the topology at that
+        moment).  The interrupted sweep's partial work is discarded as
+        wasted time (its bookings stay on the timeline), the failed
+        node's shards are re-staged onto the survivors (modeled on the
+        copy lanes), and the sweep replays in full from its
+        iteration-boundary checkpoint on the survivor topology.  Because
+        the sharded kernels are bit-identical across topologies and
+        CP-ALS draws randomness only at initialisation, the returned
+        factors are bit-identical to the failure-free run's.  Failures
+        that cannot apply (single-GPU engine, out-of-range node) are
+        ignored; ``recover_s`` is ignored here — a decomposition never
+        rebalances back onto a returned node mid-run (the serving layer
+        does reuse recovered nodes for *new* jobs).
 
     Returns
     -------
@@ -480,9 +601,25 @@ def cp_als(
     ]
     kernel_ready = 0.0  # when the next mode's MTTKRP may start
 
+    # Fault tolerance: pending chaos events, the lanes still alive (a
+    # survivor-local kernel slot i maps to physical lane active_lanes[i]),
+    # and the recovery ledger.
+    pending_failures = sorted(chaos or (), key=lambda f: (f.time_s, f.node_index))
+    active_lanes = list(compute_lanes)
+    recoveries: List[RecoveryRecord] = []
+    recovery_overhead_s = 0.0
+
     grams = [f.T @ f for f in factors]
-    for _iteration in range(max_iterations):
-        iterations_run += 1
+    iteration = 0
+    while iteration < max_iterations:
+        # Iteration-boundary checkpoint: everything the sweep mutates.
+        # Together with the (seed, iteration) pair — CP-ALS draws
+        # randomness only at initialisation — this is the complete state
+        # needed to replay the sweep bit-for-bit on any topology.
+        checkpoint_factors = [f.copy() for f in factors]
+        checkpoint_grams = [g.copy() for g in grams]
+        checkpoint_weights = weights.copy()
+        replay = False
         for mode in range(order):
             result = engine.mttkrp(factors, mode)
             mttkrp_time_by_mode[mode] += result.estimated_time_s
@@ -500,12 +637,11 @@ def cp_als(
                 reduce_s = 0.0
                 busy_by_slot = {0: compute_span}
             kernel_start = kernel_ready
-            for lane in compute_lanes:
+            for lane in active_lanes:
                 kernel_start = max(kernel_start, lane.free_s)
-            for slot, lane in enumerate(compute_lanes):
-                busy = busy_by_slot.get(slot, 0.0)
-                if busy > 0.0:
-                    lane.book(busy, ready_s=kernel_start, label=f"mttkrp:mode{mode}")
+            for slot, busy in busy_by_slot.items():
+                if busy > 0.0 and slot < len(active_lanes):
+                    active_lanes[slot].book(busy, ready_s=kernel_start, label=f"mttkrp:mode{mode}")
             kernel_end = kernel_start + compute_span
             reduce_end = kernel_end
             if reduce_s > 0.0 and cluster is not None:
@@ -515,6 +651,55 @@ def cp_als(
                     ready_s=kernel_end,
                     label=f"allreduce:mode{mode}",
                 ).end_s
+
+            # Chaos: did a node die while this mode's work was in flight?
+            # Failures that cannot apply to the current engine/topology are
+            # consumed and ignored.
+            failure = None
+            while pending_failures and pending_failures[0].time_s <= reduce_end:
+                candidate = pending_failures.pop(0)
+                if (
+                    isinstance(cluster, MultiNodeClusterSpec)
+                    and hasattr(engine, "evict_node")
+                    and 0 <= candidate.node_index < cluster.num_nodes
+                ):
+                    failure = candidate
+                    break
+            if failure is not None:
+                # This mode's kernel and collective never delivered: their
+                # bookings stay on the timeline as wasted work.  Discard
+                # the partial sweep, shrink to the survivors, re-stage the
+                # lost shards, and replay the sweep from the checkpoint.
+                plans = engine.evict_node(failure.node_index)
+                cluster = engine.resolved_cluster
+                slot_map = engine.slot_map
+                active_lanes = [compute_lanes[slot] for slot in slot_map]
+                factors = [f.copy() for f in checkpoint_factors]
+                grams = [g.copy() for g in checkpoint_grams]
+                weights = checkpoint_weights.copy()
+                restage_ready = max(reduce_end, failure.time_s)
+                restage_end = restage_ready
+                for plan in plans:
+                    restage_end = plan.book(
+                        timeline,
+                        ready_s=restage_end,
+                        label=f"restage:node{failure.node_index}",
+                    )
+                restage_s = restage_end - restage_ready
+                recovery_overhead_s += restage_s
+                recoveries.append(
+                    RecoveryRecord(
+                        failure=failure,
+                        iteration=iteration,
+                        mode=mode,
+                        restage_s=restage_s,
+                        restaged_bytes=sum(p.total_restaged_bytes for p in plans),
+                        survivor_devices=cluster.num_devices,
+                    )
+                )
+                kernel_ready = restage_end
+                replay = True
+                break
 
             v = np.ones((rank, rank), dtype=np.float64)
             for m in range(order):
@@ -533,12 +718,17 @@ def cp_als(
             # mode still waits for the fully distributed factor
             # (kernel_ready = reduce_end below).
             timeline.book_together(
-                compute_lanes,
+                active_lanes,
                 dense_s,
                 ready_s=kernel_end if overlap_modes else reduce_end,
                 label=f"dense:mode{mode}",
             )
             kernel_ready = reduce_end
+
+        if replay:
+            continue  # same iteration again, from the checkpoint
+        iterations_run += 1
+        iteration += 1
 
         if compute_fit:
             fit = cp_fit(tensor, factors, weights)
@@ -561,4 +751,6 @@ def cp_als(
         makespan_s=timeline.makespan_s,
         overlap_modes=overlap_modes,
         timeline=timeline,
+        recoveries=recoveries,
+        recovery_overhead_s=recovery_overhead_s,
     )

@@ -15,16 +15,18 @@ algorithm and provides the fit metric used by its tests and example.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.algorithms.cp import RecoveryRecord
+from repro.formats.fcoo import FCOOTensor
 from repro.formats.mode_encoding import OperationKind
-from repro.gpusim.cluster import ClusterLike, resolve_cluster
+from repro.gpusim.cluster import ClusterLike, MultiNodeClusterSpec, NodeFailure, resolve_cluster
 from repro.gpusim.device import DeviceSpec, TITAN_X
 from repro.gpusim.timeline import Timeline, device_compute_key
-from repro.kernels.unified.sharded import ShardedTimeline
+from repro.kernels.unified.sharded import ShardedTimeline, plan_node_recovery
 from repro.kernels.unified.spttmc import unified_spttmc
 from repro.tensor.sparse import SparseTensor
 from repro.util.rng import SeedLike, as_rng
@@ -71,6 +73,12 @@ class TuckerResult:
     timeline:
         The :class:`~repro.gpusim.timeline.Timeline` those bookings landed
         on (queryable; Chrome-trace exportable).
+    recoveries:
+        One :class:`~repro.algorithms.cp.RecoveryRecord` per node loss
+        survived mid-run (empty for failure-free runs).
+    recovery_overhead_s:
+        Total modeled re-staging seconds across all recoveries; the
+        replayed sweeps' kernel cost lands in the ordinary ledgers.
     """
 
     core: np.ndarray
@@ -83,6 +91,8 @@ class TuckerResult:
     preproc_time_s: float = 0.0
     makespan_s: Optional[float] = None
     timeline: Optional[Timeline] = None
+    recoveries: List[RecoveryRecord] = field(default_factory=list)
+    recovery_overhead_s: float = 0.0
 
     @property
     def total_time_s(self) -> float:
@@ -108,6 +118,7 @@ def tucker_hooi(
     cluster: Optional[ClusterLike] = None,
     devices: Optional[int] = None,
     preproc_cache: Optional[object] = None,
+    chaos: Optional[Sequence[NodeFailure]] = None,
 ) -> TuckerResult:
     """Tucker decomposition of a sparse tensor via HOOI on the unified kernels.
 
@@ -135,6 +146,17 @@ def tucker_hooi(
         cache instead of re-encoding the tensor inside the kernel — within
         one decomposition every sweep past the first hits, and across
         serving jobs repeat tenants share the entries.
+    chaos:
+        Optional :class:`~repro.gpusim.cluster.NodeFailure` events to
+        survive, with the same semantics as :func:`~repro.algorithms.cp.cp_als`:
+        a failure fires at the first TTMc boundary whose modeled time
+        reaches it while the run shards across a multi-node cluster
+        containing the node; the interrupted sweep's partial work is
+        discarded as wasted time, the lost shards re-stage onto the
+        survivors, and the sweep replays from its sweep-boundary
+        checkpoint.  HOOI draws randomness only at initialisation, and the
+        sharded kernels are bit-identical across topologies, so the
+        recovered core and factors equal the failure-free run's exactly.
     """
     if tensor.nnz == 0:
         raise ValueError("cannot decompose an all-zero tensor")
@@ -178,6 +200,11 @@ def tucker_hooi(
     ]
 
     preproc_time = 0.0
+    pending_failures = sorted(chaos or (), key=lambda f: (f.time_s, f.node_index))
+    recoveries: List[RecoveryRecord] = []
+    recovery_overhead_s = 0.0
+    # survivor-local slot -> original physical slot; None while intact.
+    slot_map: Optional[Tuple[int, ...]] = None
 
     def run_ttmc(ttmc_mode: int):
         nonlocal preproc_time
@@ -196,13 +223,14 @@ def tucker_hooi(
             threadlen=threadlen,
             cluster=multi,
         )
-        timeline.observe(result.profile)
+        timeline.observe(result.profile, slot_map=slot_map)
         execution = getattr(result.profile, "sharded", None)
         if execution is not None:
             execution.book(
                 unified_timeline,
                 ready_s=unified_timeline.makespan_s,
                 label=f"spttmc:mode{ttmc_mode}",
+                slot_map=slot_map,
             )
         else:
             compute_lanes[0].book(
@@ -210,26 +238,108 @@ def tucker_hooi(
             )
         return result
 
-    for _iteration in range(max_iterations):
-        iterations_run += 1
+    def pop_applicable_failure() -> Optional[NodeFailure]:
+        """Consume chaos events the modeled clock has passed; return the
+        first one that applies to the current topology (others are
+        ignored, as in :func:`~repro.algorithms.cp.cp_als`)."""
+        now = unified_timeline.makespan_s
+        while pending_failures and pending_failures[0].time_s <= now:
+            candidate = pending_failures.pop(0)
+            if (
+                isinstance(multi, MultiNodeClusterSpec)
+                and 0 <= candidate.node_index < multi.num_nodes
+            ):
+                return candidate
+        return None
+
+    def recover(failure: NodeFailure, iteration: int, mode: int) -> None:
+        """Evict the failed node, book the re-staging, record the ledger.
+
+        The caller restores the sweep-boundary checkpoint and replays.
+        """
+        nonlocal multi, slot_map, recovery_overhead_s
+        assert isinstance(multi, MultiNodeClusterSpec)
+        # Plan per-mode: each mode's SpTTMc encoding is a distinct
+        # device-resident stream whose lost shards must re-stage.  The
+        # plans are computed from fresh encodings (pure host math) so the
+        # preprocessing cache's hit/miss ledger is not perturbed.
+        plans = [
+            plan_node_recovery(
+                FCOOTensor.from_sparse(tensor, OperationKind.SPTTMC, m),
+                multi,
+                failure.node_index,
+                threadlen=threadlen,
+            )
+            for m in range(order)
+        ]
+        local_to_current = multi.surviving_slots(failure.node_index)
+        previous = slot_map
+        slot_map = tuple(
+            previous[slot] if previous is not None else slot for slot in local_to_current
+        )
+        multi = multi.without_node(failure.node_index)
+        restage_ready = max(unified_timeline.makespan_s, failure.time_s)
+        restage_end = restage_ready
+        for plan in plans:
+            restage_end = plan.book(
+                unified_timeline,
+                ready_s=restage_end,
+                label=f"restage:node{failure.node_index}",
+            )
+        restage_s = restage_end - restage_ready
+        recovery_overhead_s += restage_s
+        recoveries.append(
+            RecoveryRecord(
+                failure=failure,
+                iteration=iteration,
+                mode=mode,
+                restage_s=restage_s,
+                restaged_bytes=sum(p.total_restaged_bytes for p in plans),
+                survivor_devices=multi.num_devices,
+            )
+        )
+
+    iteration = 0
+    while iteration < max_iterations:
+        # Sweep-boundary checkpoint: the factors are the whole mutable
+        # numeric state (HOOI draws randomness only at initialisation), so
+        # replaying from here on any topology reproduces the sweep exactly.
+        checkpoint_factors = [f.copy() for f in factors]
+        replay = False
         for mode in range(order):
             result = run_ttmc(mode)
             ttmc_time_by_mode[mode] += result.estimated_time_s
+            failure = pop_applicable_failure()
+            if failure is not None:
+                # The interrupted TTMc's bookings stay as wasted work.
+                recover(failure, iteration, mode)
+                factors = [f.copy() for f in checkpoint_factors]
+                replay = True
+                break
             y = result.output  # (I_mode, prod_{m != mode} R_m)
             # New factor: leading left singular vectors of Y.
             u, _s, _vt = np.linalg.svd(y, full_matrices=False)
             factors[mode] = u[:, : ranks[mode]]
+        if replay:
+            continue  # same sweep again, from the checkpoint
 
         # Core (in mode-0 unfolded form) from the final mode-0 TTMc of the
         # sweep projected onto the mode-0 factor.
         final = run_ttmc(0)
         ttmc_time_by_mode[0] += final.estimated_time_s
+        failure = pop_applicable_failure()
+        if failure is not None:
+            recover(failure, iteration, 0)
+            factors = [f.copy() for f in checkpoint_factors]
+            continue
         core_unfolded = factors[0].T @ final.output
         core_norm = float(np.linalg.norm(core_unfolded))
         # For orthonormal factors ||X - X̂||² = ||X||² - ||G||².
         residual_sq = max(x_norm**2 - core_norm**2, 0.0)
         fit = 1.0 - float(np.sqrt(residual_sq)) / x_norm
         fits.append(fit)
+        iterations_run += 1
+        iteration += 1
         if abs(fit - previous_fit) < tolerance:
             break
         previous_fit = fit
@@ -248,6 +358,8 @@ def tucker_hooi(
         preproc_time_s=preproc_time,
         makespan_s=unified_timeline.makespan_s,
         timeline=unified_timeline,
+        recoveries=recoveries,
+        recovery_overhead_s=recovery_overhead_s,
     )
 
 

@@ -61,6 +61,7 @@ ARTIFACT_FILES = {
     "streaming": "BENCH_streaming.json",
     "serving": "BENCH_serving.json",
     "timeline": "BENCH_timeline.json",
+    "faults": "BENCH_faults.json",
 }
 
 
@@ -225,6 +226,108 @@ def _timeline_metrics() -> Dict[str, float]:
     return metrics
 
 
+def _faults_metrics() -> Dict[str, float]:
+    """Fault-tolerance suite: checkpoint/replay under seeded node loss.
+
+    Three scenarios pin the tentpole property — a run that loses a node
+    mid-flight must produce *bit-identical* numerics to its failure-free
+    twin, at a modeled recovery cost:
+
+    * **CP-ALS / Tucker-HOOI** — a two-node sharded decomposition with one
+      node killed mid-sweep.  ``faults/identity_violation_count`` counts
+      any factor/weight/core array that is not ``np.array_equal`` to the
+      failure-free run's (zero tolerance: any increase fails), and
+      ``faults/recovery_cost_missing_count`` fires when a recovery was
+      recorded with no positive modeled restage cost — recovery must never
+      be free.  ``faults/cp_recovery_overhead_ratio`` records the
+      recovered-over-clean makespan ratio; note it may be *below* 1 — the
+      survivor topology drops the slow NIC collective — so it is tracked
+      with the ordinary ratio tolerance, never asserted > 1.
+    * **serving** — the 40-job multi-node workload with one seeded node
+      loss.  ``faults/serve_lost_jobs_count`` (zero tolerance) is the
+      number of jobs the chaos run completed *fewer* than the clean run —
+      a node loss may delay work, never lose it — and
+      ``faults/serve_requeued_jobs`` tracks the re-queue volume.
+    """
+    import numpy as np
+
+    from repro.algorithms.cp import UnifiedGPUEngine, cp_als
+    from repro.algorithms.tucker import tucker_hooi
+    from repro.gpusim.cluster import ETHERNET_10G, MultiNodeClusterSpec, NodeFailure
+    from repro.tensor.random import random_sparse_tensor
+
+    def two_nodes() -> MultiNodeClusterSpec:
+        return MultiNodeClusterSpec.homogeneous(
+            num_nodes=2, devices_per_node=2, nic=ETHERNET_10G
+        )
+
+    metrics: Dict[str, float] = {}
+    identity_violations = 0
+    missing_cost = 0
+    tensor = random_sparse_tensor((300, 40, 30), 6_000, seed=11)
+
+    clean_cp = cp_als(
+        tensor,
+        8,
+        engine=UnifiedGPUEngine(cluster=two_nodes()),
+        max_iterations=3,
+        compute_fit=False,
+    )
+    failure = NodeFailure(time_s=clean_cp.makespan_s * 0.4, node_index=0)
+    faulty_cp = cp_als(
+        tensor,
+        8,
+        engine=UnifiedGPUEngine(cluster=two_nodes()),
+        max_iterations=3,
+        compute_fit=False,
+        chaos=[failure],
+    )
+    identity_violations += sum(
+        not np.array_equal(a, b)
+        for a, b in zip(clean_cp.factors, faulty_cp.factors)
+    )
+    identity_violations += not np.array_equal(clean_cp.weights, faulty_cp.weights)
+    missing_cost += not (
+        faulty_cp.recoveries and faulty_cp.recovery_overhead_s > 0.0
+    )
+    metrics["faults/cp_restage"] = faulty_cp.recovery_overhead_s
+    metrics["faults/cp_recovered_makespan"] = faulty_cp.makespan_s
+    metrics["faults/cp_recovery_overhead_ratio"] = (
+        faulty_cp.makespan_s / clean_cp.makespan_s
+    )
+
+    clean_tk = tucker_hooi(
+        tensor, (6, 6, 6), cluster=two_nodes(), max_iterations=2
+    )
+    tk_failure = NodeFailure(time_s=clean_tk.makespan_s * 0.4, node_index=1)
+    faulty_tk = tucker_hooi(
+        tensor, (6, 6, 6), cluster=two_nodes(), max_iterations=2, chaos=[tk_failure]
+    )
+    identity_violations += sum(
+        not np.array_equal(a, b)
+        for a, b in zip(clean_tk.factors, faulty_tk.factors)
+    )
+    identity_violations += not np.array_equal(clean_tk.core, faulty_tk.core)
+    missing_cost += not (
+        faulty_tk.recoveries and faulty_tk.recovery_overhead_s > 0.0
+    )
+    metrics["faults/tucker_restage"] = faulty_tk.recovery_overhead_s
+
+    clean_serve = run_serving(num_jobs=40, seed=0, nodes=2)
+    # chaos_seed=4 draws a failure instant that catches jobs in flight on
+    # node 0, so the re-queue path is genuinely exercised (requeues > 0).
+    chaos_serve = run_serving(num_jobs=40, seed=0, nodes=2, chaos_seed=4, fail_node=0)
+    metrics["faults/serve_lost_jobs_count"] = float(
+        max(0, len(clean_serve.completed) - len(chaos_serve.completed))
+    )
+    metrics["faults/serve_requeued_jobs"] = float(chaos_serve.requeued_jobs)
+    metrics["faults/serve_chaos_makespan"] = chaos_serve.makespan_s
+
+    metrics["faults/identity_violation_count"] = float(identity_violations)
+    metrics["faults/recovery_cost_missing_count"] = float(missing_cost)
+    return metrics
+
+
 def collect_metrics() -> Dict[str, Dict[str, float]]:
     """All regression metrics, grouped by suite (simulated seconds)."""
     return {
@@ -233,6 +336,7 @@ def collect_metrics() -> Dict[str, Dict[str, float]]:
         "streaming": _streaming_metrics(),
         "serving": _serving_metrics(),
         "timeline": _timeline_metrics(),
+        "faults": _faults_metrics(),
     }
 
 

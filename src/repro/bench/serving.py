@@ -19,8 +19,10 @@ from repro.gpusim.cluster import ClusterLike
 from repro.serve.cache import PreprocCache
 from repro.serve.engine import ServingEngine, ServingReport
 from repro.serve.workload import (
+    ChaosSpec,
     WorkloadSpec,
     default_multinode_serving_cluster,
+    generate_chaos,
     generate_workload,
 )
 
@@ -42,6 +44,9 @@ def run_serving(
     max_batch: int = 4,
     max_queue_depth: Optional[int] = None,
     cache_capacity_bytes: Optional[int] = None,
+    chaos_seed: Optional[int] = None,
+    fail_node: Optional[int] = None,
+    recover_after_s: Optional[float] = None,
 ) -> ServingReport:
     """Serve a seeded synthetic workload and return the full report.
 
@@ -67,6 +72,15 @@ def run_serving(
         Reuse tuned launch parameters through the preprocessing cache.
     max_batch / max_queue_depth / cache_capacity_bytes:
         Scheduler batching bound, admission queue bound, and cache budget.
+    chaos_seed / fail_node / recover_after_s:
+        Seeded chaos layer: with ``chaos_seed`` set, one node-loss event is
+        drawn (:func:`~repro.serve.workload.generate_chaos`) inside the
+        workload's arrival window and injected into the run — the
+        scheduler tears down jobs in flight on the dead node and re-admits
+        them on survivors.  ``fail_node`` pins the victim node instead of
+        drawing it; ``recover_after_s`` returns the node to the placement
+        pool that long after the failure.  Chaos draws from its own RNG
+        stream, so the job list is identical to the failure-free run.
     """
     cross_node_every = 0
     if nodes is not None and nodes >= 2:
@@ -81,10 +95,26 @@ def run_serving(
         max_queue_depth=max_queue_depth,
         autotune=autotune,
     )
-    return engine.run(
-        generate_workload(
-            WorkloadSpec(
-                num_jobs=num_jobs, seed=seed, cross_node_every=cross_node_every
-            )
-        )
+    jobs = generate_workload(
+        WorkloadSpec(num_jobs=num_jobs, seed=seed, cross_node_every=cross_node_every)
     )
+    chaos = None
+    if chaos_seed is not None:
+        num_targets = (
+            nodes
+            if nodes is not None and nodes >= 2
+            else engine.cluster.num_devices
+        )
+        # Strike inside the arrival window, so jobs are still in flight.
+        window_s = max((j.arrival_s for j in jobs), default=0.0) or 1e-3
+        chaos = generate_chaos(
+            ChaosSpec(
+                seed=chaos_seed,
+                num_failures=1,
+                window_s=window_s,
+                fail_node=fail_node,
+                recover_after_s=recover_after_s,
+            ),
+            num_nodes=num_targets,
+        )
+    return engine.run(jobs, chaos=chaos)

@@ -10,6 +10,9 @@ Usage::
     python -m repro serve --jobs 100     # multi-tenant serving report
     python -m repro scaling --nodes 4    # multi-node hierarchical scaling
     python -m repro serve --nodes 2      # multi-node serving (NIC tier)
+    python -m repro serve --nodes 2 --chaos-seed 1   # seeded node-loss
+                                              # chaos (jobs re-queued onto
+                                              # the surviving nodes)
     python -m repro serve --trace out.json    # export the serving run's
                                               # timeline as a Chrome trace
     python -m repro scaling --trace out.json  # ditto for a sharded-kernel
@@ -94,7 +97,12 @@ def _render_scaling(args: argparse.Namespace) -> str:
 
 def _render_serve(args: argparse.Namespace) -> str:
     report = run_serving(
-        num_jobs=args.jobs, seed=args.seed, policy=args.policy, nodes=args.nodes or None
+        num_jobs=args.jobs,
+        seed=args.seed,
+        policy=args.policy,
+        nodes=args.nodes or None,
+        chaos_seed=args.chaos_seed,
+        fail_node=args.fail_node,
     )
     parts = [report.render()]
     if args.trace:
@@ -176,6 +184,28 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help=(
+            "for the serve experiment with --nodes >= 2: inject one seeded "
+            "node-loss event mid-run (the scheduler re-queues the victims "
+            "onto surviving nodes); the chaos RNG stream is independent of "
+            "the workload's, so the job list is unchanged"
+        ),
+    )
+    parser.add_argument(
+        "--fail-node",
+        type=int,
+        default=None,
+        metavar="NODE",
+        help=(
+            "pin the --chaos-seed failure to this node index instead of "
+            "drawing the victim from the chaos stream"
+        ),
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -210,6 +240,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"unknown experiment(s): {', '.join(unknown)}; "
             f"choose from {', '.join(EXPERIMENTS)} or 'all'"
         )
+
+    if args.fail_node is not None and args.chaos_seed is None:
+        parser.error("--fail-node requires --chaos-seed (it pins the drawn failure)")
+    if args.chaos_seed is not None:
+        # Chaos is a multi-node serving feature: a failure needs survivor
+        # nodes to re-admit the victims on.
+        if "serve" not in requested:
+            parser.error("--chaos-seed only applies to the 'serve' experiment")
+        if args.nodes < 2:
+            parser.error(
+                "--chaos-seed requires --nodes >= 2 (a node loss needs "
+                "surviving nodes to re-queue onto)"
+            )
 
     if args.trace:
         # --trace belongs to exactly one timeline-producing experiment per

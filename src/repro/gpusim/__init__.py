@@ -60,15 +60,18 @@ from repro.gpusim.memory import (
 )
 from repro.gpusim.atomics import atomic_contention_factor, atomic_cost_ops
 from repro.gpusim.scan import segment_reduce, segmented_scan_counters
-from repro.gpusim.streams import ChunkTiming, StreamSchedule, pipeline_time, schedule_chunks
 from repro.gpusim.timeline import (
     Booking,
+    ChunkTiming,
     GangBooking,
     Resource,
     SimClock,
+    StreamSchedule,
     Timeline,
     device_compute_key,
     device_copy_key,
+    pipeline_time,
+    schedule_chunks,
 )
 from repro.gpusim.timing import estimate_kernel_time, OutOfDeviceMemory, check_device_fit
 

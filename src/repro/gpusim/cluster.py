@@ -59,6 +59,7 @@ __all__ = [
     "ClusterSpec",
     "NodeSpec",
     "MultiNodeClusterSpec",
+    "NodeFailure",
     "ClusterLike",
     "PCIE3_P2P",
     "NVLINK1",
@@ -118,6 +119,41 @@ ETHERNET_10G = InterconnectSpec("10 GbE NIC", 1.25e9, 50e-6)
 #: latency — the fast inter-node tier of an HPC cluster, still no faster
 #: than intra-node PCIe P2P and far below NVLink.
 INFINIBAND_EDR = InterconnectSpec("InfiniBand EDR NIC", 12.5e9, 1.5e-6)
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """A timeline-scheduled loss (and optional return) of one node.
+
+    The failure-domain event of the fault-tolerance layer: at simulated
+    time ``time_s`` node ``node_index`` of a
+    :class:`MultiNodeClusterSpec` drops out, taking its device slots, its
+    intra-node link and its NIC lane with it.  When ``recover_s`` is set
+    the node returns to service at that time (already-recovered work is
+    not migrated back; the node simply becomes placeable again).
+
+    Lives in the cluster model — not the serving layer — because the
+    decomposition drivers (``cp_als`` / ``tucker_hooi``) consume these
+    events directly; :func:`repro.serve.workload.generate_chaos` is the
+    seeded generator that produces them.
+    """
+
+    time_s: float
+    node_index: int
+    recover_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError(f"time_s must be non-negative, got {self.time_s}")
+        if self.node_index < 0:
+            raise ValueError(
+                f"node_index must be non-negative, got {self.node_index}"
+            )
+        if self.recover_s is not None and self.recover_s <= self.time_s:
+            raise ValueError(
+                f"recover_s must follow time_s, got recover_s={self.recover_s} "
+                f"<= time_s={self.time_s}"
+            )
 
 
 @dataclass(frozen=True)
@@ -665,6 +701,43 @@ class MultiNodeClusterSpec:
             start += node.num_devices
         total = sum(node_scores)
         return tuple(score / total for score in node_scores)
+
+    def without_node(self, node_index: int) -> "ClusterLike":
+        """The survivor topology after losing node ``node_index``.
+
+        Drops the node (its devices, intra-node link and NIC lane) and
+        returns the remaining cluster; with exactly one node left the
+        result collapses to that node's plain :class:`ClusterSpec` — the
+        survivor has no NIC tier to model, matching
+        :func:`collapse_cluster` semantics everywhere else.
+        """
+        if not 0 <= node_index < self.num_nodes:
+            raise ValueError(
+                f"node_index must be in [0, {self.num_nodes}), got {node_index}"
+            )
+        if self.num_nodes == 1:
+            raise ValueError("cannot drop the only node of a cluster")
+        survivors = tuple(
+            node for i, node in enumerate(self.nodes) if i != node_index
+        )
+        return collapse_cluster(
+            MultiNodeClusterSpec(
+                nodes=survivors,
+                nic=self.nic,
+                name=f"{self.name} [-node{node_index}]",
+            )
+        )
+
+    def surviving_slots(self, node_index: int) -> Tuple[int, ...]:
+        """Original flat slots that survive the loss of node ``node_index``.
+
+        Survivor-local slot ``i`` (the indexing of
+        :meth:`without_node`'s result) corresponds to original flat slot
+        ``surviving_slots(node_index)[i]`` — the mapping recovery logic
+        uses to keep booking the correct physical lanes after a failure.
+        """
+        failed = set(self.node_slots(node_index))
+        return tuple(s for s in range(self.num_devices) if s not in failed)
 
     def validate(self) -> None:
         """Re-assert consistency of every node and the NIC."""

@@ -21,6 +21,8 @@ property harness in ``tests/test_timeline.py`` proves it).
 
 from __future__ import annotations
 
+import warnings
+
 from repro.gpusim.timeline import (
     ChunkTiming,
     StreamSchedule,
@@ -29,3 +31,12 @@ from repro.gpusim.timeline import (
 )
 
 __all__ = ["ChunkTiming", "StreamSchedule", "schedule_chunks", "pipeline_time"]
+
+# Module-level so the warning fires exactly once per import of this path
+# (Python caches the module; re-imports are free and silent).
+warnings.warn(
+    "repro.gpusim.streams is deprecated; import ChunkTiming, StreamSchedule, "
+    "schedule_chunks and pipeline_time from repro.gpusim.timeline instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -200,11 +200,18 @@ class Resource:
         return booking
 
     def utilization(self, makespan_s: Optional[float] = None) -> float:
-        """Busy fraction of ``makespan_s`` (the timeline's by default)."""
+        """Busy fraction of ``makespan_s`` (the timeline's by default).
+
+        Deliberately *unclamped*: a serial resource's busy time can never
+        legitimately exceed the span it was booked within, so a value
+        above 1 is an accounting bug (double-booked busy seconds) that a
+        ``min(1.0, ...)`` would silently mask.  See
+        :meth:`Timeline.violations`.
+        """
         span = self._timeline.makespan_s if makespan_s is None else makespan_s
         if span <= 0.0:
             return 0.0
-        return min(1.0, self.busy_s / span)
+        return self.busy_s / span
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -337,6 +344,24 @@ class Timeline:
             r.key: r.utilization(span)
             for r in self._resources.values()
             if category is None or r.category == category
+        }
+
+    def violations(self, *, makespan_s: Optional[float] = None) -> Dict[str, float]:
+        """Resources whose busy time exceeds the span they were booked in.
+
+        A serial resource accumulates busy seconds only through bookings
+        that fit inside the makespan, so ``busy_s > makespan`` is an
+        over-booking bug (double-counted busy time), never a legitimate
+        state.  Returns ``{key: busy_s - span}`` for every offender — an
+        empty dict on a healthy timeline.  A tiny relative epsilon absorbs
+        float summation noise across many bookings.
+        """
+        span = self.makespan_s if makespan_s is None else makespan_s
+        tolerance = 1e-9 * max(span, 1.0)
+        return {
+            r.key: r.busy_s - span
+            for r in self._resources.values()
+            if r.busy_s > span + tolerance
         }
 
     def events_for(

@@ -25,9 +25,13 @@ ledger but not charged to the kernel makespan.  A shard that falls back to
 streaming re-ships its chunks every execution and is charged exactly as the
 single-device streamed path would be.
 
-Numeric outputs are identical (up to floating-point summation order at
-shard-straddling segments) to the one-shot kernels; ``tests/test_sharded.py``
-is the property harness proving it across 1/2/4 devices.
+Numeric outputs are *bit-identical* to the one-shot kernels for every
+cluster shape: the per-segment sums are computed once from the full stream
+in the canonical in-order reduction, and the shards model only time and
+memory.  ``tests/test_sharded.py`` is the property harness proving it
+across 1/2/4 devices, and mid-run fault recovery (checkpoint/replay on the
+survivor topology) relies on it for recovered-run == failure-free-run
+factor identity.
 """
 
 from __future__ import annotations
@@ -42,7 +46,7 @@ from repro.gpusim.cluster import ClusterLike, MultiNodeClusterSpec
 from repro.gpusim.counters import KernelCounters, KernelProfile
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.launch import LaunchConfig
-from repro.gpusim.timeline import Timeline, device_compute_key
+from repro.gpusim.timeline import Timeline, device_compute_key, device_copy_key
 from repro.gpusim.timing import profile_from_counters
 from repro.kernels.unified._model import (
     unified_device_footprint,
@@ -60,8 +64,11 @@ __all__ = [
     "ShardLedger",
     "ShardedExecution",
     "ShardedTimeline",
+    "RecoveryPlan",
     "partition_shards",
     "partition_shards_hierarchical",
+    "partition_for_cluster",
+    "plan_node_recovery",
     "execute_sharded",
     "sharded_unified_kernel",
 ]
@@ -194,6 +201,148 @@ def partition_shards_hierarchical(
     return _chunks_from_allocation(fcoo, alloc, threadlen)
 
 
+def partition_for_cluster(
+    fcoo: FCOOTensor,
+    cluster: ClusterLike,
+    *,
+    threadlen: int = 1,
+) -> List[FCOOChunk]:
+    """The shard partition ``execute_sharded`` uses for ``cluster``.
+
+    Topology-aware (:func:`partition_shards_hierarchical`) for a
+    :class:`~repro.gpusim.cluster.MultiNodeClusterSpec`,
+    capability-weighted for a heterogeneous single-node cluster, and the
+    exact even-split fast path for a homogeneous one.  Single-sourced so
+    the recovery planner reasons about precisely the shards a re-executed
+    kernel will use — the partition for a given ``(fcoo, cluster,
+    threadlen)`` is a pure function of its arguments.
+    """
+    if isinstance(cluster, MultiNodeClusterSpec):
+        return partition_shards_hierarchical(fcoo, cluster, threadlen=threadlen)
+    weights = None if cluster.is_homogeneous else cluster.capability_weights()
+    return partition_shards(
+        fcoo, cluster.num_devices, threadlen=threadlen, weights=weights
+    )
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """Re-partitioning plan after the loss of one node mid-run.
+
+    Attributes
+    ----------
+    failed_node:
+        Index of the lost node in the original
+        :class:`~repro.gpusim.cluster.MultiNodeClusterSpec`.
+    survivor_cluster:
+        The topology the re-executed kernels run on
+        (:meth:`~repro.gpusim.cluster.MultiNodeClusterSpec.without_node`).
+    slot_map:
+        Survivor-local device slot ``i`` is original flat slot
+        ``slot_map[i]`` — how recovery bookings land on the correct
+        physical lanes of the shared timeline.
+    restaged_bytes:
+        Host-to-device bytes each survivor must re-stage, in
+        survivor-local slot order: the part of its *new* shard span not
+        already resident from its old span (the failed node's non-zeros
+        redistributed across the survivors, plus any span drift from the
+        re-balanced weights).
+    restage_time_s:
+        Modeled re-staging seconds: the survivors stage concurrently over
+        their own host links, so the slowest transfer gates the phase.
+    """
+
+    failed_node: int
+    survivor_cluster: ClusterLike
+    slot_map: Tuple[int, ...]
+    restaged_bytes: Tuple[float, ...]
+    restage_time_s: float
+
+    @property
+    def total_restaged_bytes(self) -> float:
+        """Aggregate re-staged bytes across every survivor."""
+        return float(sum(self.restaged_bytes))
+
+    def book(
+        self,
+        timeline: Timeline,
+        *,
+        ready_s: float = 0.0,
+        label: str = "restage",
+    ) -> float:
+        """Book the re-staging onto the survivors' copy engines.
+
+        Each survivor's transfer books its *original* slot's copy lane
+        (via :attr:`slot_map`) from a common start; returns the time the
+        last transfer lands — when replay may begin.
+        """
+        end = ready_s
+        for local, nbytes in enumerate(self.restaged_bytes):
+            if nbytes <= 0.0:
+                continue
+            slot = self.slot_map[local]
+            lane = timeline.resource(device_copy_key(slot), category="copy")
+            device = self.survivor_cluster.devices[local]
+            booking = lane.book(
+                nbytes / device.pcie_bandwidth_bytes_per_s,
+                ready_s=ready_s,
+                label=f"{label}:dev{slot}",
+            )
+            end = max(end, booking.end_s)
+        return end
+
+
+def plan_node_recovery(
+    fcoo: FCOOTensor,
+    cluster: MultiNodeClusterSpec,
+    failed_node: int,
+    *,
+    threadlen: int = 1,
+) -> RecoveryPlan:
+    """Plan the re-partitioning of ``fcoo`` after losing ``failed_node``.
+
+    Compares the shard spans of the original topology against the spans
+    of the survivor topology (both through :func:`partition_for_cluster`,
+    so they are exactly what ``execute_sharded`` used and will use): each
+    survivor re-stages the part of its new contiguous span that its old
+    span did not already hold.  Bytes are priced at the encoding's mean
+    storage bytes per non-zero; the survivors' host links transfer
+    concurrently, so the slowest survivor gates
+    :attr:`RecoveryPlan.restage_time_s`.
+    """
+    survivor = cluster.without_node(failed_node)
+    slot_map = cluster.surviving_slots(failed_node)
+    old_shards = partition_for_cluster(fcoo, cluster, threadlen=threadlen)
+    new_shards = partition_for_cluster(fcoo, survivor, threadlen=threadlen)
+    bytes_per_nnz = (
+        float(fcoo.storage_bytes(threadlen)) / fcoo.nnz if fcoo.nnz else 0.0
+    )
+    restaged: List[float] = [0.0] * survivor.num_devices
+    restage_time = 0.0
+    for local, chunk in enumerate(new_shards):
+        if chunk.nnz == 0:
+            continue
+        original_slot = slot_map[local]
+        if original_slot < len(old_shards):
+            old_chunk = old_shards[original_slot]
+            overlap = max(
+                0, min(chunk.stop, old_chunk.stop) - max(chunk.start, old_chunk.start)
+            )
+        else:
+            overlap = 0
+        nbytes = (chunk.nnz - overlap) * bytes_per_nnz
+        restaged[local] = nbytes
+        device = survivor.devices[local]
+        restage_time = max(restage_time, nbytes / device.pcie_bandwidth_bytes_per_s)
+    return RecoveryPlan(
+        failed_node=failed_node,
+        survivor_cluster=survivor,
+        slot_map=slot_map,
+        restaged_bytes=tuple(restaged),
+        restage_time_s=restage_time,
+    )
+
+
 @dataclass(frozen=True)
 class ShardLedger:
     """Counter ledger of one device's shard.
@@ -316,6 +465,7 @@ class ShardedExecution:
         *,
         ready_s: float = 0.0,
         label: str = "sharded-kernel",
+        slot_map: Optional[Sequence[int]] = None,
     ) -> Tuple[float, float]:
         """Book this execution onto a shared timeline; returns ``(start, end)``.
 
@@ -328,9 +478,19 @@ class ShardedExecution:
         in-flight all-reduce on a shared NIC — can only push the end
         later.  This is how the decomposition drivers and the scaling
         trace exporter place kernel executions on the unified timeline.
+
+        ``slot_map`` translates shard slots to physical device slots (a
+        survivor cluster after a node loss numbers its slots locally);
+        without it the shard index itself is the physical slot.
         """
+
+        def physical(slot: int) -> int:
+            if slot_map is not None and slot < len(slot_map):
+                return slot_map[slot]
+            return slot
+
         compute = [
-            timeline.resource(device_compute_key(s.index), category="compute")
+            timeline.resource(device_compute_key(physical(s.index)), category="compute")
             for s in self.shards
         ]
         start = ready_s
@@ -338,7 +498,9 @@ class ShardedExecution:
             start = max(start, resource.free_s)
         for resource, shard in zip(compute, self.shards):
             resource.book(
-                shard.time_s, ready_s=start, label=f"{label}:shard{shard.index}"
+                shard.time_s,
+                ready_s=start,
+                label=f"{label}:shard{physical(shard.index)}",
             )
         compute_end = start + self.max_shard_time_s
         end = compute_end
@@ -368,12 +530,22 @@ class ShardedTimeline:
         self.reduction_time_s = 0.0
         self.makespan_s = 0.0
 
-    def observe(self, profile: KernelProfile) -> None:
-        """Accumulate one kernel profile (single-device profiles are ignored)."""
+    def observe(
+        self, profile: KernelProfile, *, slot_map: Optional[Sequence[int]] = None
+    ) -> None:
+        """Accumulate one kernel profile (single-device profiles are ignored).
+
+        ``slot_map`` translates the execution's local device slots to
+        physical ones — after a node loss the survivor cluster's slot
+        ``i`` is physical slot ``slot_map[i]``, and the accumulated
+        per-device ledger stays keyed by physical slot throughout.
+        """
         execution = getattr(profile, "sharded", None)
         if execution is None:
             return
         for slot, busy in execution.device_times.items():
+            if slot_map is not None and slot < len(slot_map):
+                slot = slot_map[slot]
             self.device_busy_s[slot] = self.device_busy_s.get(slot, 0.0) + busy
         self.reduction_time_s += execution.reduction_time_s
         self.makespan_s += execution.total_time_s
@@ -401,6 +573,7 @@ def execute_sharded(
     reduction: str = "allreduce",
     name: str = "unified-sharded",
     output_width: Optional[int] = None,
+    canonical_sums: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, KernelProfile]:
     """Run a unified kernel shard-by-shard across a cluster and merge.
 
@@ -426,12 +599,23 @@ def execute_sharded(
         Profile name; ``-sharded`` is appended.
     output_width:
         Column count of the per-segment sums when the stream is empty.
+    canonical_sums:
+        Optional pre-computed per-segment sums of the *full* stream in the
+        canonical (single-device, in-order) reduction order.  When given,
+        they are returned as the numeric result instead of the shard-merged
+        partials, making the numbers bit-identical regardless of the shard
+        topology — shard-straddling segments otherwise regroup the
+        floating-point summation at the boundary.  This is the invariant
+        mid-run fault recovery relies on: replaying an iteration on the
+        survivor topology reproduces the failure-free numbers exactly.
+        The per-shard executions still run and supply the timing ledgers.
 
     Returns
     -------
     (segment_sums, profile)
         ``segment_sums`` has shape ``(fcoo.num_segments, width)`` with the
-        merged per-segment reductions (shard-straddling partial segments
+        per-segment reductions (``canonical_sums`` verbatim when given,
+        otherwise the shard-merged partials with shard-straddling segments
         summed); ``profile.sharded`` carries the :class:`ShardedExecution`
         ledger.
     """
@@ -440,19 +624,10 @@ def execute_sharded(
         raise ValueError(
             f"reduction must be 'allreduce', 'boundary' or 'gather', got {reduction!r}"
         )
-    if isinstance(cluster, MultiNodeClusterSpec):
-        # Topology-aware partitioning: nodes own capability-weighted
-        # contiguous spans, devices subdivide within their node, so a
-        # segment can only straddle the NIC at a node-span boundary.
-        shards = partition_shards_hierarchical(fcoo, cluster, threadlen=threadlen)
-    else:
-        # Heterogeneous clusters get capability-weighted shards (proportional
-        # to each member's modeled throughput, so the shards finish together);
-        # a homogeneous cluster keeps the exact even-split fast path.
-        weights = None if cluster.is_homogeneous else cluster.capability_weights()
-        shards = partition_shards(
-            fcoo, cluster.num_devices, threadlen=threadlen, weights=weights
-        )
+    # Topology-aware for a multi-node cluster (nodes own capability-weighted
+    # contiguous spans, devices subdivide within their node), capability-
+    # weighted for a heterogeneous single node, even-split otherwise.
+    shards = partition_for_cluster(fcoo, cluster, threadlen=threadlen)
 
     ledgers: List[ShardLedger] = []
     merged = KernelCounters()
@@ -498,7 +673,9 @@ def execute_sharded(
         merged = merged.merge(profile.counters)
         peak_device_bytes = max(peak_device_bytes, profile.device_memory_bytes)
 
-    if segment_sums is None:
+    if canonical_sums is not None:
+        segment_sums = coerce_segment_sums(canonical_sums, fcoo.num_segments)
+    elif segment_sums is None:
         segment_sums = np.zeros(
             (fcoo.num_segments, output_width if output_width else 1), dtype=np.float64
         )
@@ -600,7 +777,13 @@ def sharded_unified_kernel(
     the caller's ``streamed`` / ``num_streams`` / ``chunk_nnz`` controls
     forwarded unchanged).  All three unified kernels share this driver and
     differ only in the numeric core, widths and reduction kind.
+
+    The numeric result is computed *once* from the full stream in the
+    canonical in-order reduction (exactly what the single-device one-shot
+    kernel produces), so it is bit-identical for every cluster shape — the
+    shards model time and memory, never the numbers.
     """
+    canonical = numeric_core(fcoo)[0] if fcoo.nnz else None
 
     def shard_kernel(shard: FCOOTensor, device: DeviceSpec):
         launch = LaunchConfig.for_nnz(
@@ -649,4 +832,5 @@ def sharded_unified_kernel(
         reduction=reduction,
         name=name,
         output_width=output_width,
+        canonical_sums=canonical,
     )

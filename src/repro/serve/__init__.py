@@ -22,8 +22,9 @@ existing kernels, cluster model and decomposition drivers:
   contend for a shared NIC instead of pricing it as idle;
 * :mod:`~repro.serve.execute` — the pure (job, placement) -> output
   mapping, shared by the scheduler and the bit-identity property harness;
-* :mod:`~repro.serve.workload` — seeded synthetic multi-tenant workloads
-  and the default heterogeneous serving node;
+* :mod:`~repro.serve.workload` — seeded synthetic multi-tenant workloads,
+  the seeded chaos layer (timeline-scheduled node-loss events drawn from
+  their own RNG stream) and the default heterogeneous serving node;
 * :mod:`~repro.serve.engine` — :class:`ServingEngine` tying it together
   and the throughput/latency/utilisation :class:`ServingReport`.
 
@@ -39,8 +40,10 @@ from repro.serve.job import Job, JobKind, JobResult, JobStatus
 from repro.serve.placement import JobGeometry, Placement, Placer, job_geometry
 from repro.serve.scheduler import DeviceTimeline, ScheduleOutcome, Scheduler
 from repro.serve.workload import (
+    ChaosSpec,
     WorkloadSpec,
     default_serving_cluster,
+    generate_chaos,
     generate_workload,
 )
 
@@ -62,6 +65,8 @@ __all__ = [
     "execute_job",
     "WorkloadSpec",
     "generate_workload",
+    "ChaosSpec",
+    "generate_chaos",
     "default_serving_cluster",
     "ServingEngine",
     "ServingReport",

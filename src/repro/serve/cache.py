@@ -130,7 +130,9 @@ class PreprocCache:
         Returns ``(encoding, hit, host_seconds)``: on a hit the encoding
         comes from the cache and costs nothing; on a miss it is built,
         charged ``nnz * ENCODE_SECONDS_PER_NNZ`` host seconds, inserted,
-        and the LRU tail evicted until the budget holds.
+        and the LRU tail evicted until the budget holds.  An encoding
+        larger than ``capacity_bytes`` outright is returned uncached (the
+        miss is counted but nothing is inserted or evicted).
         """
         operation = OperationKind.coerce(operation)
         key = (tensor.content_key, operation.value, int(mode))
@@ -144,6 +146,13 @@ class PreprocCache:
         encoding = FCOOTensor.from_sparse(tensor, operation, mode)
         cost_s = tensor.nnz * ENCODE_SECONDS_PER_NNZ
         nbytes = int(encoding.storage_bytes())
+        if self.capacity_bytes is not None and nbytes > self.capacity_bytes:
+            # An encoding larger than the whole budget can never be held
+            # within it: caching it would pin the cache permanently above
+            # budget and evict every other entry for nothing.  Hand it back
+            # uncached — the miss is already counted, nothing is inserted,
+            # nothing is evicted.
+            return encoding, False, cost_s
         self._encodings[key] = _EncodingEntry(encoding=encoding, bytes=nbytes)
         self._current_bytes += nbytes
         if self.capacity_bytes is not None:

@@ -16,7 +16,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.gpusim.cluster import ClusterLike, MultiNodeClusterSpec, collapse_cluster
+from repro.gpusim.cluster import (
+    ClusterLike,
+    MultiNodeClusterSpec,
+    NodeFailure,
+    collapse_cluster,
+)
 from repro.gpusim.timeline import Timeline, device_compute_key
 from repro.serve.cache import CacheStats, PreprocCache
 from repro.serve.job import Job, JobResult
@@ -40,6 +45,11 @@ class ServingReport:
     #: engines plus the link/NIC resources booked by sharded collectives).
     #: ``None`` only for reports constructed without a scheduler run.
     timeline: Optional[Timeline] = field(default=None, repr=False)
+    #: Chaos node-loss events that fired during the run, in firing order.
+    failures: List[NodeFailure] = field(default_factory=list)
+    #: Total job re-queues caused by node losses (a job torn down twice
+    #: counts twice).
+    requeued_jobs: int = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -192,6 +202,12 @@ class ServingReport:
             f"p99 {format_seconds(self.p99_latency_s)}, "
             f"mean queue wait {format_seconds(self.mean_queue_wait_s)}"
         )
+        if self.failures:
+            recovering = sum(1 for e in self.failures if e.recover_s is not None)
+            lines.append(
+                f"faults: {len(self.failures)} node losses "
+                f"({recovering} with recovery), {self.requeued_jobs} job re-queues"
+            )
         stats = self.cache_stats
         lines.append(
             f"preproc cache: {stats.encode_hits}/{stats.encode_hits + stats.encode_misses} "
@@ -277,16 +293,22 @@ class ServingEngine:
         )
 
     # ------------------------------------------------------------------ #
-    def run(self, jobs: Sequence[Job]) -> ServingReport:
+    def run(
+        self,
+        jobs: Sequence[Job],
+        chaos: Optional[Sequence[NodeFailure]] = None,
+    ) -> ServingReport:
         """Schedule and execute ``jobs``; returns the full report.
 
         The report carries *this run's* cache counters (the shared cache's
         deltas over the run), so a warm second run reports its own — near
         perfect — hit rate, and a later run cannot retroactively change an
-        earlier report.
+        earlier report.  ``chaos`` injects seeded node-loss events (see
+        :meth:`~repro.serve.scheduler.Scheduler.run`); the report records
+        the fired events and the job re-queues they caused.
         """
         before = replace(self.cache.stats)
-        outcome = self.scheduler.run(jobs)
+        outcome = self.scheduler.run(jobs, chaos=chaos)
         return ServingReport(
             cluster=self.cluster,
             policy=self.policy,
@@ -294,9 +316,15 @@ class ServingEngine:
             timelines=outcome.timelines,
             cache_stats=self.cache.stats.since(before),
             timeline=outcome.timeline,
+            failures=outcome.failures,
+            requeued_jobs=outcome.requeued_jobs,
         )
 
-    def run_workload(self, spec: Optional[WorkloadSpec] = None) -> ServingReport:
+    def run_workload(
+        self,
+        spec: Optional[WorkloadSpec] = None,
+        chaos: Optional[Sequence[NodeFailure]] = None,
+    ) -> ServingReport:
         """Generate a seeded synthetic workload and serve it."""
         spec = spec if spec is not None else WorkloadSpec()
-        return self.run(generate_workload(spec))
+        return self.run(generate_workload(spec), chaos=chaos)

@@ -205,6 +205,9 @@ class JobResult:
         with — replaying it through
         :func:`~repro.serve.execute.execute_job` reproduces ``output`` bit
         for bit (the property ``tests/test_serving.py`` asserts).
+    requeues:
+        How many times the job was torn down by a node failure and
+        re-admitted before this (final) run; 0 for an undisturbed job.
     """
 
     job: Job
@@ -226,6 +229,7 @@ class JobResult:
     block_size: int = 128
     threadlen: int = 8
     placement: Any = None
+    requeues: int = 0
 
     @property
     def completed(self) -> bool:

@@ -33,7 +33,7 @@ NIC.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import AbstractSet, FrozenSet, Optional, Sequence, Tuple
 
 from repro.formats.fcoo import FCOOTensor
 from repro.gpusim.cluster import ClusterLike, MultiNodeClusterSpec, collapse_cluster
@@ -257,13 +257,20 @@ class Placer:
         ``threadlen`` partition per in-flight stream."""
         return self.num_streams * self.threadlen * geometry.bytes_per_nnz
 
-    def feasible_slots(self, geometry: JobGeometry) -> Tuple[int, ...]:
-        """Slots whose device can run the job at least in streamed mode."""
+    def feasible_slots(
+        self, geometry: JobGeometry, excluded: AbstractSet[int] = frozenset()
+    ) -> Tuple[int, ...]:
+        """Slots whose device can run the job at least in streamed mode.
+
+        ``excluded`` removes slots from consideration — the scheduler
+        passes the slots of failed nodes so nothing places on a dead
+        device.
+        """
         needed = geometry.resident_bytes + self._min_chunk_bytes(geometry)
         return tuple(
             slot
             for slot, device in enumerate(self.cluster.devices)
-            if needed <= device.global_mem_bytes
+            if slot not in excluded and needed <= device.global_mem_bytes
         )
 
     def _node_local_placement(
@@ -271,6 +278,7 @@ class Placer:
         geometry: JobGeometry,
         compute_free_s: Sequence[float],
         now_s: float,
+        excluded_nodes: AbstractSet[int] = frozenset(),
     ) -> Optional[Placement]:
         """The best single-node sharded placement, or ``None``.
 
@@ -288,6 +296,8 @@ class Placer:
         best: Optional[Tuple[float, int]] = None
         traffic = geometry.footprint_bytes + geometry.output_bytes
         for index, node in enumerate(cluster.nodes):
+            if index in excluded_nodes:
+                continue
             if node.num_devices < 2:
                 continue
             if needed > min(d.global_mem_bytes for d in node.devices):
@@ -322,6 +332,8 @@ class Placer:
         geometry: JobGeometry,
         compute_free_s: Sequence[float],
         now_s: float,
+        excluded_nodes: FrozenSet[int] = frozenset(),
+        excluded_slots: FrozenSet[int] = frozenset(),
     ) -> Placement:
         """Choose the execution site of an admitted job.
 
@@ -331,6 +343,11 @@ class Placer:
         a single node when one can hold the whole job (the collectives
         then never cross the NIC), across the whole cluster otherwise
         (capability-weighted shards, per-device streamed fallback).
+
+        ``excluded_nodes`` / ``excluded_slots`` remove failed nodes (and
+        their flat device slots) from every option: node-local shards skip
+        failed nodes, a cluster-spanning shard runs on the survivor
+        topology, and single-device placements never pick a dead slot.
         """
         cluster = self.cluster
         # Sharding stages the full dense operands on *every* member (only
@@ -345,19 +362,36 @@ class Placer:
             and geometry.footprint_bytes > cluster.max_device_memory_bytes
         ):
             if self.multinode:
-                local = self._node_local_placement(geometry, compute_free_s, now_s)
+                local = self._node_local_placement(
+                    geometry, compute_free_s, now_s, excluded_nodes
+                )
                 if local is not None:
                     return local
             if resident_everywhere:
+                exec_cluster: ClusterLike = cluster
+                flat = list(range(cluster.num_devices))
+                # Drop failed nodes highest-index first so the remaining
+                # node indices stay valid while shrinking.
+                for node in sorted(excluded_nodes, reverse=True):
+                    if (
+                        isinstance(exec_cluster, MultiNodeClusterSpec)
+                        and node < exec_cluster.num_nodes
+                        and exec_cluster.num_nodes > 1
+                    ):
+                        survivors = exec_cluster.surviving_slots(node)
+                        flat = [flat[s] for s in survivors]
+                        exec_cluster = exec_cluster.without_node(node)
                 return Placement(
-                    device_slots=tuple(range(cluster.num_devices)),
-                    cluster=cluster,
+                    device_slots=tuple(flat),
+                    cluster=exec_cluster,
                     block_size=self.block_size,
                     threadlen=self.threadlen,
                 )
-        slots = self.feasible_slots(geometry)
+        slots = self.feasible_slots(geometry, excluded=excluded_slots)
         if not slots:  # admit() keeps this unreachable; defensive
-            slots = tuple(range(cluster.num_devices))
+            slots = tuple(
+                s for s in range(cluster.num_devices) if s not in excluded_slots
+            ) or tuple(range(cluster.num_devices))
         traffic = geometry.footprint_bytes + geometry.output_bytes
         # Prefer devices the job fits on one-shot (a streamed fallback
         # re-ships the encoding every execution); among those, minimise the

@@ -58,7 +58,12 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.formats.fcoo import FCOOTensor
-from repro.gpusim.cluster import ClusterLike, collapse_cluster
+from repro.gpusim.cluster import (
+    ClusterLike,
+    MultiNodeClusterSpec,
+    NodeFailure,
+    collapse_cluster,
+)
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.timeline import (
     Resource,
@@ -122,6 +127,10 @@ class _RunState:
     copy: List[Resource]
     compute: List[Resource]
     jobs: List[int]
+    #: Flat slots / node indices currently down (chaos); new placements
+    #: exclude them until the node's recovery event (if any) fires.
+    failed_slots: set = field(default_factory=set)
+    failed_nodes: set = field(default_factory=set)
 
 
 @dataclass
@@ -134,6 +143,11 @@ class ScheduleOutcome:
     #: compute engines plus the link/NIC resources the sharded jobs'
     #: collectives booked.  Export with ``timeline.write_chrome_trace``.
     timeline: Optional[Timeline] = field(default=None, repr=False)
+    #: Chaos events that fired during the run, in firing order.
+    failures: List[NodeFailure] = field(default_factory=list)
+    #: Total job re-queues: every time a node loss tore an in-flight job
+    #: off its placement and sent it back to the queue.
+    requeued_jobs: int = 0
 
     @property
     def makespan_s(self) -> float:
@@ -368,8 +382,43 @@ class Scheduler:
         return [entry[1] for entry in take]
 
     # ------------------------------------------------------------------ #
-    def run(self, jobs: Sequence[Job]) -> ScheduleOutcome:
-        """Schedule and execute ``jobs``; returns the full ledger."""
+    def _node_slots(self, node_index: int) -> Tuple[int, ...]:
+        """Flat serving-cluster slots a chaos event on ``node_index`` kills.
+
+        On a multi-node cluster the event takes out a whole node; on a
+        flat cluster the "node" index is read as a single device slot.
+        Out-of-range indices map to no slots — the event is inapplicable
+        and ignored, mirroring the decomposition drivers.
+        """
+        cluster = self.cluster
+        if isinstance(cluster, MultiNodeClusterSpec):
+            if 0 <= node_index < cluster.num_nodes:
+                return cluster.node_slots(node_index)
+            return ()
+        if 0 <= node_index < cluster.num_devices:
+            return (node_index,)
+        return ()
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        chaos: Optional[Sequence[NodeFailure]] = None,
+    ) -> ScheduleOutcome:
+        """Schedule and execute ``jobs``; returns the full ledger.
+
+        ``chaos`` injects seeded node-loss events
+        (:class:`~repro.gpusim.cluster.NodeFailure`, e.g. from
+        :func:`~repro.serve.workload.generate_chaos`).  When an event
+        fires, the node's slots stop accepting new placements, and every
+        job whose committed run overlaps the failure instant on a dead
+        slot (``finish_s > time_s``) is torn down: its result is dropped,
+        its bookings stay on the timeline as wasted work, and the job is
+        re-queued (re-preprocessing hits the warm cache) to be re-admitted
+        on surviving slots.  An event's ``recover_s`` returns the node's
+        slots to the placement pool at that time.  Numeric outputs are
+        unaffected — a re-queued job recomputes the same bits on the
+        survivor placement — so chaos perturbs only the schedule.
+        """
         ids = [job.job_id for job in jobs]
         if len(set(ids)) != len(ids):
             raise ValueError("job ids must be unique within one scheduler run")
@@ -394,32 +443,95 @@ class Scheduler:
         availability: Dict[Tuple, float] = {}
         clock = timeline.clock
         batch_seq = 0
+        chaos_events = deque(sorted(chaos or (), key=lambda e: (e.time_s, e.node_index)))
+        #: (recover_s, node_index, slots) for nodes that will come back.
+        pending_recovery: List[Tuple[float, int, Tuple[int, ...]]] = []
+        requeue_counts: Dict[int, int] = {}
+        fired: List[NodeFailure] = []
 
-        while pending or ready:
+        def fire_due(now: float) -> None:
+            """Apply every chaos/recovery event due at ``now``.
+
+            Recoveries apply first so a node failing and recovering at the
+            same instant nets out failed (the failure is the later event).
+            A failure tears down every committed job overlapping it on a
+            dead slot and re-queues it; the victim's bookings stay on the
+            timeline as wasted work.
+            """
+            pending_recovery.sort()
+            while pending_recovery and pending_recovery[0][0] <= now:
+                _, node, slots = pending_recovery.pop(0)
+                state.failed_nodes.discard(node)
+                state.failed_slots.difference_update(slots)
+            while chaos_events and chaos_events[0].time_s <= now:
+                event = chaos_events.popleft()
+                slots = self._node_slots(event.node_index)
+                if not slots:
+                    continue  # inapplicable event (node index out of range)
+                fired.append(event)
+                state.failed_nodes.add(event.node_index)
+                state.failed_slots.update(slots)
+                if event.recover_s is not None:
+                    pending_recovery.append((event.recover_s, event.node_index, slots))
+                dead = set(slots)
+                victims = [
+                    r
+                    for r in results.values()
+                    if r.status is JobStatus.COMPLETED
+                    and r.finish_s > event.time_s
+                    and dead & set(r.device_slots)
+                ]
+                for victim in victims:
+                    job = victim.job
+                    requeue_counts[job.job_id] = requeue_counts.get(job.job_id, 0) + 1
+                    del results[job.job_id]
+                    geometry = job_geometry(job, threadlen=self.placer.threadlen)
+                    entry = self._preprocess(job, geometry, availability)
+                    # Re-admission cannot predate the failure that caused it.
+                    entry.ready_s = max(entry.ready_s, event.time_s)
+                    ready.append((self._queue_key(job), entry))
+
+        while pending or ready or chaos_events:
+            fire_due(clock.now_s)
             self._admit(pending, ready, clock.now_s, results, availability)
+            upcoming = [
+                t
+                for t in (
+                    pending[0].arrival_s if pending else None,
+                    chaos_events[0].time_s if chaos_events else None,
+                    min(pending_recovery)[0] if pending_recovery else None,
+                )
+                if t is not None
+            ]
             if not ready:
-                if not pending:
+                if not upcoming:
                     break
-                clock.advance_to(pending[0].arrival_s)
+                clock.advance_to(max(clock.now_s, min(upcoming)))
                 continue
             # The next staging can begin when some copy engine frees...
             t = max(clock.now_s, min(lane.free_s for lane in state.copy))
-            # ...but arrivals before that instant contend for the queue first.
-            if pending and pending[0].arrival_s <= t:
-                clock.advance_to(pending[0].arrival_s)
+            # ...but arrivals and chaos/recovery events before that instant
+            # reshape the queue (or the placement pool) first.
+            blocker = min(upcoming, default=math.inf)
+            if blocker <= t:
+                clock.advance_to(max(clock.now_s, blocker))
                 continue
             entry = self._pop_best_ready(ready, t)
             if entry is None:
                 # Everyone queued is still preprocessing; advance to the
-                # earliest readiness (or the next arrival).
+                # earliest readiness (or the next arrival/event).
                 next_ready = min(e[1].ready_s for e in ready)
-                next_arrival = pending[0].arrival_s if pending else math.inf
-                clock.advance_to(min(next_ready, next_arrival))
+                clock.advance_to(min(next_ready, blocker))
                 continue
             clock.advance_to(t)
             batch_seq = self._dispatch(entry, t, ready, results, state, batch_seq)
 
-        ordered = [results[job_id] for job_id in sorted(results)]
+        ordered = [
+            replace(results[job_id], requeues=requeue_counts[job_id])
+            if job_id in requeue_counts
+            else results[job_id]
+            for job_id in sorted(results)
+        ]
         timelines = [
             DeviceTimeline(
                 slot=i,
@@ -431,7 +543,13 @@ class Scheduler:
             )
             for i, d in enumerate(self.cluster.devices)
         ]
-        return ScheduleOutcome(results=ordered, timelines=timelines, timeline=timeline)
+        return ScheduleOutcome(
+            results=ordered,
+            timelines=timelines,
+            timeline=timeline,
+            failures=fired,
+            requeued_jobs=sum(requeue_counts.values()),
+        )
 
     # ------------------------------------------------------------------ #
     def _dispatch(
@@ -446,7 +564,12 @@ class Scheduler:
         job = entry.job
         geometry = entry.geometry
         placement = self.placer.place(
-            job, geometry, [lane.free_s for lane in state.compute], t0
+            job,
+            geometry,
+            [lane.free_s for lane in state.compute],
+            t0,
+            excluded_nodes=frozenset(state.failed_nodes),
+            excluded_slots=frozenset(state.failed_slots),
         )
         if entry.launch is not None:
             placement = replace(

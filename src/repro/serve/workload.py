@@ -22,7 +22,7 @@ scaled down by the same reasoning as :func:`repro.bench.scaling.analog_interconn
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -30,17 +30,20 @@ from repro.gpusim.cluster import (
     ClusterSpec,
     InterconnectSpec,
     MultiNodeClusterSpec,
+    NodeFailure,
     NodeSpec,
 )
 from repro.gpusim.device import TITAN_X, scaled_device
 from repro.serve.job import Job, JobKind
 from repro.tensor.random import random_sparse_tensor
 from repro.tensor.sparse import SparseTensor
-from repro.util.validation import check_positive_int
+from repro.util.validation import check_non_negative_int, check_positive_int
 
 __all__ = [
     "WorkloadSpec",
+    "ChaosSpec",
     "generate_workload",
+    "generate_chaos",
     "default_serving_cluster",
     "default_multinode_serving_cluster",
     "SERVE_INTERCONNECT",
@@ -177,7 +180,7 @@ class WorkloadSpec:
     high_priority_fraction: float = 0.15
 
     def __post_init__(self) -> None:
-        check_positive_int(self.num_jobs, "num_jobs")
+        check_non_negative_int(self.num_jobs, "num_jobs")
         check_positive_int(self.num_tenants, "num_tenants")
         check_positive_int(self.pool_tensors, "pool_tensors")
         if self.mean_interarrival_s <= 0:
@@ -330,3 +333,83 @@ def generate_workload(spec: WorkloadSpec) -> List[Job]:
             )
         )
     return jobs
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Seeded node-failure injection for a serving (or decomposition) run.
+
+    The chaos layer draws its events from its *own* RNG stream
+    (``np.random.default_rng(seed)``), completely independent of
+    :func:`generate_workload`'s — enabling chaos never perturbs the job
+    list, so a chaos run and its failure-free twin schedule the exact same
+    work.
+
+    Attributes
+    ----------
+    seed:
+        Seed of the chaos stream.
+    num_failures:
+        How many failure events to draw.
+    window_s:
+        Failure times are uniform in ``(0, window_s)`` — size it to the
+        modeled makespan of the run under attack so the failures land
+        mid-flight.
+    fail_node:
+        Pin every failure to this node index; ``None`` draws the victim
+        uniformly from ``num_nodes``.
+    recover_after_s:
+        When set, each failed node recovers this many modeled seconds
+        after its failure (new work may then place on it again);
+        ``None`` means the node stays down for the rest of the run.
+    """
+
+    seed: int = 0
+    num_failures: int = 1
+    window_s: float = 1e-4
+    fail_node: Optional[int] = None
+    recover_after_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_failures, "num_failures")
+        if self.window_s <= 0.0:
+            raise ValueError(f"window_s must be positive, got {self.window_s}")
+        if self.recover_after_s is not None and self.recover_after_s <= 0.0:
+            raise ValueError(
+                f"recover_after_s must be positive, got {self.recover_after_s}"
+            )
+
+
+def generate_chaos(spec: ChaosSpec, *, num_nodes: int) -> List[NodeFailure]:
+    """Expand a :class:`ChaosSpec` into a sorted list of failure events.
+
+    Deterministic in ``spec.seed``; the stream is independent of the
+    workload generator's, so the same workload can be replayed with and
+    without chaos.
+    """
+    num_nodes = check_positive_int(num_nodes, "num_nodes")
+    if spec.fail_node is not None and not 0 <= spec.fail_node < num_nodes:
+        raise ValueError(
+            f"fail_node must be in [0, {num_nodes}), got {spec.fail_node}"
+        )
+    rng = np.random.default_rng(spec.seed)
+    events = []
+    for _ in range(spec.num_failures):
+        time_s = float(rng.uniform(0.0, spec.window_s))
+        node = (
+            spec.fail_node
+            if spec.fail_node is not None
+            else int(rng.integers(0, num_nodes))
+        )
+        events.append(
+            NodeFailure(
+                time_s=time_s,
+                node_index=node,
+                recover_s=(
+                    time_s + spec.recover_after_s
+                    if spec.recover_after_s is not None
+                    else None
+                ),
+            )
+        )
+    return sorted(events, key=lambda e: (e.time_s, e.node_index))

@@ -17,6 +17,7 @@ __all__ = [
     "check_axis",
     "check_rank",
     "check_positive_int",
+    "check_non_negative_int",
     "normalize_modes",
 ]
 
@@ -31,6 +32,20 @@ def check_positive_int(value: int, name: str) -> int:
     value = int(value)
     if value <= 0:
         raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a non-negative integer and return it as ``int``.
+
+    Like :func:`check_positive_int` but admits zero (e.g. an empty
+    workload is a legitimate serving run).
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
     return value
 
 

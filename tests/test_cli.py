@@ -47,3 +47,33 @@ class TestCli:
             "streaming", "scaling", "serve",
         }
         assert set(EXPERIMENTS) == expected
+
+    def test_serve_zero_jobs(self, capsys):
+        assert main(["serve", "--jobs", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "0 submitted" in out
+        assert "0 completed" in out
+
+    def test_serve_chaos_run(self, capsys):
+        assert main(
+            ["serve", "--jobs", "20", "--nodes", "2", "--chaos-seed", "4"]
+        ) == 0
+        assert "node losses" in capsys.readouterr().out
+
+    def test_chaos_seed_requires_multinode(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--chaos-seed", "1"])
+        assert exc.value.code != 0
+        assert "--nodes >= 2" in capsys.readouterr().err
+
+    def test_chaos_seed_requires_serve(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["table2", "--chaos-seed", "1", "--nodes", "2"])
+        assert exc.value.code != 0
+        assert "serve" in capsys.readouterr().err
+
+    def test_fail_node_requires_chaos_seed(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--nodes", "2", "--fail-node", "0"])
+        assert exc.value.code != 0
+        assert "--chaos-seed" in capsys.readouterr().err

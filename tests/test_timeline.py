@@ -138,6 +138,30 @@ class TestEngine:
         assert isinstance(timeline.events[0], Booking)
         assert isinstance(timeline.resources[0], Resource)
 
+    def test_utilization_unclamped_and_violations(self):
+        timeline = Timeline()
+        lane = timeline.resource("r")
+        lane.book(2.0)
+        assert timeline.utilization("r") == 1.0
+        assert timeline.violations() == {}
+        # Simulate the accounting bug the clamp used to mask: busy seconds
+        # double-counted beyond the booked span must now be visible...
+        lane.busy_s += 5.0
+        assert timeline.utilization("r") == pytest.approx(3.5)
+        # ...and flagged by the violations query.
+        violations = timeline.violations()
+        assert set(violations) == {"r"}
+        assert violations["r"] == pytest.approx(5.0)
+        # explicit span override works the same way
+        assert timeline.violations(makespan_s=10.0) == {}
+
+    def test_real_runs_book_without_violations(self):
+        from repro.bench.serving import run_serving
+
+        report = run_serving(num_jobs=20, seed=0, nodes=2)
+        assert report.timeline is not None
+        assert report.timeline.violations() == {}
+
     def test_sim_clock_monotone(self):
         clock = SimClock()
         assert clock.advance_to(2.0) == 2.0
@@ -173,9 +197,39 @@ class TestImportCompat:
         import repro.gpusim.streams as streams
         import repro.gpusim.timeline as timeline_mod
 
-        for name in ("ChunkTiming", "StreamSchedule", "schedule_chunks", "pipeline_time"):
+        assert set(streams.__all__) == {
+            "ChunkTiming",
+            "StreamSchedule",
+            "schedule_chunks",
+            "pipeline_time",
+        }
+        for name in streams.__all__:
             assert getattr(streams, name) is getattr(timeline_mod, name)
         assert "deprecated" in (streams.__doc__ or "").lower()
+
+    def test_streams_shim_warns_once_per_import(self):
+        import sys
+        import warnings
+
+        # A fresh import of the shim fires the DeprecationWarning exactly
+        # once (it is module-level, so it runs when the module executes)...
+        sys.modules.pop("repro.gpusim.streams", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            import repro.gpusim.streams  # noqa: F401
+
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "repro.gpusim.timeline" in str(deprecations[0].message)
+
+        # ...while re-imports hit the module cache and stay silent.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            import repro.gpusim.streams  # noqa: F401,F811
+
+        assert not [w for w in caught if issubclass(w.category, DeprecationWarning)]
 
     def test_scheduler_surface_unchanged(self):
         from repro.serve.scheduler import DeviceTimeline, ScheduleOutcome, Scheduler
