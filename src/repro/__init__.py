@@ -21,7 +21,14 @@ The package implements:
   (:mod:`repro.serve`): an async job scheduler with admission control and
   batching, capability-aware placement, and a preprocessing cache keyed by
   tensor content — surfaced as :class:`~repro.serve.ServingEngine` and
-  ``python -m repro serve``.
+  ``python -m repro serve``.  SLO-driven serving adds per-job deadlines
+  (:class:`~repro.context.SLO`), a deadline-aware preempting scheduler and
+  a device-pool autoscaler;
+* the unified execution-context API (:mod:`repro.context`):
+  :class:`~repro.context.ExecContext` bundles the execution knobs every
+  kernel and driver shares (streaming, cluster, chaos, caches) behind one
+  frozen ``ctx=`` parameter, with the legacy per-function keyword
+  arguments kept as deprecated aliases.
 
 Quick start
 -----------
@@ -35,6 +42,7 @@ Quick start
 """
 
 from repro._version import __version__
+from repro.context import SLO, ExecContext, TimedResult
 from repro.tensor import (
     SparseTensor,
     khatri_rao,
@@ -94,10 +102,13 @@ from repro.algorithms import (
 from repro.data import load_dataset, DATASETS, read_tns, write_tns
 from repro.autotune import tune_unified
 from repro.serve import (
+    AutoscalerSpec,
     Job,
     JobKind,
     JobResult,
+    PreemptionRecord,
     PreprocCache,
+    ScaleEvent,
     ServingEngine,
     ServingReport,
     WorkloadSpec,
@@ -105,6 +116,10 @@ from repro.serve import (
 
 __all__ = [
     "__version__",
+    # execution context & SLOs
+    "ExecContext",
+    "SLO",
+    "TimedResult",
     # tensor substrate
     "SparseTensor",
     "khatri_rao",
@@ -169,4 +184,7 @@ __all__ = [
     "ServingEngine",
     "ServingReport",
     "WorkloadSpec",
+    "PreemptionRecord",
+    "AutoscalerSpec",
+    "ScaleEvent",
 ]

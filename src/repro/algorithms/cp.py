@@ -23,22 +23,28 @@ matching Figure 10's breakdown.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
 from repro.algorithms.fit import cp_fit
 from repro.algorithms.normalization import normalize_columns
+from repro.context import UNSET, ExecContext, resolve_context
 from repro.cpusim.cpu import CPU_I7_5820K, CpuSpec
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.csf import CSFTensor
 from repro.formats.mode_encoding import OperationKind
 from repro.gpusim.cluster import ClusterLike, MultiNodeClusterSpec, NodeFailure, resolve_cluster
 from repro.gpusim.device import DeviceSpec, TITAN_X
-from repro.gpusim.timeline import Timeline, device_compute_key
+from repro.gpusim.timeline import Timeline, device_compute_key, device_copy_key
 from repro.kernels.baselines.splatt import splatt_csf_mode_order, splatt_mttkrp
 from repro.kernels.common import MTTKRPResult
-from repro.kernels.unified.sharded import RecoveryPlan, ShardedTimeline, plan_node_recovery
+from repro.kernels.unified.sharded import (
+    RecoveryPlan,
+    ShardedTimeline,
+    partition_for_cluster,
+    plan_node_recovery,
+)
 from repro.kernels.unified.spmttkrp import spmttkrp_footprint, unified_spmttkrp
 from repro.kernels.unified.streaming import should_stream
 from repro.tensor.random import random_factors
@@ -110,6 +116,14 @@ class UnifiedGPUEngine:
         same tensor — the multi-tenant serving pattern — skip the host
         preprocessing; the host seconds of cache *misses* are then charged
         into the setup time (they are exactly what a later hit saves).
+    ctx:
+        A :class:`~repro.context.ExecContext` supplying the execution
+        fields above in one bundle.  Explicit legacy kwargs override the
+        matching ``ctx`` fields but are deprecated and warn once each.
+        ``ctx.overlap_staging`` additionally defers resident shard staging
+        out of :meth:`prepare` into per-mode per-device ledgers that
+        :func:`cp_als` books on the copy engines (overlapped with the
+        previous mode's reduction).
     """
 
     device: DeviceSpec = TITAN_X
@@ -123,14 +137,36 @@ class UnifiedGPUEngine:
     devices: Optional[int] = None
     preproc_cache: Optional[object] = None
     name: str = "unified-gpu"
+    ctx: Optional[ExecContext] = None
 
     def __post_init__(self) -> None:
+        resolved = resolve_context(
+            "UnifiedGPUEngine",
+            self.ctx,
+            streamed=self.streamed if self.streamed is not None else UNSET,
+            num_streams=self.num_streams if self.num_streams != 2 else UNSET,
+            chunk_nnz=self.chunk_nnz if self.chunk_nnz is not None else UNSET,
+            cluster=self.cluster if self.cluster is not None else UNSET,
+            devices=self.devices if self.devices is not None else UNSET,
+            preproc_cache=self.preproc_cache if self.preproc_cache is not None else UNSET,
+        )
+        self.ctx = resolved
+        self.streamed = resolved.streamed
+        self.num_streams = resolved.num_streams
+        self.chunk_nnz = resolved.chunk_nnz
+        self.cluster = resolved.cluster
+        self.devices = resolved.devices
+        self.preproc_cache = resolved.preproc_cache
+        self._overlap_staging = resolved.overlap_staging
         self._encodings: Dict[int, FCOOTensor] = {}
         self._tensor: Optional[SparseTensor] = None
         self.device, self._cluster = resolve_cluster(self.device, self.cluster, self.devices)
         self._timeline = ShardedTimeline(
             self._cluster.num_devices if self._cluster is not None else 1
         )
+        # mode -> {device slot: staging seconds} when ctx.overlap_staging
+        # moved resident shard staging out of prepare()'s serial charge.
+        self._deferred_staging: Dict[int, Dict[int, float]] = {}
         # survivor-local slot -> original physical slot, set by evict_node();
         # None while no node has been lost.
         self._slot_map: Optional[Tuple[int, ...]] = None
@@ -169,10 +205,42 @@ class UnifiedGPUEngine:
         # largest shard (~1/N of the stream); the factor matrices go to
         # every device in parallel and are charged once.
         shard_divisor = self._cluster.num_devices if self._cluster is not None else 1
+        self._deferred_staging = {}
+        bandwidth = self.device.pcie_bandwidth_bytes_per_s
         for mode, enc in self._encodings.items():
-            if not self._will_stream(enc, rank):
+            if self._will_stream(enc, rank):
+                continue
+            if self._overlap_staging:
+                # Defer resident shard staging onto the per-device copy
+                # engines: cp_als books each device's shard transfer during
+                # the first sweep, overlapped with the previous mode's
+                # reduction, instead of this serial up-front charge.
+                if self._cluster is not None:
+                    threadlen = self._params_for(mode)[1]
+                    shards = partition_for_cluster(enc, self._cluster, threadlen=threadlen)
+                    self._deferred_staging[mode] = {
+                        slot: float(shard.tensor.storage_bytes(threadlen)) / bandwidth
+                        for slot, shard in enumerate(shards)
+                        if shard.nnz
+                    }
+                else:
+                    self._deferred_staging[mode] = {
+                        0: enc.storage_bytes(self._params_for(mode)[1]) / bandwidth
+                    }
+            else:
                 transfer_bytes += enc.storage_bytes(self._params_for(mode)[1]) / shard_divisor
-        return transfer_bytes / self.device.pcie_bandwidth_bytes_per_s + encode_s
+        return transfer_bytes / bandwidth + encode_s
+
+    @property
+    def deferred_staging(self) -> Dict[int, Dict[int, float]]:
+        """Per-mode per-device shard staging deferred out of :meth:`prepare`.
+
+        Empty unless the engine was built with
+        ``ctx=ExecContext(overlap_staging=True)``; :func:`cp_als` consumes
+        one mode entry per first-sweep mode and books it on the copy
+        engines.
+        """
+        return self._deferred_staging
 
     def _will_stream(self, encoding: FCOOTensor, rank: int) -> bool:
         """The kernel's streamed/one-shot decision, evaluated for one mode.
@@ -207,10 +275,12 @@ class UnifiedGPUEngine:
             device=self.device,
             block_size=block_size,
             threadlen=threadlen,
-            streamed=self.streamed,
-            num_streams=self.num_streams,
-            chunk_nnz=self.chunk_nnz,
-            cluster=self._cluster,
+            ctx=ExecContext(
+                streamed=self.streamed,
+                num_streams=self.num_streams,
+                chunk_nnz=self.chunk_nnz,
+                cluster=self._cluster,
+            ),
         )
         self._timeline.observe(result.profile, slot_map=self._slot_map)
         return result
@@ -452,6 +522,12 @@ class CPResult:
         replayed sweeps' compute cost is *not* in here — it lands in the
         ordinary per-mode ledgers and :attr:`makespan_s` like any other
         executed work.
+    preemptions:
+        Scheduler-level preemptions this run suffered.  A standalone
+        decomposition is never preempted (the list stays empty); the
+        field exists so :class:`CPResult` satisfies the
+        :class:`~repro.context.TimedResult` protocol alongside
+        ``ScheduleOutcome``, whose preemptions are real.
     """
 
     factors: List[np.ndarray]
@@ -469,6 +545,7 @@ class CPResult:
     timeline: Optional[Timeline] = None
     recoveries: List[RecoveryRecord] = field(default_factory=list)
     recovery_overhead_s: float = 0.0
+    preemptions: List[object] = field(default_factory=list)
 
     @property
     def total_time_s(self) -> float:
@@ -500,8 +577,9 @@ def cp_als(
     seed: SeedLike = 0,
     compute_fit: bool = True,
     initial_factors: Optional[Sequence[np.ndarray]] = None,
-    overlap_modes: bool = False,
-    chaos: Optional[Sequence[NodeFailure]] = None,
+    overlap_modes: Any = UNSET,
+    chaos: Any = UNSET,
+    ctx: Optional[ExecContext] = None,
 ) -> CPResult:
     """Run CP-ALS (Algorithm 1) on a sparse tensor.
 
@@ -555,17 +633,33 @@ def cp_als(
         rebalances back onto a returned node mid-run (the serving layer
         does reuse recovered nodes for *new* jobs).
 
+    ctx:
+        A :class:`~repro.context.ExecContext`: supplies ``overlap_modes``
+        and ``chaos`` (the direct kwargs are deprecated aliases that
+        override it and warn once), plus ``overlap_staging`` — book each
+        mode's resident shard staging on the per-device copy engines
+        during the first sweep, overlapped with the previous mode's
+        reduction, instead of charging it serially in engine setup (the
+        factors are bit-identical; only modeled time moves, and only
+        downward).  When no ``engine`` is given, the default
+        :class:`UnifiedGPUEngine` is built from this context, so
+        ``cp_als(x, r, ctx=ExecContext(devices=4))`` is the multi-GPU
+        spelling.
+
     Returns
     -------
     CPResult
     """
+    resolved = resolve_context("cp_als", ctx, overlap_modes=overlap_modes, chaos=chaos)
+    overlap_modes = resolved.overlap_modes
+    chaos = resolved.chaos
     rank = check_rank(rank)
     max_iterations = check_positive_int(max_iterations, "max_iterations")
     if tensor.nnz == 0:
         raise ValueError("cannot decompose an all-zero tensor")
     order = tensor.order
     if engine is None:
-        engine = UnifiedGPUEngine()
+        engine = UnifiedGPUEngine(ctx=resolved)
 
     if initial_factors is not None:
         factors = [np.array(f, dtype=np.float64, copy=True) for f in initial_factors]
@@ -599,6 +693,19 @@ def cp_als(
         timeline.resource(device_compute_key(slot), category="compute")
         for slot in range(num_slots)
     ]
+    # Shard staging the engine deferred out of prepare() (ctx.overlap_staging):
+    # each mode's per-device transfers book the copy engines during the first
+    # sweep, so mode k+1's staging rides the copy lanes while mode k computes
+    # and reduces.  Only the first mode's staging stays on the critical path.
+    deferred_staging = dict(getattr(engine, "deferred_staging", None) or {})
+    copy_lanes = (
+        [
+            timeline.resource(device_copy_key(slot), category="copy")
+            for slot in range(num_slots)
+        ]
+        if deferred_staging
+        else []
+    )
     kernel_ready = 0.0  # when the next mode's MTTKRP may start
 
     # Fault tolerance: pending chaos events, the lanes still alive (a
@@ -621,6 +728,14 @@ def cp_als(
         checkpoint_weights = weights.copy()
         replay = False
         for mode in range(order):
+            stage_end = 0.0
+            staging = deferred_staging.pop(mode, None)
+            if staging:
+                for slot, stage_s in sorted(staging.items()):
+                    if slot < len(copy_lanes):
+                        landed = copy_lanes[slot].book(stage_s, label=f"stage:mode{mode}")
+                        stage_end = max(stage_end, landed.end_s)
+
             result = engine.mttkrp(factors, mode)
             mttkrp_time_by_mode[mode] += result.estimated_time_s
             m_matrix = result.output
@@ -636,7 +751,7 @@ def cp_als(
                 compute_span = result.estimated_time_s
                 reduce_s = 0.0
                 busy_by_slot = {0: compute_span}
-            kernel_start = kernel_ready
+            kernel_start = max(kernel_ready, stage_end)
             for lane in active_lanes:
                 kernel_start = max(kernel_start, lane.free_s)
             for slot, busy in busy_by_slot.items():

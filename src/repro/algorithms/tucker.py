@@ -16,14 +16,15 @@ algorithm and provides the fit metric used by its tests and example.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.algorithms.cp import RecoveryRecord
+from repro.context import UNSET, ExecContext, resolve_context
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.mode_encoding import OperationKind
-from repro.gpusim.cluster import ClusterLike, MultiNodeClusterSpec, NodeFailure, resolve_cluster
+from repro.gpusim.cluster import MultiNodeClusterSpec, NodeFailure, resolve_cluster
 from repro.gpusim.device import DeviceSpec, TITAN_X
 from repro.gpusim.timeline import Timeline, device_compute_key
 from repro.kernels.unified.sharded import ShardedTimeline, plan_node_recovery
@@ -79,6 +80,10 @@ class TuckerResult:
     recovery_overhead_s:
         Total modeled re-staging seconds across all recoveries; the
         replayed sweeps' kernel cost lands in the ordinary ledgers.
+    preemptions:
+        Always empty for a standalone decomposition; present so
+        :class:`TuckerResult` satisfies the
+        :class:`~repro.context.TimedResult` protocol.
     """
 
     core: np.ndarray
@@ -93,6 +98,7 @@ class TuckerResult:
     timeline: Optional[Timeline] = None
     recoveries: List[RecoveryRecord] = field(default_factory=list)
     recovery_overhead_s: float = 0.0
+    preemptions: List[object] = field(default_factory=list)
 
     @property
     def total_time_s(self) -> float:
@@ -115,10 +121,11 @@ def tucker_hooi(
     seed: SeedLike = 0,
     block_size: int = 128,
     threadlen: int = 8,
-    cluster: Optional[ClusterLike] = None,
-    devices: Optional[int] = None,
-    preproc_cache: Optional[object] = None,
-    chaos: Optional[Sequence[NodeFailure]] = None,
+    cluster: Any = UNSET,
+    devices: Any = UNSET,
+    preproc_cache: Any = UNSET,
+    chaos: Any = UNSET,
+    ctx: Optional[ExecContext] = None,
 ) -> TuckerResult:
     """Tucker decomposition of a sparse tensor via HOOI on the unified kernels.
 
@@ -157,7 +164,22 @@ def tucker_hooi(
         checkpoint.  HOOI draws randomness only at initialisation, and the
         sharded kernels are bit-identical across topologies, so the
         recovered core and factors equal the failure-free run's exactly.
+    ctx:
+        A :class:`~repro.context.ExecContext` supplying ``cluster`` /
+        ``devices`` / ``preproc_cache`` / ``chaos`` in one bundle; the
+        direct kwargs above are deprecated aliases that override it and
+        warn once each.
     """
+    resolved = resolve_context(
+        "tucker_hooi",
+        ctx,
+        cluster=cluster,
+        devices=devices,
+        preproc_cache=preproc_cache,
+        chaos=chaos,
+    )
+    cluster, devices = resolved.cluster, resolved.devices
+    preproc_cache, chaos = resolved.preproc_cache, resolved.chaos
     if tensor.nnz == 0:
         raise ValueError("cannot decompose an all-zero tensor")
     order = tensor.order
@@ -221,7 +243,7 @@ def tucker_hooi(
             device=device,
             block_size=block_size,
             threadlen=threadlen,
-            cluster=multi,
+            ctx=ExecContext(cluster=multi),
         )
         timeline.observe(result.profile, slot_map=slot_map)
         execution = getattr(result.profile, "sharded", None)

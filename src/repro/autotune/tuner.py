@@ -15,6 +15,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.context import ExecContext
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.mode_encoding import OperationKind
 from repro.gpusim.cluster import ClusterSpec, InterconnectSpec, PCIE3_P2P
@@ -228,10 +229,12 @@ def tune_unified(
             device=device,
             block_size=int(block_size),
             threadlen=int(threadlen),
-            streamed=streamed,
-            num_streams=int(n_streams),
-            chunk_nnz=None if chunk_nnz is None else int(chunk_nnz),
-            cluster=clusters[int(n_devices)],
+            ctx=ExecContext(
+                streamed=streamed,
+                num_streams=int(n_streams),
+                chunk_nnz=None if chunk_nnz is None else int(chunk_nnz),
+                cluster=clusters[int(n_devices)],
+            ),
         )
         if operation is OperationKind.SPTTM:
             return unified_spttm(fcoo, factors[mode], mode, **kwargs)

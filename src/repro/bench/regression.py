@@ -39,6 +39,7 @@ from repro.bench.scaling import run_scaling, run_weak_scaling
 from repro.bench.serving import run_serving
 from repro.bench.streaming import run_streaming
 from repro.gpusim.timeline import Timeline
+from repro.serve.autoscale import AutoscalerSpec
 
 __all__ = [
     "DEFAULT_BASELINE_DIR",
@@ -62,6 +63,7 @@ ARTIFACT_FILES = {
     "serving": "BENCH_serving.json",
     "timeline": "BENCH_timeline.json",
     "faults": "BENCH_faults.json",
+    "slo": "BENCH_slo.json",
 }
 
 
@@ -170,6 +172,7 @@ def _timeline_metrics() -> Dict[str, float]:
       ``overlap_modes`` stopped overlapping anything.
     """
     from repro.algorithms.cp import UnifiedGPUEngine, cp_als
+    from repro.context import ExecContext
     from repro.gpusim.cluster import ETHERNET_10G, MultiNodeClusterSpec
     from repro.tensor.random import random_sparse_tensor
 
@@ -204,17 +207,17 @@ def _timeline_metrics() -> Dict[str, float]:
     sequential = cp_als(
         tensor,
         16,
-        engine=UnifiedGPUEngine(cluster=cluster),
+        engine=UnifiedGPUEngine(ctx=ExecContext(cluster=cluster)),
         max_iterations=2,
         compute_fit=False,
     )
     overlapped = cp_als(
         tensor,
         16,
-        engine=UnifiedGPUEngine(cluster=cluster),
+        engine=UnifiedGPUEngine(ctx=ExecContext(cluster=cluster)),
         max_iterations=2,
         compute_fit=False,
-        overlap_modes=True,
+        ctx=ExecContext(overlap_modes=True),
     )
     ratio = overlapped.makespan_s / sequential.makespan_s
     metrics["timeline/overlap_makespan"] = overlapped.makespan_s
@@ -253,6 +256,7 @@ def _faults_metrics() -> Dict[str, float]:
 
     from repro.algorithms.cp import UnifiedGPUEngine, cp_als
     from repro.algorithms.tucker import tucker_hooi
+    from repro.context import ExecContext
     from repro.gpusim.cluster import ETHERNET_10G, MultiNodeClusterSpec, NodeFailure
     from repro.tensor.random import random_sparse_tensor
 
@@ -269,7 +273,7 @@ def _faults_metrics() -> Dict[str, float]:
     clean_cp = cp_als(
         tensor,
         8,
-        engine=UnifiedGPUEngine(cluster=two_nodes()),
+        engine=UnifiedGPUEngine(ctx=ExecContext(cluster=two_nodes())),
         max_iterations=3,
         compute_fit=False,
     )
@@ -277,10 +281,10 @@ def _faults_metrics() -> Dict[str, float]:
     faulty_cp = cp_als(
         tensor,
         8,
-        engine=UnifiedGPUEngine(cluster=two_nodes()),
+        engine=UnifiedGPUEngine(ctx=ExecContext(cluster=two_nodes())),
         max_iterations=3,
         compute_fit=False,
-        chaos=[failure],
+        ctx=ExecContext(chaos=(failure,)),
     )
     identity_violations += sum(
         not np.array_equal(a, b)
@@ -297,11 +301,14 @@ def _faults_metrics() -> Dict[str, float]:
     )
 
     clean_tk = tucker_hooi(
-        tensor, (6, 6, 6), cluster=two_nodes(), max_iterations=2
+        tensor, (6, 6, 6), ctx=ExecContext(cluster=two_nodes()), max_iterations=2
     )
     tk_failure = NodeFailure(time_s=clean_tk.makespan_s * 0.4, node_index=1)
     faulty_tk = tucker_hooi(
-        tensor, (6, 6, 6), cluster=two_nodes(), max_iterations=2, chaos=[tk_failure]
+        tensor,
+        (6, 6, 6),
+        ctx=ExecContext(cluster=two_nodes(), chaos=(tk_failure,)),
+        max_iterations=2,
     )
     identity_violations += sum(
         not np.array_equal(a, b)
@@ -328,6 +335,85 @@ def _faults_metrics() -> Dict[str, float]:
     return metrics
 
 
+def _slo_metrics() -> Dict[str, float]:
+    """SLO-driven serving suite: deadline economics and preemption.
+
+    A 100-job workload with 30 % latency tenants (each carrying a
+    deadline) is served under the three policies on identical job lists.
+    Two zero-tolerance counts pin the tentpole properties:
+
+    * ``slo/preempted_identity_violation_count`` — every job the deadline
+      policy completed (preempted-and-resumed victims included) must be
+      ``np.array_equal`` to its twin from the preemption-free priority
+      run.  Preemption moves work in *time*, never in *value*.
+    * ``slo/deadline_unsound_count`` — the deadline policy's miss rate
+      exceeded FIFO's on the same workload, i.e. deadline awareness made
+      deadlines *worse*; must never happen.
+
+    The remaining metrics track the economics with the ordinary ratio
+    tolerance: miss rates per policy, the SLO-grade p99.9 latency, the
+    modeled preemption overhead (victims' resume latency + factor
+    re-stages), and the autoscaled run's makespan and scale-up volume
+    (the pool starts at one device, so a loaded run must scale up).
+    """
+    import numpy as np
+
+    slo_kwargs = dict(num_jobs=100, seed=0, slo_fraction=0.3, deadline_slack=30.0)
+    edf = run_serving(policy="deadline", **slo_kwargs)
+    fifo = run_serving(policy="fifo", **slo_kwargs)
+    priority = run_serving(policy="priority", **slo_kwargs)
+
+    def arrays(output) -> List[object]:
+        """The comparable ndarrays of any job output type."""
+        if output is None:
+            return []
+        if isinstance(output, np.ndarray):
+            return [output]
+        if hasattr(output, "fiber_values"):  # SemiSparseTensor
+            return [output.fiber_coords, output.fiber_values]
+        out: List[object] = []  # CPResult / TuckerResult
+        out.extend(getattr(output, "factors", []) or [])
+        for attr in ("weights", "core"):
+            value = getattr(output, attr, None)
+            if value is not None:
+                out.append(value)
+        return out
+
+    twin = {r.job.job_id: r for r in priority.results if r.completed}
+    identity_violations = 0
+    for result in edf.results:
+        other = twin.get(result.job.job_id)
+        if not result.completed or other is None:
+            continue
+        ours, theirs = arrays(result.output), arrays(other.output)
+        identity_violations += len(ours) != len(theirs) or any(
+            not np.array_equal(a, b) for a, b in zip(ours, theirs)
+        )
+
+    autoscaled = run_serving(
+        policy="deadline",
+        autoscale=AutoscalerSpec(min_devices=1),
+        **slo_kwargs,
+    )
+    scale_ups = sum(1 for e in autoscaled.scale_events if e.action == "up")
+
+    return {
+        "slo/deadline_miss_rate": edf.deadline_miss_rate,
+        "slo/fifo_miss_rate": fifo.deadline_miss_rate,
+        "slo/deadline_unsound_count": float(
+            edf.deadline_miss_rate > fifo.deadline_miss_rate + 1e-12
+        ),
+        "slo/preempted_identity_violation_count": float(identity_violations),
+        "slo/preemptions": float(len(edf.preemptions)),
+        "slo/preemption_overhead": edf.preemption_overhead_s,
+        "slo/p999_latency": edf.p999_latency_s,
+        "slo/makespan": edf.makespan_s,
+        "slo/autoscale_makespan": autoscaled.makespan_s,
+        "slo/autoscale_scale_ups": float(scale_ups),
+        "slo/autoscale_never_scaled_count": float(scale_ups == 0),
+    }
+
+
 def collect_metrics() -> Dict[str, Dict[str, float]]:
     """All regression metrics, grouped by suite (simulated seconds)."""
     return {
@@ -337,6 +423,7 @@ def collect_metrics() -> Dict[str, Dict[str, float]]:
         "serving": _serving_metrics(),
         "timeline": _timeline_metrics(),
         "faults": _faults_metrics(),
+        "slo": _slo_metrics(),
     }
 
 

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.context import ExecContext
 from repro.data.registry import DATASETS, load_dataset
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.mode_encoding import OperationKind
@@ -213,7 +214,10 @@ def _run_operation(
     threadlen: int,
 ):
     kwargs = dict(
-        device=device, block_size=block_size, threadlen=threadlen, cluster=cluster
+        device=device,
+        block_size=block_size,
+        threadlen=threadlen,
+        ctx=ExecContext(cluster=cluster),
     )
     if operation == "spttm":
         return unified_spttm(fcoo, factors[mode], mode, **kwargs)

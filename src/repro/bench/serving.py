@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.gpusim.cluster import ClusterLike
+from repro.serve.autoscale import AutoscalerSpec
 from repro.serve.cache import PreprocCache
 from repro.serve.engine import ServingEngine, ServingReport
 from repro.serve.workload import (
@@ -47,6 +48,9 @@ def run_serving(
     chaos_seed: Optional[int] = None,
     fail_node: Optional[int] = None,
     recover_after_s: Optional[float] = None,
+    slo_fraction: float = 0.0,
+    deadline_slack: Optional[float] = None,
+    autoscale: Optional[AutoscalerSpec] = None,
 ) -> ServingReport:
     """Serve a seeded synthetic workload and return the full report.
 
@@ -57,7 +61,8 @@ def run_serving(
         every path: one-shot, streamed, capability-weighted sharded,
         decompositions, batching, cache hits and admission rejects).
     policy:
-        ``"priority"`` or ``"fifo"``.
+        ``"priority"``, ``"fifo"`` or ``"deadline"`` (earliest deadline
+        first with chunk-boundary preemption of batch jobs).
     cluster:
         Serving node; defaults to the heterogeneous
         :func:`~repro.serve.workload.default_serving_cluster`.
@@ -81,6 +86,16 @@ def run_serving(
         drawing it; ``recover_after_s`` returns the node to the placement
         pool that long after the failure.  Chaos draws from its own RNG
         stream, so the job list is identical to the failure-free run.
+    slo_fraction / deadline_slack:
+        SLO-driven serving: ``slo_fraction`` of the jobs become latency
+        tenants with a deadline (see
+        :attr:`~repro.serve.workload.WorkloadSpec.latency_slo_fraction`);
+        ``deadline_slack`` overrides the workload's deadline tightness.
+        The SLO draws are gated on the fraction, so ``slo_fraction=0``
+        (the default) keeps the workload byte-identical to earlier PRs.
+    autoscale:
+        Optional :class:`~repro.serve.autoscale.AutoscalerSpec` enabling
+        the device-pool autoscaler.
     """
     cross_node_every = 0
     if nodes is not None and nodes >= 2:
@@ -94,10 +109,17 @@ def run_serving(
         max_batch=max_batch,
         max_queue_depth=max_queue_depth,
         autotune=autotune,
+        autoscale=autoscale,
     )
-    jobs = generate_workload(
-        WorkloadSpec(num_jobs=num_jobs, seed=seed, cross_node_every=cross_node_every)
+    spec_kwargs = dict(
+        num_jobs=num_jobs,
+        seed=seed,
+        cross_node_every=cross_node_every,
+        latency_slo_fraction=slo_fraction,
     )
+    if deadline_slack is not None:
+        spec_kwargs["deadline_slack"] = deadline_slack
+    jobs = generate_workload(WorkloadSpec(**spec_kwargs))
     chaos = None
     if chaos_seed is not None:
         num_targets = (

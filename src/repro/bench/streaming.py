@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.context import ExecContext
 from repro.data.registry import DATASETS, load_dataset
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.mode_encoding import OperationKind
@@ -147,7 +148,7 @@ def run_streaming(
                 device=small,
                 block_size=block_size,
                 threadlen=threadlen,
-                num_streams=int(n_streams),
+                ctx=ExecContext(num_streams=int(n_streams)),
             )
             execution = result.profile.streaming
             if execution is None:  # pragma: no cover - fraction < 1 forces streaming

@@ -47,6 +47,8 @@ from repro.bench import (
     run_table5,
     run_weak_scaling,
 )
+from repro.context import TimedResult
+from repro.serve.autoscale import AutoscalerSpec
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -59,9 +61,29 @@ def _render_fig7(args: argparse.Namespace) -> str:
     return "\n\n".join(parts)
 
 
-def _write_trace(timeline, path: str) -> str:
-    """Write a timeline's Chrome trace to ``path``; returns a report line."""
+def _write_trace(source, path: str) -> str:
+    """Write a run's timeline to ``path`` as a Chrome trace.
+
+    ``source`` is a bare :class:`~repro.gpusim.timeline.Timeline` or any
+    :class:`~repro.context.TimedResult` (serving report, decomposition
+    result, schedule outcome) — the protocol carries the timeline plus the
+    recovery/preemption ledgers, so there is no per-type unpacking here.
+    """
+    extras = []
+    timeline = source
+    if isinstance(source, TimedResult):
+        timeline = source.timeline
+        if source.recoveries:
+            extras.append(f"{len(source.recoveries)} recoveries")
+        if source.preemptions:
+            extras.append(f"{len(source.preemptions)} preemptions")
     timeline.write_chrome_trace(path)
+    if extras:
+        return (
+            f"timeline trace written to {path} "
+            f"({len(timeline.events)} events, {', '.join(extras)}; "
+            f"open in chrome://tracing)"
+        )
     return (
         f"timeline trace written to {path} "
         f"({len(timeline.events)} events; open in chrome://tracing)"
@@ -96,6 +118,7 @@ def _render_scaling(args: argparse.Namespace) -> str:
 
 
 def _render_serve(args: argparse.Namespace) -> str:
+    autoscale = AutoscalerSpec(min_devices=args.autoscale) if args.autoscale else None
     report = run_serving(
         num_jobs=args.jobs,
         seed=args.seed,
@@ -103,10 +126,13 @@ def _render_serve(args: argparse.Namespace) -> str:
         nodes=args.nodes or None,
         chaos_seed=args.chaos_seed,
         fail_node=args.fail_node,
+        slo_fraction=args.slo,
+        deadline_slack=args.slo_slack,
+        autoscale=autoscale,
     )
     parts = [report.render()]
     if args.trace:
-        parts.append(_write_trace(report.timeline, args.trace))
+        parts.append(_write_trace(report, args.trace))
     return "\n\n".join(parts)
 
 
@@ -169,9 +195,46 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--policy",
-        choices=["priority", "fifo"],
+        choices=["priority", "fifo", "deadline"],
         default="priority",
-        help="queueing policy for the serve experiment (default priority)",
+        help=(
+            "queueing policy for the serve experiment (default priority); "
+            "'deadline' serves earliest-deadline-first and preempts batch "
+            "jobs at streamed chunk boundaries to meet latency SLOs"
+        ),
+    )
+    parser.add_argument(
+        "--slo",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help=(
+            "for the serve experiment: fraction of the workload submitted "
+            "as latency tenants carrying a deadline SLO (default 0, which "
+            "keeps the workload identical to earlier releases)"
+        ),
+    )
+    parser.add_argument(
+        "--slo-slack",
+        type=float,
+        default=None,
+        metavar="MULTIPLE",
+        help=(
+            "with --slo: deadline scale as a multiple of the mean "
+            "interarrival time (default: the workload generator's 12; "
+            "tighter slack overloads every policy, looser slack is where "
+            "the deadline policy's preemption pays off)"
+        ),
+    )
+    parser.add_argument(
+        "--autoscale",
+        type=int,
+        default=0,
+        metavar="MIN_DEVICES",
+        help=(
+            "for the serve experiment: enable the device-pool autoscaler, "
+            "starting from this many active devices (default 0 = off)"
+        ),
     )
     parser.add_argument(
         "--nodes",
@@ -253,6 +316,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "--chaos-seed requires --nodes >= 2 (a node loss needs "
                 "surviving nodes to re-queue onto)"
             )
+
+    if not 0.0 <= args.slo <= 1.0:
+        parser.error(f"--slo must be a fraction in [0, 1], got {args.slo}")
+    if args.slo and "serve" not in requested:
+        parser.error("--slo only applies to the 'serve' experiment")
+    if args.slo_slack is not None:
+        if args.slo_slack <= 0.0:
+            parser.error(f"--slo-slack must be positive, got {args.slo_slack}")
+        if not args.slo:
+            parser.error("--slo-slack requires --slo (it scales the SLO deadlines)")
+    if args.autoscale < 0:
+        parser.error(f"--autoscale must be non-negative, got {args.autoscale}")
+    if args.autoscale and "serve" not in requested:
+        parser.error("--autoscale only applies to the 'serve' experiment")
 
     if args.trace:
         # --trace belongs to exactly one timeline-producing experiment per

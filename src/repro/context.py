@@ -1,0 +1,270 @@
+"""The unified execution-context API (`ExecContext`) and SLO classes.
+
+Six PRs of growth threaded the same execution knobs — ``streamed=``,
+``num_streams=``, ``chunk_nnz=``, ``cluster=``, ``devices=``, ``chaos=``,
+``preproc_cache=``, ``overlap_modes=`` — through every unified kernel and
+both decomposition drivers as loose keyword arguments.  This module bundles
+them into one frozen :class:`ExecContext` that every entry point accepts as
+``ctx=``:
+
+>>> from repro import ExecContext, unified_spmttkrp
+>>> ctx = ExecContext(streamed=True, num_streams=4)
+>>> result = unified_spmttkrp(tensor, factors, mode=0, ctx=ctx)  # doctest: +SKIP
+
+The legacy kwargs remain as *deprecated aliases*: passing one still works
+(it overrides the corresponding ``ctx`` field), but emits a
+:class:`DeprecationWarning` once per call site/parameter pair.  Equivalence
+between the two spellings is covered by ``tests/test_slo.py``.
+
+The module also defines:
+
+* :class:`SLO` — a per-job service-level objective (latency deadline,
+  priority class, preemptibility) consumed by the serving scheduler's
+  deadline-aware policy;
+* :class:`TimedResult` — the common protocol (``makespan_s`` /
+  ``timeline`` / ``recoveries`` / ``preemptions``) implemented by
+  ``CPResult``, ``TuckerResult`` and ``ScheduleOutcome``, so generic
+  tooling (``--trace``, bench regression) stops special-casing each
+  result type.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass, replace
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+    runtime_checkable,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from repro.gpusim.cluster import ClusterLike, NodeFailure
+    from repro.gpusim.timeline import Timeline
+
+__all__ = [
+    "SLO",
+    "ExecContext",
+    "DEFAULT_CONTEXT",
+    "TimedResult",
+    "resolve_context",
+    "reset_deprecation_registry",
+    "UNSET",
+]
+
+#: Sentinel distinguishing "legacy kwarg not passed" from an explicit value
+#: (``None`` and falsy values are all meaningful for these parameters).
+UNSET: Any = object()
+
+
+# ---------------------------------------------------------------------- #
+# SLO classes
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SLO:
+    """A per-job service-level objective.
+
+    Attributes
+    ----------
+    deadline_s:
+        Latency budget relative to the job's arrival (simulated seconds);
+        ``None`` means the job has no deadline (a pure batch job).
+    priority:
+        Priority class, lower is more urgent (matches ``Job.priority``).
+    preemptible:
+        Whether the scheduler's deadline-aware policy may preempt this
+        job at a chunk boundary to make room for a latency-class job.
+        Latency-class jobs default to non-preemptible.
+    """
+
+    deadline_s: Optional[float] = None
+    priority: int = 1
+    preemptible: bool = True
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and (
+            not math.isfinite(self.deadline_s) or self.deadline_s <= 0.0
+        ):
+            raise ValueError(
+                f"deadline_s must be a finite positive latency budget or None, "
+                f"got {self.deadline_s}"
+            )
+        if self.priority < 0:
+            raise ValueError(f"priority must be non-negative, got {self.priority}")
+
+    @classmethod
+    def latency(cls, deadline_s: float, *, priority: int = 0) -> "SLO":
+        """A latency-class SLO: hard deadline, urgent, never preempted."""
+        return cls(deadline_s=deadline_s, priority=priority, preemptible=False)
+
+    @classmethod
+    def batch(cls, *, priority: int = 1) -> "SLO":
+        """A batch-class SLO: no deadline, preemptible."""
+        return cls(deadline_s=None, priority=priority, preemptible=True)
+
+    @property
+    def has_deadline(self) -> bool:
+        """Whether this SLO carries a latency deadline."""
+        return self.deadline_s is not None
+
+    def deadline_for(self, arrival_s: float) -> float:
+        """Absolute deadline for a job arriving at ``arrival_s`` (inf if none)."""
+        if self.deadline_s is None:
+            return math.inf
+        return arrival_s + self.deadline_s
+
+
+# ---------------------------------------------------------------------- #
+# ExecContext
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ExecContext:
+    """Bundled execution knobs for the unified kernels and decompositions.
+
+    Every field mirrors a formerly loose keyword argument (see the module
+    docstring); ``slo`` and ``overlap_staging`` are new in PR 7.
+
+    Attributes
+    ----------
+    streamed:
+        Force (``True``) / forbid (``False``) the out-of-core streamed
+        path; ``None`` decides by device footprint.
+    num_streams:
+        CUDA streams / pipeline buffers for the streamed path.
+    chunk_nnz:
+        Override the streamed path's chunk size (non-zeros per chunk).
+    cluster:
+        Multi-GPU topology (:class:`~repro.gpusim.cluster.ClusterSpec` or
+        :class:`~repro.gpusim.cluster.MultiNodeClusterSpec`).
+    devices:
+        Shorthand for a flat homogeneous cluster of this many devices.
+    chaos:
+        Scripted :class:`~repro.gpusim.cluster.NodeFailure` events for the
+        decomposition drivers' checkpoint/replay path.
+    preproc_cache:
+        A :class:`~repro.serve.PreprocCache` shared across calls.
+    overlap_modes:
+        CP-ALS: overlap each mode's all-reduce with the next mode's
+        kernels (PR 5).
+    overlap_staging:
+        CP-ALS on a sharded cluster: stage each mode's shards on the
+        per-device copy engines during the first sweep, overlapped with
+        the previous mode's reduction, instead of charging all staging
+        serially in engine setup (closes the ROADMAP carried item; off by
+        default so modeled seconds of existing runs are unchanged).
+    slo:
+        The job-level :class:`SLO`, carried for serving-layer consumers.
+    """
+
+    streamed: Optional[bool] = None
+    num_streams: int = 2
+    chunk_nnz: Optional[int] = None
+    cluster: Optional["ClusterLike"] = None
+    devices: Optional[int] = None
+    chaos: Optional[Tuple["NodeFailure", ...]] = None
+    preproc_cache: Optional[Any] = None
+    overlap_modes: bool = False
+    overlap_staging: bool = False
+    slo: Optional[SLO] = None
+
+    def __post_init__(self) -> None:
+        if self.num_streams < 1:
+            raise ValueError(f"num_streams must be >= 1, got {self.num_streams}")
+        if self.chunk_nnz is not None and self.chunk_nnz < 1:
+            raise ValueError(f"chunk_nnz must be >= 1 or None, got {self.chunk_nnz}")
+        if self.devices is not None and self.devices < 1:
+            raise ValueError(f"devices must be >= 1 or None, got {self.devices}")
+        if self.chaos is not None and not isinstance(self.chaos, tuple):
+            # Normalise any sequence of failures to a tuple so the context
+            # stays hashable/frozen-safe.
+            object.__setattr__(self, "chaos", tuple(self.chaos))
+
+    def evolve(self, **changes: Any) -> "ExecContext":
+        """A copy with ``changes`` applied (``dataclasses.replace`` sugar)."""
+        return replace(self, **changes)
+
+
+#: The all-defaults context; what a call without ``ctx=`` resolves to.
+DEFAULT_CONTEXT = ExecContext()
+
+
+# ---------------------------------------------------------------------- #
+# Deprecated-alias plumbing
+# ---------------------------------------------------------------------- #
+_WARNED: Set[Tuple[str, str]] = set()
+
+
+def reset_deprecation_registry() -> None:
+    """Forget which deprecated aliases already warned (test hook)."""
+    _WARNED.clear()
+
+
+def _warn_legacy(func: str, param: str) -> None:
+    if (func, param) in _WARNED:
+        return
+    _WARNED.add((func, param))
+    warnings.warn(
+        f"{func}({param}=...) is deprecated; pass ctx=ExecContext({param}=...) "
+        f"instead (the legacy kwarg still works and overrides the context)",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def resolve_context(
+    func: str, ctx: Optional[ExecContext], **legacy: Any
+) -> ExecContext:
+    """Fold deprecated legacy kwargs into an effective :class:`ExecContext`.
+
+    ``legacy`` maps field names to the value the caller passed, or
+    :data:`UNSET` when the parameter was left at its default.  Explicitly
+    passed legacy values override the matching ``ctx`` field and warn once
+    per ``(func, field)`` pair; with no legacy values and no ``ctx`` the
+    result is :data:`DEFAULT_CONTEXT`.
+    """
+    base = ctx if ctx is not None else DEFAULT_CONTEXT
+    overrides: Dict[str, Any] = {}
+    for name, value in legacy.items():
+        if value is UNSET:
+            continue
+        _warn_legacy(func, name)
+        overrides[name] = value
+    return replace(base, **overrides) if overrides else base
+
+
+# ---------------------------------------------------------------------- #
+# The common result surface
+# ---------------------------------------------------------------------- #
+@runtime_checkable
+class TimedResult(Protocol):
+    """What every timed result exposes, whatever layer produced it.
+
+    Implemented by :class:`~repro.algorithms.cp.CPResult`,
+    :class:`~repro.algorithms.tucker.TuckerResult` and
+    :class:`~repro.serve.ScheduleOutcome` (and, by delegation,
+    :class:`~repro.serve.ServingReport`): a makespan in simulated seconds,
+    the :class:`~repro.gpusim.timeline.Timeline` the run booked (``None``
+    when untimed), the fault recoveries that fired, and the preemptions
+    the run suffered.  Generic consumers — ``--trace`` export, the bench
+    regression harness — program against this protocol instead of
+    special-casing each concrete type.
+    """
+
+    @property
+    def makespan_s(self) -> float: ...
+
+    @property
+    def timeline(self) -> Optional["Timeline"]: ...
+
+    @property
+    def recoveries(self) -> Sequence[Any]: ...
+
+    @property
+    def preemptions(self) -> Sequence[Any]: ...

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import json
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.util.validation import check_positive_int
@@ -161,6 +161,7 @@ class Resource:
         self.free_s = 0.0  # busy-until horizon: earliest start of a new booking
         self.busy_s = 0.0  # accumulated busy-marked booking seconds
         self.num_bookings = 0
+        self._bookings: List[Booking] = []  # this resource's bookings, in order
 
     def book(
         self,
@@ -196,8 +197,31 @@ class Resource:
         if busy:
             self.busy_s += duration_s
         self.num_bookings += 1
+        self._bookings.append(booking)
         self._timeline._record(booking)
         return booking
+
+    @property
+    def bookings(self) -> Tuple[Booking, ...]:
+        """This resource's bookings, in booking order."""
+        return tuple(self._bookings)
+
+    @property
+    def last_booking(self) -> Optional[Booking]:
+        """The most recent booking on this resource (``None`` when idle)."""
+        return self._bookings[-1] if self._bookings else None
+
+    def is_tail(self, bookings: Sequence[Booking]) -> bool:
+        """Whether ``bookings`` are exactly this resource's newest bookings.
+
+        Tail-ness is what makes a release sound: rolling the busy-until
+        horizon back is only meaningful when nothing was booked *after*
+        the released work.
+        """
+        tail = self._bookings[len(self._bookings) - len(bookings):]
+        if len(tail) != len(bookings):
+            return False
+        return {id(b) for b in bookings} == {id(b) for b in tail}
 
     def utilization(self, makespan_s: Optional[float] = None) -> float:
         """Busy fraction of ``makespan_s`` (the timeline's by default).
@@ -311,6 +335,88 @@ class Timeline:
         return GangBooking(
             start_s=bookings[0].start_s, end_s=bookings[0].end_s, bookings=bookings
         )
+
+    # ------------------------------------------------------------------ #
+    # Releasable bookings (the preemption primitive)
+    # ------------------------------------------------------------------ #
+    def release(self, bookings: Sequence[Booking]) -> float:
+        """Release ``bookings`` back to their resources.
+
+        The inverse of :meth:`book`, making bookings *checkpointable*: a
+        deadline-aware scheduler preempts a job by releasing its not-yet-
+        consumed bookings, which rolls each resource's busy-until horizon
+        back so a latency-class job can book the freed window, and later
+        re-books the victim's remaining work from its released ledger.
+
+        Per resource, the released set must be exactly that resource's
+        newest bookings (see :meth:`Resource.is_tail`): releasing an
+        interior booking would leave later bookings floating on a horizon
+        that no longer exists.  Raises :class:`ValueError` otherwise, and
+        releases nothing.  Returns the total *busy* seconds given back.
+        """
+        by_resource: Dict[str, List[Booking]] = {}
+        for booking in bookings:
+            by_resource.setdefault(booking.resource, []).append(booking)
+        resolved: List[Tuple[Resource, List[Booking]]] = []
+        for key, group in by_resource.items():
+            existing = self._resources.get(key)
+            if existing is None:
+                raise ValueError(f"unknown resource {key!r}")
+            if not existing.is_tail(group):
+                raise ValueError(
+                    f"can only release the tail of {key!r}: later bookings "
+                    f"exist past the requested ones"
+                )
+            resolved.append((existing, group))
+        released_ids = {id(b) for b in bookings}
+        if len(released_ids) != len(bookings):
+            raise ValueError("duplicate bookings in release set")
+        released_busy = 0.0
+        for resource, group in resolved:
+            keep = len(resource._bookings) - len(group)
+            for stale in resource._bookings[keep:]:
+                if stale.busy:
+                    resource.busy_s -= stale.duration_s
+                    released_busy += stale.duration_s
+            del resource._bookings[keep:]
+            resource.num_bookings -= len(group)
+            resource.free_s = resource._bookings[-1].end_s if keep else 0.0
+        self.events[:] = [e for e in self.events if id(e) not in released_ids]
+        return released_busy
+
+    def truncate(self, booking: Booking, end_s: float) -> Booking:
+        """Shorten an in-flight tail booking to end at ``end_s``.
+
+        The chunk-boundary half of preemption: a streamed job's compute
+        booking that straddles the preemption instant is cut at the first
+        chunk boundary past it; the work before the cut stands, the rest
+        is given back.  ``booking`` must be the newest booking on its
+        resource and ``end_s`` must fall inside it.  Returns the shortened
+        replacement :class:`Booking` (the original is dropped from the
+        trace).
+        """
+        existing = self._resources.get(booking.resource)
+        if existing is None or existing.last_booking is not booking:
+            raise ValueError(
+                f"can only truncate the newest booking of {booking.resource!r}"
+            )
+        if not (booking.start_s <= end_s <= booking.end_s):
+            raise ValueError(
+                f"truncation point {end_s} outside booking "
+                f"[{booking.start_s}, {booking.end_s}]"
+            )
+        shortened = replace(booking, end_s=end_s)
+        existing._bookings[-1] = shortened
+        existing.free_s = end_s
+        if booking.busy:
+            existing.busy_s -= booking.end_s - end_s
+        for i in range(len(self.events) - 1, -1, -1):
+            if self.events[i] is booking:
+                self.events[i] = shortened
+                break
+        else:  # pragma: no cover - _bookings and events always agree
+            raise ValueError("booking missing from the event trace")
+        return shortened
 
     # ------------------------------------------------------------------ #
     # Queries

@@ -23,14 +23,15 @@ cost model overlaps each chunk's PCIe copy with the previous chunk's kernel.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 import numpy as np
 
+from repro.context import UNSET, ExecContext, resolve_context
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.mode_encoding import OperationKind
 from repro.formats.semisparse import SemiSparseTensor
-from repro.gpusim.cluster import ClusterLike, resolve_cluster
+from repro.gpusim.cluster import resolve_cluster
 from repro.gpusim.device import DeviceSpec, TITAN_X
 from repro.gpusim.launch import LaunchConfig
 from repro.gpusim.scan import segment_reduce
@@ -64,11 +65,12 @@ def unified_spttm(
     block_size: int = 128,
     threadlen: int = 8,
     fused: bool = True,
-    streamed: Optional[bool] = None,
-    num_streams: int = 2,
-    chunk_nnz: Optional[int] = None,
-    cluster: Optional[ClusterLike] = None,
-    devices: Optional[int] = None,
+    streamed: Any = UNSET,
+    num_streams: Any = UNSET,
+    chunk_nnz: Any = UNSET,
+    cluster: Any = UNSET,
+    devices: Any = UNSET,
+    ctx: Optional[ExecContext] = None,
 ) -> SpTTMResult:
     """Compute SpTTM with the unified F-COO algorithm on the simulated GPU.
 
@@ -90,6 +92,9 @@ def unified_spttm(
         Keep the product/scan/accumulate stages in one kernel (the unified
         default); ``False`` models the unfused variant for the ablation
         benchmark.
+    ctx:
+        The :class:`~repro.context.ExecContext` carrying the execution
+        controls described below.
     streamed:
         ``None`` (default) auto-selects: one-shot when the operands fit in
         device memory, out-of-core streaming otherwise.  ``True`` forces
@@ -116,6 +121,11 @@ def unified_spttm(
         Shorthand for ``cluster``: a device count > 1 builds a homogeneous
         cluster of ``device``.  Mutually consistent with ``cluster``.
 
+    ``streamed`` / ``num_streams`` / ``chunk_nnz`` / ``cluster`` /
+    ``devices`` as direct kwargs are deprecated aliases for the matching
+    ``ctx`` fields: still honored (they override ``ctx``) but each warns
+    once.
+
     Returns
     -------
     SpTTMResult
@@ -123,6 +133,17 @@ def unified_spttm(
         (``profile.streaming`` holds the per-chunk ledger on the streamed
         path).
     """
+    ctx = resolve_context(
+        "unified_spttm",
+        ctx,
+        streamed=streamed,
+        num_streams=num_streams,
+        chunk_nnz=chunk_nnz,
+        cluster=cluster,
+        devices=devices,
+    )
+    streamed, num_streams, chunk_nnz = ctx.streamed, ctx.num_streams, ctx.chunk_nnz
+    cluster, devices = ctx.cluster, ctx.devices
     if isinstance(tensor, FCOOTensor):
         fcoo = tensor
         if fcoo.operation is not OperationKind.SPTTM or fcoo.mode != check_mode(mode, fcoo.order):

@@ -17,13 +17,14 @@ claims.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.context import UNSET, ExecContext, resolve_context
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.mode_encoding import OperationKind
-from repro.gpusim.cluster import ClusterLike, resolve_cluster
+from repro.gpusim.cluster import resolve_cluster
 from repro.gpusim.device import DeviceSpec, TITAN_X
 from repro.gpusim.launch import LaunchConfig
 from repro.gpusim.scan import segment_reduce
@@ -68,11 +69,12 @@ def unified_spttmc(
     block_size: int = 128,
     threadlen: int = 8,
     fused: bool = True,
-    streamed: Optional[bool] = None,
-    num_streams: int = 2,
-    chunk_nnz: Optional[int] = None,
-    cluster: Optional[ClusterLike] = None,
-    devices: Optional[int] = None,
+    streamed: Any = UNSET,
+    num_streams: Any = UNSET,
+    chunk_nnz: Any = UNSET,
+    cluster: Any = UNSET,
+    devices: Any = UNSET,
+    ctx: Optional[ExecContext] = None,
 ) -> TTMcResult:
     """Compute TTMc with the unified F-COO algorithm on the simulated GPU.
 
@@ -86,13 +88,15 @@ def unified_spttmc(
         ``m`` has shape ``(I_m, R_m)`` and the ranks may differ per mode.
     mode:
         Target mode whose unfolding is produced.
-    streamed, num_streams, chunk_nnz:
-        Out-of-core controls, as in
-        :func:`repro.kernels.unified.spttm.unified_spttm`.
-    cluster, devices:
-        Multi-GPU controls, as in
+    ctx:
+        The :class:`~repro.context.ExecContext` carrying the out-of-core
+        (``streamed`` / ``num_streams`` / ``chunk_nnz``) and multi-GPU
+        (``cluster`` / ``devices``) controls, as in
         :func:`repro.kernels.unified.spttm.unified_spttm` (the partial
         unfoldings merge through a modeled ring all-reduce).
+    streamed, num_streams, chunk_nnz, cluster, devices:
+        Deprecated aliases for the matching ``ctx`` fields; still honored
+        (they override ``ctx``) but warn once per parameter.
 
     Returns
     -------
@@ -101,6 +105,17 @@ def unified_spttmc(
         (``profile.streaming`` holds the per-chunk ledger on the streamed
         path).
     """
+    ctx = resolve_context(
+        "unified_spttmc",
+        ctx,
+        streamed=streamed,
+        num_streams=num_streams,
+        chunk_nnz=chunk_nnz,
+        cluster=cluster,
+        devices=devices,
+    )
+    streamed, num_streams, chunk_nnz = ctx.streamed, ctx.num_streams, ctx.chunk_nnz
+    cluster, devices = ctx.cluster, ctx.devices
     if isinstance(tensor, FCOOTensor):
         fcoo = tensor
         if fcoo.operation not in (OperationKind.SPTTMC, OperationKind.SPMTTKRP) or (

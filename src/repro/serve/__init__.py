@@ -25,20 +25,36 @@ existing kernels, cluster model and decomposition drivers:
 * :mod:`~repro.serve.workload` — seeded synthetic multi-tenant workloads,
   the seeded chaos layer (timeline-scheduled node-loss events drawn from
   their own RNG stream) and the default heterogeneous serving node;
+* :mod:`~repro.serve.autoscale` — the deterministic device-pool
+  autoscaler growing/shrinking the active slot set against offered load;
 * :mod:`~repro.serve.engine` — :class:`ServingEngine` tying it together
   and the throughput/latency/utilisation :class:`ServingReport`.
+
+The ``policy="deadline"`` scheduler adds SLO-driven serving: jobs carry an
+optional :class:`~repro.context.SLO` (deadline + priority + whether they
+may be preempted), earliest-deadline-first queueing, and preemption of
+batch jobs at a streamed chunk boundary — the victim's remaining bookings
+are released back to the :class:`~repro.gpusim.timeline.Resource` pool and
+the job later resumes from its released ledger, bit-identical.
 
 Scheduling, batching, caching and placement only ever move work in
 *time* — ``tests/test_serving.py`` proves every scheduled job's output is
 bit-identical to executing it alone.
 """
 
+from repro.context import SLO, ExecContext, TimedResult
+from repro.serve.autoscale import Autoscaler, AutoscalerSpec, ScaleEvent
 from repro.serve.cache import CacheStats, PreprocCache
 from repro.serve.engine import ServingEngine, ServingReport
 from repro.serve.execute import ExecutionOutcome, execute_job
 from repro.serve.job import Job, JobKind, JobResult, JobStatus
 from repro.serve.placement import JobGeometry, Placement, Placer, job_geometry
-from repro.serve.scheduler import DeviceTimeline, ScheduleOutcome, Scheduler
+from repro.serve.scheduler import (
+    DeviceTimeline,
+    PreemptionRecord,
+    ScheduleOutcome,
+    Scheduler,
+)
 from repro.serve.workload import (
     ChaosSpec,
     WorkloadSpec,
@@ -61,6 +77,13 @@ __all__ = [
     "Scheduler",
     "ScheduleOutcome",
     "DeviceTimeline",
+    "PreemptionRecord",
+    "SLO",
+    "ExecContext",
+    "TimedResult",
+    "Autoscaler",
+    "AutoscalerSpec",
+    "ScaleEvent",
     "ExecutionOutcome",
     "execute_job",
     "WorkloadSpec",

@@ -1,0 +1,172 @@
+"""Deterministic autoscaling of the serving device pool.
+
+The autoscaler grows and shrinks the set of *active* device slots against
+offered load, entirely in simulated time: parked slots are handed to the
+placer as excluded slots (exactly the mechanism chaos uses for failed
+nodes), so nothing places on them, and the dispatch loop stops waiting on
+their copy engines.  Scale-up triggers on queue depth — jobs waiting while
+capacity sits parked — and scale-down on idleness: a slot whose copy *and*
+compute engines have been free for the configured window is parked.  A
+slot with committed future work can never park (its engine horizons extend
+past ``now`` by construction, so it is never idle).
+
+Like everything else in the simulator the controller is deterministic: the
+same workload and spec produce the same :class:`ScaleEvent` sequence, and
+``autoscale=None`` (the default everywhere) keeps the legacy fixed-pool
+behavior byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["AutoscalerSpec", "ScaleEvent", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalerSpec:
+    """Autoscaling policy knobs.
+
+    Attributes
+    ----------
+    min_devices / max_devices:
+        Bounds on the active pool.  ``max_devices=None`` means the whole
+        cluster.  The pool *starts* at ``min_devices`` (the most capable
+        slots), so a loaded run records its scale-ups.
+    scale_up_queue_depth:
+        Queue depth (stage-ready and preprocessing jobs waiting) at which
+        one parked slot is unparked.
+    scale_down_idle_s:
+        A slot parks when both its engines have been free for this many
+        simulated seconds.
+    cooldown_s:
+        Minimum simulated seconds between consecutive scale events, in
+        either direction (0 disables the cooldown).
+    """
+
+    min_devices: int = 1
+    max_devices: Optional[int] = None
+    scale_up_queue_depth: int = 2
+    scale_down_idle_s: float = 1.0e-5
+    cooldown_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.min_devices, "min_devices")
+        if self.max_devices is not None:
+            check_positive_int(self.max_devices, "max_devices")
+            if self.max_devices < self.min_devices:
+                raise ValueError(
+                    f"max_devices ({self.max_devices}) must be at least "
+                    f"min_devices ({self.min_devices})"
+                )
+        check_positive_int(self.scale_up_queue_depth, "scale_up_queue_depth")
+        if self.scale_down_idle_s <= 0.0:
+            raise ValueError(
+                f"scale_down_idle_s must be positive, got {self.scale_down_idle_s}"
+            )
+        if self.cooldown_s < 0.0:
+            raise ValueError(f"cooldown_s must be non-negative, got {self.cooldown_s}")
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaling action, on the simulated clock."""
+
+    time_s: float
+    action: str  #: ``"up"`` (slot unparked) or ``"down"`` (slot parked)
+    slot: int
+    active_devices: int  #: pool size *after* the action
+
+
+class Autoscaler:
+    """The scale-up/scale-down controller of one scheduler run.
+
+    Mutable run state (unlike the frozen spec): one instance belongs to
+    one :meth:`~repro.serve.scheduler.Scheduler.run`.  ``scores`` ranks
+    the slots by capability — the pool always keeps the most capable
+    slots active, parking the least capable first, so the controller's
+    choices are deterministic and match the placer's preferences.
+    """
+
+    def __init__(
+        self, spec: AutoscalerSpec, scores: Sequence[float]
+    ) -> None:
+        num_devices = len(scores)
+        if num_devices < 1:
+            raise ValueError("autoscaler needs at least one device slot")
+        self.spec = spec
+        self.num_devices = num_devices
+        self.max_active = min(
+            num_devices,
+            spec.max_devices if spec.max_devices is not None else num_devices,
+        )
+        self.min_active = min(spec.min_devices, num_devices)
+        #: Slots by descending capability (ties: lowest slot first) — the
+        #: unpark order; parking walks it backwards.
+        self._preference: Tuple[int, ...] = tuple(
+            sorted(range(num_devices), key=lambda s: (-scores[s], s))
+        )
+        #: Slots currently parked: everything beyond the initial pool.
+        self.parked: Set[int] = set(self._preference[self.min_active :])
+        self.events: List[ScaleEvent] = []
+        self._last_event_s = -float("inf")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def active(self) -> int:
+        """Active (unparked) slot count."""
+        return self.num_devices - len(self.parked)
+
+    def _cooled(self, now_s: float) -> bool:
+        return now_s - self._last_event_s >= self.spec.cooldown_s
+
+    def step(
+        self,
+        now_s: float,
+        queue_depth: int,
+        copy_free_s: Sequence[float],
+        compute_free_s: Sequence[float],
+    ) -> List[ScaleEvent]:
+        """Apply the policy at ``now_s``; returns the events it emitted.
+
+        At most one action per direction per step: scale-up wins when both
+        would fire (waiting work outranks parking idle capacity).
+        """
+        emitted: List[ScaleEvent] = []
+        if (
+            queue_depth >= self.spec.scale_up_queue_depth
+            and self.parked
+            and self.active < self.max_active
+            and self._cooled(now_s)
+        ):
+            slot = next(s for s in self._preference if s in self.parked)
+            self.parked.discard(slot)
+            event = ScaleEvent(
+                time_s=now_s, action="up", slot=slot, active_devices=self.active
+            )
+            self.events.append(event)
+            emitted.append(event)
+            self._last_event_s = now_s
+            return emitted
+        if self.active > self.min_active and self._cooled(now_s):
+            horizon = now_s - self.spec.scale_down_idle_s
+            idle = [
+                s
+                for s in reversed(self._preference)
+                if s not in self.parked
+                and copy_free_s[s] <= horizon
+                and compute_free_s[s] <= horizon
+            ]
+            if idle:
+                slot = idle[0]  # least capable idle slot parks first
+                self.parked.add(slot)
+                event = ScaleEvent(
+                    time_s=now_s, action="down", slot=slot, active_devices=self.active
+                )
+                self.events.append(event)
+                emitted.append(event)
+                self._last_event_s = now_s
+        return emitted

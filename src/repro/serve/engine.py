@@ -23,9 +23,10 @@ from repro.gpusim.cluster import (
     collapse_cluster,
 )
 from repro.gpusim.timeline import Timeline, device_compute_key
+from repro.serve.autoscale import AutoscalerSpec, ScaleEvent
 from repro.serve.cache import CacheStats, PreprocCache
 from repro.serve.job import Job, JobResult
-from repro.serve.scheduler import DeviceTimeline, Scheduler
+from repro.serve.scheduler import DeviceTimeline, PreemptionRecord, Scheduler
 from repro.serve.workload import WorkloadSpec, default_serving_cluster, generate_workload
 from repro.util.formatting import format_seconds, format_table
 
@@ -50,6 +51,10 @@ class ServingReport:
     #: Total job re-queues caused by node losses (a job torn down twice
     #: counts twice).
     requeued_jobs: int = 0
+    #: Preemptions the deadline policy performed, in firing order.
+    preemptions: List[PreemptionRecord] = field(default_factory=list)
+    #: Autoscaler actions, in firing order (empty without an autoscaler).
+    scale_events: List[ScaleEvent] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     @property
@@ -92,6 +97,46 @@ class ServingReport:
     def p99_latency_s(self) -> float:
         """99th-percentile (tail) end-to-end latency."""
         return self.latency_percentile(99.0)
+
+    @property
+    def p999_latency_s(self) -> float:
+        """99.9th-percentile latency — the SLO-grade tail."""
+        return self.latency_percentile(99.9)
+
+    @property
+    def recoveries(self) -> List[NodeFailure]:
+        """Fired chaos events whose node later recovered (the report is a
+        :class:`~repro.context.TimedResult` like every other run result)."""
+        return [e for e in self.failures if e.recover_s is not None]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def slo_jobs(self) -> List[JobResult]:
+        """Jobs that carried a latency deadline (completed or not)."""
+        return [
+            r
+            for r in self.results
+            if r.job.slo is not None and r.job.slo.has_deadline
+        ]
+
+    @property
+    def deadline_misses(self) -> int:
+        """Deadline-carrying jobs that finished late (or not at all)."""
+        return sum(1 for r in self.slo_jobs if r.missed_deadline)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of deadline-carrying jobs that missed (0 when none)."""
+        slo = self.slo_jobs
+        return self.deadline_misses / len(slo) if slo else 0.0
+
+    @property
+    def preemption_overhead_s(self) -> float:
+        """Total modeled cost of preemption: every victim's resume latency
+        (cut point to resumed execution start) plus the factor re-stages."""
+        return sum(r.preempted_s for r in self.completed) + sum(
+            p.resume_stage_s for p in self.preemptions
+        )
 
     @property
     def mean_queue_wait_s(self) -> float:
@@ -200,8 +245,24 @@ class ServingReport:
         lines.append(
             f"latency: p50 {format_seconds(self.p50_latency_s)}, "
             f"p99 {format_seconds(self.p99_latency_s)}, "
+            f"p99.9 {format_seconds(self.p999_latency_s)}, "
             f"mean queue wait {format_seconds(self.mean_queue_wait_s)}"
         )
+        if self.slo_jobs:
+            lines.append(
+                f"SLO: {len(self.slo_jobs)} deadline jobs, "
+                f"{self.deadline_misses} missed "
+                f"({self.deadline_miss_rate * 100.0:.0f}%), "
+                f"{len(self.preemptions)} preemptions "
+                f"(overhead {format_seconds(self.preemption_overhead_s)})"
+            )
+        if self.scale_events:
+            ups = sum(1 for e in self.scale_events if e.action == "up")
+            downs = len(self.scale_events) - ups
+            lines.append(
+                f"autoscaler: {ups} scale-ups, {downs} scale-downs, "
+                f"final pool {self.scale_events[-1].active_devices} devices"
+            )
         if self.failures:
             recovering = sum(1 for e in self.failures if e.recover_s is not None)
             lines.append(
@@ -260,6 +321,9 @@ class ServingEngine:
     block_size / threadlen:
         Default launch parameters (the tuner cache overrides them per job
         shape when ``autotune`` is on).
+    autoscale:
+        Optional :class:`~repro.serve.autoscale.AutoscalerSpec` enabling
+        the device-pool autoscaler; ``None`` keeps the fixed pool.
     """
 
     def __init__(
@@ -274,6 +338,7 @@ class ServingEngine:
         threadlen: int = 8,
         autotune: bool = False,
         num_streams: int = 2,
+        autoscale: Optional[AutoscalerSpec] = None,
     ) -> None:
         self.cluster = collapse_cluster(
             cluster if cluster is not None else default_serving_cluster()
@@ -290,6 +355,7 @@ class ServingEngine:
             threadlen=threadlen,
             autotune=autotune,
             num_streams=num_streams,
+            autoscale=autoscale,
         )
 
     # ------------------------------------------------------------------ #
@@ -318,6 +384,8 @@ class ServingEngine:
             timeline=outcome.timeline,
             failures=outcome.failures,
             requeued_jobs=outcome.requeued_jobs,
+            preemptions=outcome.preemptions,
+            scale_events=outcome.scale_events,
         )
 
     def run_workload(

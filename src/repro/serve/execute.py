@@ -21,6 +21,7 @@ from typing import Any, Optional
 
 from repro.algorithms.cp import UnifiedGPUEngine, cp_als
 from repro.algorithms.tucker import tucker_hooi
+from repro.context import ExecContext
 from repro.formats.fcoo import FCOOTensor
 from repro.kernels.unified.spmttkrp import unified_spmttkrp
 from repro.kernels.unified.spttm import unified_spttm
@@ -84,6 +85,11 @@ def execute_job(
     num_streams:
         Stream count for the kernels' out-of-core fallback.
     """
+    ctx = ExecContext(
+        num_streams=num_streams,
+        cluster=placement.cluster,
+        preproc_cache=cache,
+    )
     if job.kind.is_kernel:
         if encoding is None:
             encoding = FCOOTensor.from_sparse(job.tensor, job.operation, job.mode)
@@ -92,8 +98,7 @@ def execute_job(
             device=placement.primary_device,
             block_size=placement.block_size,
             threadlen=placement.threadlen,
-            num_streams=num_streams,
-            cluster=placement.cluster,
+            ctx=ctx,
         )
         if job.kind is JobKind.SPTTM:
             result = unified_spttm(encoding, factors[job.mode], job.mode, **kwargs)
@@ -120,9 +125,7 @@ def execute_job(
             device=placement.primary_device,
             block_size=placement.block_size,
             threadlen=placement.threadlen,
-            num_streams=num_streams,
-            cluster=placement.cluster,
-            preproc_cache=cache,
+            ctx=ctx,
         )
         result = cp_als(
             job.tensor,
@@ -146,8 +149,7 @@ def execute_job(
         seed=job.factor_seed,
         block_size=placement.block_size,
         threadlen=placement.threadlen,
-        cluster=placement.cluster,
-        preproc_cache=cache,
+        ctx=ctx,
     )
     return ExecutionOutcome(
         output=result,

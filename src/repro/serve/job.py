@@ -17,11 +17,13 @@ latency breakdown (queue wait, host preprocessing, staging, execution).
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
+from repro.context import SLO
 from repro.formats.mode_encoding import OperationKind
 from repro.tensor.random import random_factors
 from repro.tensor.sparse import SparseTensor
@@ -102,6 +104,12 @@ class Job:
     factor_seed:
         Seed regenerating the dense operands (kernel factors, decomposition
         initial factors).
+    slo:
+        Optional :class:`~repro.context.SLO`: a latency deadline (relative
+        to arrival), an SLO priority class, and whether the deadline-aware
+        scheduler may preempt this job.  ``None`` — the default, and what
+        every pre-SLO workload carries — means "batch semantics":
+        no deadline, preemptible, priority taken from :attr:`priority`.
     """
 
     job_id: int
@@ -114,6 +122,7 @@ class Job:
     arrival_s: float = 0.0
     iterations: int = 2
     factor_seed: int = 0
+    slo: Optional[SLO] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "kind", JobKind.coerce(self.kind))
@@ -138,6 +147,18 @@ class Job:
     def tucker_ranks(self) -> Tuple[int, ...]:
         """Per-mode multilinear rank of a Tucker job (clamped to the shape)."""
         return tuple(min(self.rank, s) for s in self.tensor.shape)
+
+    @property
+    def deadline_s(self) -> float:
+        """Absolute completion deadline (``inf`` for jobs without one)."""
+        if self.slo is None:
+            return math.inf
+        return self.slo.deadline_for(self.arrival_s)
+
+    @property
+    def preemptible(self) -> bool:
+        """Whether the deadline-aware policy may preempt this job."""
+        return self.slo.preemptible if self.slo is not None else True
 
     def factors(self) -> List[np.ndarray]:
         """The job's dense operands, regenerated deterministically.
@@ -208,6 +229,12 @@ class JobResult:
     requeues:
         How many times the job was torn down by a node failure and
         re-admitted before this (final) run; 0 for an undisturbed job.
+    preemptions:
+        How many times the deadline-aware policy preempted this job at a
+        chunk boundary and later resumed it; 0 for an undisturbed job.
+    preempted_s:
+        Modeled seconds between the (last) preemption and the resumed
+        execution start — the victim-side latency cost of preemption.
     """
 
     job: Job
@@ -230,11 +257,23 @@ class JobResult:
     threadlen: int = 8
     placement: Any = None
     requeues: int = 0
+    preemptions: int = 0
+    preempted_s: float = 0.0
 
     @property
     def completed(self) -> bool:
         """Whether the job produced a result."""
         return self.status is JobStatus.COMPLETED
+
+    @property
+    def missed_deadline(self) -> bool:
+        """Whether the job had a deadline and failed it (rejected jobs with
+        a deadline count as missed; jobs without one never miss)."""
+        if self.job.slo is None or not self.job.slo.has_deadline:
+            return False
+        if not self.completed:
+            return True
+        return self.finish_s > self.job.deadline_s
 
     @property
     def latency_s(self) -> float:

@@ -16,7 +16,30 @@ deterministic simulated-time schedule:
 
 * **queueing** — admitted jobs wait in a priority queue
   (``policy="priority"``: lower priority class first, FIFO within a class;
-  ``policy="fifo"``: strict arrival order).
+  ``policy="fifo"``: strict arrival order; ``policy="deadline"``:
+  earliest-deadline-first over the jobs' :class:`~repro.context.SLO`
+  deadlines, then priority class — on a workload without SLOs every
+  deadline is ``inf`` and the policy degenerates to ``"priority"``
+  bit for bit).
+
+* **preemption** — under ``policy="deadline"``, a dispatched job that
+  would miss its deadline may preempt one committed batch job
+  (preemptible, no deadline of its own) sharing its device slots: the
+  victim's not-yet-consumed timeline bookings are *released* back to the
+  resource pool (:meth:`~repro.gpusim.timeline.Timeline.release`), a
+  streamed victim's in-flight compute booking is *truncated* at the next
+  chunk boundary (:meth:`~repro.gpusim.timeline.Timeline.truncate` — the
+  streamed pipeline's natural checkpoint), and the victim re-queues with
+  a resume ledger: its already-computed output, its completed-chunk
+  count, and the remaining pipeline re-booked later under
+  ``resume:jobN`` labels (plus a factor re-stage).  Outputs are
+  bit-identical with or without preemption — the numeric result was
+  computed once at dispatch and only *time* is replayed.
+
+* **autoscaling** — an optional :class:`~repro.serve.autoscale.Autoscaler`
+  grows and shrinks the active slot pool against queue depth and engine
+  idleness; parked slots are excluded from placement exactly like failed
+  nodes.
 
 * **dispatch** — a job is dispatched when a copy engine frees *and* the job
   is stage-ready, so its staging overlaps the predecessor's compute.
@@ -66,18 +89,26 @@ from repro.gpusim.cluster import (
 )
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.timeline import (
+    Booking,
     Resource,
     Timeline,
     device_compute_key,
     device_copy_key,
+    schedule_chunks,
 )
 from repro.gpusim.timing import OutOfDeviceMemory
+from repro.serve.autoscale import Autoscaler, AutoscalerSpec, ScaleEvent
 from repro.serve.cache import PreprocCache
 from repro.serve.execute import ExecutionOutcome, execute_job
 from repro.serve.job import Job, JobKind, JobResult, JobStatus
 from repro.serve.placement import JobGeometry, Placement, Placer, job_geometry
 
-__all__ = ["DeviceTimeline", "ScheduleOutcome", "Scheduler"]
+__all__ = [
+    "DeviceTimeline",
+    "PreemptionRecord",
+    "ScheduleOutcome",
+    "Scheduler",
+]
 
 
 @dataclass
@@ -104,6 +135,44 @@ class DeviceTimeline:
     jobs: int = 0
 
 
+@dataclass(frozen=True)
+class PreemptionRecord:
+    """One preemption: who was cut, by whom, where, and what it freed.
+
+    ``time_s`` is the *cut point* — the chunk boundary a streamed victim
+    was checkpointed at (or the preemption instant for a victim caught
+    before compute).  ``released_s`` is the busy time given back to the
+    resource pool, and ``resume_stage_s`` the factor re-staging the
+    victim pays when it resumes.
+    """
+
+    job_id: int
+    preempted_by: int
+    time_s: float
+    completed_chunks: int
+    total_chunks: int
+    released_s: float
+    resume_stage_s: float
+
+
+@dataclass(frozen=True)
+class _ResumeState:
+    """A preempted streamed job's resume ledger.
+
+    The output was already computed at the original dispatch (execution
+    is pure in ``(job, placement)``), so resuming re-books only *time*:
+    the remaining chunks' pipeline on the original placement, plus a
+    factor re-stage.
+    """
+
+    placement: Placement
+    outcome: ExecutionOutcome
+    completed_chunks: int
+    total_chunks: int
+    remaining_exec_s: float
+    resume_stage_s: float
+
+
 @dataclass(eq=False)
 class _ReadyEntry:
     """One admitted, preprocessed job waiting in the queue."""
@@ -117,6 +186,33 @@ class _ReadyEntry:
     encode_hit: bool
     tuner_hit: Optional[bool]
     launch: Optional[Tuple[int, int]]  # tuned (BLOCK_SIZE, threadlen)
+    #: Preemption bookkeeping: times preempted so far, the last cut point,
+    #: and — for a checkpointed streamed victim — the resume ledger
+    #: (``None`` re-dispatches from scratch).
+    preemptions: int = 0
+    preempted_from_s: float = 0.0
+    resume: Optional[_ResumeState] = None
+
+
+@dataclass
+class _CommittedJob:
+    """The booking ledger of one committed (dispatched) job.
+
+    What preemption needs: every timeline booking the commit made, in
+    booking order, plus the stage/exec bookings singled out so the
+    preemptor can tell "caught mid-staging" from "caught mid-compute".
+    """
+
+    entry: _ReadyEntry
+    placement: Placement
+    outcome: ExecutionOutcome
+    bookings: List[Booking]
+    stage_booking: Optional[Booking]  # single-lane stage (non-sharded)
+    exec_booking: Optional[Booking]  # single-lane compute (non-sharded)
+    exec_start_s: float
+    finish_s: float
+    batch_id: Optional[int]
+    resumed: bool = False
 
 
 @dataclass
@@ -131,6 +227,13 @@ class _RunState:
     #: exclude them until the node's recovery event (if any) fires.
     failed_slots: set = field(default_factory=set)
     failed_nodes: set = field(default_factory=set)
+    #: Slots parked by the autoscaler (empty without one).
+    parked_slots: set = field(default_factory=set)
+    #: Per-job booking ledgers of committed runs (keyed by job id) — what
+    #: the deadline policy preempts from.
+    committed: Dict[int, _CommittedJob] = field(default_factory=dict)
+    #: Preemptions performed, in firing order.
+    preemption_records: List[PreemptionRecord] = field(default_factory=list)
 
 
 @dataclass
@@ -148,11 +251,21 @@ class ScheduleOutcome:
     #: Total job re-queues: every time a node loss tore an in-flight job
     #: off its placement and sent it back to the queue.
     requeued_jobs: int = 0
+    #: Preemptions the deadline policy performed, in firing order.
+    preemptions: List[PreemptionRecord] = field(default_factory=list)
+    #: Autoscaler actions, in firing order (empty without an autoscaler).
+    scale_events: List[ScaleEvent] = field(default_factory=list)
 
     @property
     def makespan_s(self) -> float:
         """Completion time of the last job (0 for an all-rejected run)."""
         return max((r.finish_s for r in self.results if r.completed), default=0.0)
+
+    @property
+    def recoveries(self) -> List[NodeFailure]:
+        """Fired chaos events whose node came back (the
+        :class:`~repro.context.TimedResult` recovery ledger)."""
+        return [e for e in self.failures if e.recover_s is not None]
 
 
 class Scheduler:
@@ -165,7 +278,9 @@ class Scheduler:
     cache:
         Shared preprocessing cache (encodings + tuned launch configs).
     policy:
-        ``"priority"`` (default) or ``"fifo"``.
+        ``"priority"`` (default), ``"fifo"`` or ``"deadline"``
+        (earliest-deadline-first with chunk-boundary preemption; see the
+        module docstring).
     max_batch:
         Largest batch of compatible jobs per dispatch (1 disables batching).
     max_queue_depth:
@@ -179,6 +294,9 @@ class Scheduler:
         the cluster's most capable device.
     num_streams:
         Stream count for the kernels' out-of-core fallback.
+    autoscale:
+        Optional :class:`~repro.serve.autoscale.AutoscalerSpec`; ``None``
+        (the default) keeps the legacy fixed pool byte-identical.
     """
 
     def __init__(
@@ -193,9 +311,12 @@ class Scheduler:
         threadlen: int = 8,
         autotune: bool = False,
         num_streams: int = 2,
+        autoscale: Optional[AutoscalerSpec] = None,
     ) -> None:
-        if policy not in ("priority", "fifo"):
-            raise ValueError(f"policy must be 'priority' or 'fifo', got {policy!r}")
+        if policy not in ("priority", "fifo", "deadline"):
+            raise ValueError(
+                f"policy must be 'priority', 'fifo' or 'deadline', got {policy!r}"
+            )
         if max_batch < 1:
             raise ValueError(f"max_batch must be at least 1, got {max_batch}")
         if max_queue_depth is not None and max_queue_depth < 1:
@@ -211,6 +332,7 @@ class Scheduler:
         self.max_queue_depth = max_queue_depth
         self.autotune = autotune
         self.num_streams = num_streams
+        self.autoscale = autoscale
         self.placer = Placer(
             cluster,
             block_size=block_size,
@@ -225,6 +347,10 @@ class Scheduler:
 
     # ------------------------------------------------------------------ #
     def _queue_key(self, job: Job) -> Tuple:
+        if self.policy == "deadline":
+            # EDF, then the priority order.  Without SLOs every deadline
+            # is inf and this degenerates to the "priority" key exactly.
+            return (job.deadline_s, job.priority, job.arrival_s, job.job_id)
         if self.policy == "priority":
             return (job.priority, job.arrival_s, job.job_id)
         return (job.arrival_s, job.job_id)
@@ -485,15 +611,32 @@ class Scheduler:
                     job = victim.job
                     requeue_counts[job.job_id] = requeue_counts.get(job.job_id, 0) + 1
                     del results[job.job_id]
+                    state.committed.pop(job.job_id, None)
                     geometry = job_geometry(job, threadlen=self.placer.threadlen)
                     entry = self._preprocess(job, geometry, availability)
                     # Re-admission cannot predate the failure that caused it.
                     entry.ready_s = max(entry.ready_s, event.time_s)
                     ready.append((self._queue_key(job), entry))
 
+        scaler = (
+            Autoscaler(self.autoscale, self.placer.scores)
+            if self.autoscale is not None
+            else None
+        )
+        if scaler is not None:
+            state.parked_slots = set(scaler.parked)
+
         while pending or ready or chaos_events:
             fire_due(clock.now_s)
             self._admit(pending, ready, clock.now_s, results, availability)
+            if scaler is not None:
+                scaler.step(
+                    clock.now_s,
+                    len(ready),
+                    [lane.free_s for lane in state.copy],
+                    [lane.free_s for lane in state.compute],
+                )
+                state.parked_slots = set(scaler.parked)
             upcoming = [
                 t
                 for t in (
@@ -508,8 +651,13 @@ class Scheduler:
                     break
                 clock.advance_to(max(clock.now_s, min(upcoming)))
                 continue
-            # The next staging can begin when some copy engine frees...
-            t = max(clock.now_s, min(lane.free_s for lane in state.copy))
+            # The next staging can begin when some active copy engine frees...
+            active_copy = [
+                lane
+                for slot, lane in enumerate(state.copy)
+                if slot not in state.parked_slots
+            ] or state.copy
+            t = max(clock.now_s, min(lane.free_s for lane in active_copy))
             # ...but arrivals and chaos/recovery events before that instant
             # reshape the queue (or the placement pool) first.
             blocker = min(upcoming, default=math.inf)
@@ -549,6 +697,8 @@ class Scheduler:
             timeline=timeline,
             failures=fired,
             requeued_jobs=sum(requeue_counts.values()),
+            preemptions=list(state.preemption_records),
+            scale_events=list(scaler.events) if scaler is not None else [],
         )
 
     # ------------------------------------------------------------------ #
@@ -563,13 +713,17 @@ class Scheduler:
     ) -> int:
         job = entry.job
         geometry = entry.geometry
+        if entry.resume is not None and self._dispatch_resume(
+            entry, t0, results, state
+        ):
+            return batch_seq
         placement = self.placer.place(
             job,
             geometry,
             [lane.free_s for lane in state.compute],
             t0,
             excluded_nodes=frozenset(state.failed_nodes),
-            excluded_slots=frozenset(state.failed_slots),
+            excluded_slots=frozenset(state.failed_slots | state.parked_slots),
         )
         if entry.launch is not None:
             placement = replace(
@@ -601,7 +755,7 @@ class Scheduler:
             for mate in mates:
                 ready.append((self._queue_key(mate.job), mate))
             return batch_seq
-        results[job.job_id] = self._commit(
+        result = self._commit(
             entry,
             t0,
             placement,
@@ -612,6 +766,27 @@ class Scheduler:
             batch_leader=bool(mates),
             encoding_staged=True,
         )
+        if (
+            self.policy == "deadline"
+            and math.isfinite(job.deadline_s)
+            and result.finish_s > job.deadline_s
+        ):
+            # The deadline job would miss as booked: try to free its lanes
+            # by preempting a committed batch job, then re-book.
+            result = self._repreempt_and_recommit(
+                entry,
+                t0,
+                placement,
+                geometry,
+                outcome,
+                state,
+                ready,
+                results,
+                result,
+                batch_id=batch_id,
+                batch_leader=bool(mates),
+            )
+        results[job.job_id] = result
 
         for mate in mates:
             # The batch shares the leader's encoding (already staged) and
@@ -726,6 +901,8 @@ class Scheduler:
             copy_lanes, stage_s, ready_s=max(t0, entry.ready_s), label=f"stage:{tag}"
         )
         stage_start, stage_end = stage.start_s, stage.end_s
+        tracked: List[Booking] = list(stage.bookings)
+        exec_bookings: List[Booking] = []
 
         execution = getattr(outcome.profile, "sharded", None) if placement.sharded else None
         busy_by_slot: Dict[int, float]
@@ -754,7 +931,10 @@ class Scheduler:
         for lane, slot in zip(compute_lanes, slots):
             busy = busy_by_slot.get(slot, 0.0)
             if busy > 0.0:
-                lane.book(busy, ready_s=exec_start, label=f"exec:{tag}")
+                exec_bookings.append(
+                    lane.book(busy, ready_s=exec_start, label=f"exec:{tag}")
+                )
+        tracked.extend(exec_bookings)
 
         # The idle-resource closed form; link/NIC contention can only delay it.
         finish = exec_start + outcome.exec_s
@@ -796,25 +976,39 @@ class Scheduler:
                 # The collective queued behind another job's on a shared
                 # link/NIC: the whole job completes later.
                 finish = red_start + reduction_s
-            state.timeline.book_together(
+            collective = state.timeline.book_together(
                 resources,
                 finish - red_start,
                 ready_s=red_start,
                 label=f"{reduction_kind}:{tag}",
             )
+            tracked.extend(collective.bookings)
         # Hold every participating compute engine to the job's completion
         # (the devices take part in the collective; nothing else may slot in).
         for lane in compute_lanes:
             if finish > lane.free_s:
-                lane.book(
-                    finish - lane.free_s,
-                    ready_s=lane.free_s,
-                    label=f"barrier:{tag}",
-                    busy=False,
+                tracked.append(
+                    lane.book(
+                        finish - lane.free_s,
+                        ready_s=lane.free_s,
+                        label=f"barrier:{tag}",
+                        busy=False,
+                    )
                 )
         for slot in slots:
             state.jobs[slot] += 1
 
+        state.committed[job.job_id] = _CommittedJob(
+            entry=entry,
+            placement=placement,
+            outcome=outcome,
+            bookings=tracked,
+            stage_booking=stage.bookings[0] if len(stage.bookings) == 1 else None,
+            exec_booking=exec_bookings[0] if len(exec_bookings) == 1 else None,
+            exec_start_s=exec_start,
+            finish_s=finish,
+            batch_id=batch_id,
+        )
         return JobResult(
             job=job,
             status=JobStatus.COMPLETED,
@@ -834,4 +1028,288 @@ class Scheduler:
             block_size=placement.block_size,
             threadlen=placement.threadlen,
             placement=placement,
+            preemptions=entry.preemptions,
+            preempted_s=(
+                max(0.0, stage_start - entry.preempted_from_s)
+                if entry.preemptions
+                else 0.0
+            ),
         )
+
+    # ------------------------------------------------------------------ #
+    # Preemption (policy="deadline")
+    # ------------------------------------------------------------------ #
+    def _repreempt_and_recommit(
+        self,
+        entry: _ReadyEntry,
+        t0: float,
+        placement: Placement,
+        geometry: JobGeometry,
+        outcome: ExecutionOutcome,
+        state: _RunState,
+        ready: List[Tuple[Tuple, _ReadyEntry]],
+        results: Dict[int, JobResult],
+        first_result: JobResult,
+        *,
+        batch_id: Optional[int],
+        batch_leader: bool,
+    ) -> JobResult:
+        """Try to rescue a deadline job that would miss as first booked.
+
+        The job's own (just-made) bookings are released, one committed
+        batch victim sharing its device slots is preempted, and the job is
+        re-committed onto the freed lanes.  When no victim qualifies (or
+        none is releasable) the release/re-commit round-trips to the exact
+        original booking — :meth:`~repro.gpusim.timeline.Timeline.release`
+        restores every lane horizon, so the re-booked times are identical.
+        """
+        job = entry.job
+        own = state.committed.pop(job.job_id)
+        candidates = sorted(
+            (
+                c
+                for jid, c in state.committed.items()
+                if jid in results
+                and c.finish_s > t0
+                and c.batch_id is None
+                and not c.resumed
+                and c.entry.job.preemptible
+                and not math.isfinite(c.entry.job.deadline_s)
+                and set(c.placement.device_slots) & set(placement.device_slots)
+            ),
+            # Latest-finishing victim first: it holds the most future time.
+            key=lambda c: (-c.finish_s, c.entry.job.job_id),
+        )
+        if candidates:
+            state.timeline.release(own.bookings)
+            for cand in candidates:
+                if self._preempt_victim(cand, t0, job, state, ready, results):
+                    break
+            return self._commit(
+                entry,
+                t0,
+                placement,
+                geometry,
+                outcome,
+                state,
+                batch_id=batch_id,
+                batch_leader=batch_leader,
+                encoding_staged=True,
+            )
+        state.committed[job.job_id] = own
+        return first_result
+
+    def _preempt_victim(
+        self,
+        cand: _CommittedJob,
+        t: float,
+        by: Job,
+        state: _RunState,
+        ready: List[Tuple[Tuple, _ReadyEntry]],
+        results: Dict[int, JobResult],
+    ) -> bool:
+        """Preempt one committed job at ``t``; ``False`` leaves it untouched.
+
+        Three shapes are releasable; everything else (a one-shot kernel or
+        a sharded shard mid-compute — no checkpoint boundary) is skipped:
+
+        * nothing started yet (all bookings at/after ``t``) — full release
+          and a from-scratch re-queue;
+        * caught mid-staging — the stage booking is cut at ``t`` (shipped
+          bytes are sunk cost), the rest released, from-scratch re-queue;
+        * a streamed job caught mid-compute — the compute booking is cut
+          at the first chunk boundary past ``t`` and the victim re-queues
+          with a resume ledger (completed chunks stand; the remaining
+          chunks' pipeline re-books at resume, plus a factor re-stage).
+
+        Every mutation is pre-verified against
+        :meth:`~repro.gpusim.timeline.Resource.is_tail`, so a victim whose
+        lanes have later bookings (e.g. behind another job's barrier) is
+        simply not preemptible rather than corrupting the timeline.
+        """
+        victim = cand.entry.job
+        timeline = state.timeline
+        lanes: Dict[str, Resource] = {}
+        for slot in cand.placement.device_slots:
+            for lane in (state.copy[slot], state.compute[slot]):
+                lanes[lane.key] = lane
+        if cand.placement.cluster is not None:
+            for lane in cand.placement.cluster.collective_resources(timeline):
+                lanes[lane.key] = lane
+        if any(b.resource not in lanes for b in cand.bookings):
+            return False  # defensive: a booking on a lane we cannot verify
+
+        future = [b for b in cand.bookings if b.start_s >= t]
+        straddle = [b for b in cand.bookings if b.start_s < t < b.end_s]
+        if len(straddle) > 1 or (not future and not straddle):
+            return False
+
+        streaming = getattr(cand.outcome.profile, "streaming", None)
+        boundary = t
+        completed = 0
+        total = streaming.num_chunks if streaming is not None else 0
+        resume: Optional[_ResumeState] = None
+        cut: Optional[Booking] = None
+        if straddle:
+            cut = straddle[0]
+            if (
+                cut is cand.exec_booking
+                and streaming is not None
+                and not cand.placement.sharded
+            ):
+                sched = streaming.schedule
+                exec_start = cand.exec_start_s
+                idx = next(
+                    (
+                        i
+                        for i, end in enumerate(sched.compute_ends)
+                        if exec_start + end >= t
+                    ),
+                    None,
+                )
+                if idx is None or idx + 1 >= streaming.num_chunks:
+                    return False  # last chunk in flight: nothing to give back
+                completed = idx + 1
+                boundary = exec_start + sched.compute_ends[idx]
+                if boundary >= cut.end_s:
+                    return False
+                remaining_s = schedule_chunks(
+                    sched.timings[completed:], streaming.num_streams
+                ).total_time_s
+                resume = _ResumeState(
+                    placement=cand.placement,
+                    outcome=cand.outcome,
+                    completed_chunks=completed,
+                    total_chunks=total,
+                    remaining_exec_s=remaining_s,
+                    resume_stage_s=(
+                        cand.entry.geometry.factor_bytes
+                        / cand.placement.primary_device.pcie_bandwidth_bytes_per_s
+                    ),
+                )
+            elif cut is cand.stage_booking:
+                boundary = t  # staging interrupted: full restart later
+            else:
+                return False
+
+        # Pre-verify releasability on every touched lane before mutating.
+        by_lane: Dict[str, List[Booking]] = {}
+        for booking in future:
+            by_lane.setdefault(booking.resource, []).append(booking)
+        for key, group in by_lane.items():
+            check = list(group)
+            if cut is not None and cut.resource == key:
+                check.append(cut)
+            if not lanes[key].is_tail(check):
+                return False
+        if cut is not None and cut.resource not in by_lane:
+            if lanes[cut.resource].last_booking is not cut:
+                return False
+
+        released = timeline.release(future) if future else 0.0
+        if cut is not None:
+            if cut.busy:
+                released += cut.end_s - boundary
+            timeline.truncate(cut, boundary)
+
+        entry = cand.entry
+        entry.ready_s = max(entry.ready_s, boundary)
+        entry.preemptions += 1
+        entry.preempted_from_s = boundary
+        entry.resume = resume
+        ready.append((self._queue_key(victim), entry))
+        record = PreemptionRecord(
+            job_id=victim.job_id,
+            preempted_by=by.job_id,
+            time_s=boundary,
+            completed_chunks=completed,
+            total_chunks=total,
+            released_s=released,
+            resume_stage_s=resume.resume_stage_s if resume is not None else 0.0,
+        )
+        state.preemption_records.append(record)
+        del results[victim.job_id]
+        del state.committed[victim.job_id]
+        return True
+
+    def _dispatch_resume(
+        self,
+        entry: _ReadyEntry,
+        t0: float,
+        results: Dict[int, JobResult],
+        state: _RunState,
+    ) -> bool:
+        """Re-book a preempted streamed job's remaining work.
+
+        The numeric output was computed at the original dispatch; resuming
+        books only time — a factor re-stage on the placement's copy lane,
+        then the remaining chunks' pipeline on its compute lane.  Returns
+        ``False`` (clearing the ledger, so the caller re-dispatches from
+        scratch) when the placement's slots have meanwhile failed or been
+        parked.
+        """
+        rs = entry.resume
+        assert rs is not None
+        job = entry.job
+        placement = rs.placement
+        slots = placement.device_slots
+        if any(
+            s in state.failed_slots or s in state.parked_slots for s in slots
+        ):
+            entry.resume = None
+            return False
+        tag = f"job{job.job_id}"
+        copy_lanes = [state.copy[s] for s in slots]
+        compute_lanes = [state.compute[s] for s in slots]
+        stage = state.timeline.book_together(
+            copy_lanes,
+            rs.resume_stage_s,
+            ready_s=max(t0, entry.ready_s),
+            label=f"resume-stage:{tag}",
+        )
+        exec_start = stage.end_s
+        for lane in compute_lanes:
+            exec_start = max(exec_start, lane.free_s)
+        tracked: List[Booking] = list(stage.bookings)
+        exec_booking: Optional[Booking] = None
+        if rs.remaining_exec_s > 0.0:
+            exec_booking = compute_lanes[0].book(
+                rs.remaining_exec_s, ready_s=exec_start, label=f"resume:{tag}"
+            )
+            tracked.append(exec_booking)
+        finish = exec_start + rs.remaining_exec_s
+        state.committed[job.job_id] = _CommittedJob(
+            entry=entry,
+            placement=placement,
+            outcome=rs.outcome,
+            bookings=tracked,
+            stage_booking=stage.bookings[0] if len(stage.bookings) == 1 else None,
+            exec_booking=exec_booking,
+            exec_start_s=exec_start,
+            finish_s=finish,
+            batch_id=None,
+            resumed=True,
+        )
+        for slot in slots:
+            state.jobs[slot] += 1
+        results[job.job_id] = JobResult(
+            job=job,
+            status=JobStatus.COMPLETED,
+            output=rs.outcome.output,
+            device_slots=slots,
+            execution=rs.outcome.execution,
+            encode_cache_hit=entry.encode_hit,
+            tuner_cache_hit=entry.tuner_hit,
+            preproc_s=entry.preproc_s,
+            stage_s=rs.resume_stage_s,
+            exec_s=rs.outcome.exec_s,
+            stage_start_s=stage.start_s,
+            exec_start_s=exec_start,
+            finish_s=finish,
+            block_size=placement.block_size,
+            threadlen=placement.threadlen,
+            placement=placement,
+            preemptions=entry.preemptions,
+            preempted_s=max(0.0, exec_start - entry.preempted_from_s),
+        )
+        return True

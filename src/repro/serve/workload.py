@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.context import SLO
 from repro.gpusim.cluster import (
     ClusterSpec,
     InterconnectSpec,
@@ -165,6 +166,18 @@ class WorkloadSpec:
     high_priority_fraction:
         Fraction of jobs in the urgent class (priority 0; the rest are
         priority 1).
+    latency_slo_fraction:
+        Fraction of jobs carrying a latency :class:`~repro.context.SLO`
+        (a hard completion deadline; the job is also forced into the
+        urgent priority class and marked non-preemptible).  0 (the
+        default) draws no SLOs at all, keeping the RNG stream — and
+        therefore the whole workload — byte-identical to pre-SLO
+        releases.
+    deadline_slack:
+        Deadline scale for latency-SLO jobs, as a multiple of
+        ``mean_interarrival_s``: each deadline is
+        ``mean_interarrival_s * deadline_slack * U(0.75, 1.5)`` past the
+        job's arrival.
     """
 
     num_jobs: int = 100
@@ -178,6 +191,8 @@ class WorkloadSpec:
     cross_node_every: int = 0
     giant_every: int = 33
     high_priority_fraction: float = 0.15
+    latency_slo_fraction: float = 0.0
+    deadline_slack: float = 12.0
 
     def __post_init__(self) -> None:
         check_non_negative_int(self.num_jobs, "num_jobs")
@@ -196,6 +211,14 @@ class WorkloadSpec:
         if not 0.0 <= self.high_priority_fraction <= 1.0:
             raise ValueError(
                 f"high_priority_fraction must be in [0, 1], got {self.high_priority_fraction}"
+            )
+        if not 0.0 <= self.latency_slo_fraction <= 1.0:
+            raise ValueError(
+                f"latency_slo_fraction must be in [0, 1], got {self.latency_slo_fraction}"
+            )
+        if self.deadline_slack <= 0.0:
+            raise ValueError(
+                f"deadline_slack must be positive, got {self.deadline_slack}"
             )
 
 
@@ -318,6 +341,14 @@ def generate_workload(spec: WorkloadSpec) -> List[Job]:
             rank = min(rank, 8)
         mode = int(rng.integers(0, tensor.order))
         priority = 0 if rng.random() < spec.high_priority_fraction else 1
+        # SLO draws are gated exactly like the cross-node tensor above: a
+        # spec without SLOs performs none, so its RNG stream (and workload)
+        # stays byte-identical to pre-SLO releases.
+        slo = None
+        if spec.latency_slo_fraction and rng.random() < spec.latency_slo_fraction:
+            slack = spec.mean_interarrival_s * spec.deadline_slack
+            slo = SLO.latency(float(slack * rng.uniform(0.75, 1.5)))
+            priority = 0  # latency tenants are by definition interactive
         jobs.append(
             Job(
                 job_id=job_id,
@@ -330,6 +361,7 @@ def generate_workload(spec: WorkloadSpec) -> List[Job]:
                 arrival_s=clock,
                 iterations=2,
                 factor_seed=int(rng.integers(0, 2**31 - 1)),
+                slo=slo,
             )
         )
     return jobs
