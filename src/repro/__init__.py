@@ -24,6 +24,12 @@ The package implements:
   ``python -m repro serve``.  SLO-driven serving adds per-job deadlines
   (:class:`~repro.context.SLO`), a deadline-aware preempting scheduler and
   a device-pool autoscaler;
+* an observability layer (:mod:`repro.obs`): a deterministic
+  simulated-time :class:`~repro.obs.MetricsRegistry` (Prometheus text +
+  JSON export), span-attributed timelines folded into per-job/per-resource
+  cost breakdowns (:func:`~repro.obs.attribute`), and the scheduler's
+  structured JSONL :class:`~repro.obs.EventLog` — all record-only, never
+  perturbing modeled time;
 * the unified execution-context API (:mod:`repro.context`):
   :class:`~repro.context.ExecContext` bundles the execution knobs every
   kernel and driver shares (streaming, cluster, chaos, caches) behind one
@@ -101,6 +107,13 @@ from repro.algorithms import (
 )
 from repro.data import load_dataset, DATASETS, read_tns, write_tns
 from repro.autotune import tune_unified
+from repro.obs import (
+    Attribution,
+    EventLog,
+    MetricsRegistry,
+    Span,
+    attribute,
+)
 from repro.serve import (
     AutoscalerSpec,
     Job,
@@ -187,4 +200,10 @@ __all__ = [
     "PreemptionRecord",
     "AutoscalerSpec",
     "ScaleEvent",
+    # observability
+    "MetricsRegistry",
+    "EventLog",
+    "Span",
+    "Attribution",
+    "attribute",
 ]

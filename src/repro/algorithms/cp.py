@@ -47,6 +47,7 @@ from repro.kernels.unified.sharded import (
 )
 from repro.kernels.unified.spmttkrp import spmttkrp_footprint, unified_spmttkrp
 from repro.kernels.unified.streaming import should_stream
+from repro.obs.metrics import observe_decomposition
 from repro.tensor.random import random_factors
 from repro.tensor.sparse import SparseTensor
 from repro.util.rng import SeedLike
@@ -852,7 +853,7 @@ def cp_als(
                 break
             previous_fit = fit
 
-    return CPResult(
+    result = CPResult(
         factors=factors,
         weights=weights,
         fits=fits,
@@ -869,3 +870,13 @@ def cp_als(
         recoveries=recoveries,
         recovery_overhead_s=recovery_overhead_s,
     )
+    if resolved.metrics is not None:
+        observe_decomposition(
+            resolved.metrics,
+            algorithm="cp_als",
+            iterations=iterations_run,
+            makespan_s=result.makespan_s or 0.0,
+            recoveries=len(recoveries),
+            recovery_overhead_s=recovery_overhead_s,
+        )
+    return result

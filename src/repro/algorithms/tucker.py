@@ -29,6 +29,7 @@ from repro.gpusim.device import DeviceSpec, TITAN_X
 from repro.gpusim.timeline import Timeline, device_compute_key
 from repro.kernels.unified.sharded import ShardedTimeline, plan_node_recovery
 from repro.kernels.unified.spttmc import unified_spttmc
+from repro.obs.metrics import observe_decomposition
 from repro.tensor.sparse import SparseTensor
 from repro.util.rng import SeedLike, as_rng
 from repro.util.validation import check_positive_int
@@ -367,7 +368,7 @@ def tucker_hooi(
         previous_fit = fit
 
     core = _fold_core(core_unfolded, ranks)
-    return TuckerResult(
+    result = TuckerResult(
         core=core,
         factors=factors,
         fits=fits,
@@ -383,6 +384,16 @@ def tucker_hooi(
         recoveries=recoveries,
         recovery_overhead_s=recovery_overhead_s,
     )
+    if resolved.metrics is not None:
+        observe_decomposition(
+            resolved.metrics,
+            algorithm="tucker_hooi",
+            iterations=iterations_run,
+            makespan_s=result.makespan_s or 0.0,
+            recoveries=len(recoveries),
+            recovery_overhead_s=recovery_overhead_s,
+        )
+    return result
 
 
 def _fold_core(core_unfolded: np.ndarray, ranks: Sequence[int]) -> np.ndarray:

@@ -64,6 +64,7 @@ ARTIFACT_FILES = {
     "timeline": "BENCH_timeline.json",
     "faults": "BENCH_faults.json",
     "slo": "BENCH_slo.json",
+    "obs": "BENCH_obs.json",
 }
 
 
@@ -414,6 +415,47 @@ def _slo_metrics() -> Dict[str, float]:
     }
 
 
+def _obs_metrics() -> Dict[str, float]:
+    """Observability suite: span attribution soundness and determinism.
+
+    A 40-job multi-node serving run is collected twice with full
+    telemetry.  Three zero-tolerance counts pin the tentpole properties:
+
+    * ``obs/attribution_gap_count`` — resources whose span-attributed plus
+      untagged busy seconds do not reconcile with the timeline's busy
+      time.  The attribution fold must account for every booked second; a
+      single unreconciled resource fails the gate.
+    * ``obs/untagged_busy_count`` — busy scheduler bookings carrying no
+      span.  Every busy booking the serving path makes is tagged; an
+      untagged one means a new code path forgot its span.
+    * ``obs/metrics_nondeterminism_count`` — the two runs' Prometheus
+      expositions or JSONL event logs differed byte for byte.  Telemetry
+      is pure simulated-time arithmetic; any nondeterminism is a bug.
+
+    The per-phase attributed seconds and the total NIC queueing wait ride
+    along under the ordinary ratio tolerance, so attribution drift (e.g. a
+    phase silently absorbing another's seconds) also surfaces.
+    """
+    first = run_serving(num_jobs=40, seed=0, nodes=2)
+    second = run_serving(num_jobs=40, seed=0, nodes=2)
+    attribution = first.attribution
+    totals = attribution.phase_totals()
+    nondeterminism = float(
+        first.metrics.to_prometheus() != second.metrics.to_prometheus()
+        or first.events.to_jsonl() != second.events.to_jsonl()
+    )
+    return {
+        "obs/attribution_gap_count": float(attribution.gap_count),
+        "obs/untagged_busy_count": float(attribution.untagged_busy_count),
+        "obs/metrics_nondeterminism_count": nondeterminism,
+        "obs/stage_attributed": totals.get("stage", 0.0),
+        "obs/compute_attributed": totals.get("compute", 0.0),
+        "obs/collective_attributed": totals.get("collective", 0.0),
+        "obs/nic_wait": sum(c.nic_wait_s for c in attribution.jobs.values()),
+        "obs/scheduler_events": float(len(first.events)),
+    }
+
+
 def collect_metrics() -> Dict[str, Dict[str, float]]:
     """All regression metrics, grouped by suite (simulated seconds)."""
     return {
@@ -424,6 +466,7 @@ def collect_metrics() -> Dict[str, Dict[str, float]]:
         "timeline": _timeline_metrics(),
         "faults": _faults_metrics(),
         "slo": _slo_metrics(),
+        "obs": _obs_metrics(),
     }
 
 

@@ -17,6 +17,10 @@ Usage::
                                               # timeline as a Chrome trace
     python -m repro scaling --trace out.json  # ditto for a sharded-kernel
                                               # sequence (chrome://tracing)
+    python -m repro serve --metrics out.prom  # Prometheus-style metrics
+                                              # exposition of the run
+    python -m repro serve --events out.jsonl  # structured scheduler event
+                                              # log, one JSON line per event
 
 Each experiment prints the same rows/series the paper reports, rendered as a
 plain-text table (see :mod:`repro.bench`).
@@ -133,6 +137,18 @@ def _render_serve(args: argparse.Namespace) -> str:
     parts = [report.render()]
     if args.trace:
         parts.append(_write_trace(report, args.trace))
+    if args.metrics:
+        report.metrics.write_prometheus(args.metrics)
+        parts.append(
+            f"metrics exposition written to {args.metrics} "
+            f"({len(report.metrics.metrics)} metric series)"
+        )
+    if args.events:
+        report.events.write(args.events)
+        parts.append(
+            f"event log written to {args.events} "
+            f"({len(report.events)} events, one JSON object per line)"
+        )
     return "\n\n".join(parts)
 
 
@@ -278,7 +294,44 @@ def _build_parser() -> argparse.ArgumentParser:
             "as a Chrome chrome://tracing JSON file at PATH"
         ),
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help=(
+            "for the serve experiment: write the run's metrics registry as a "
+            "Prometheus-style text exposition to PATH (deterministic for a "
+            "fixed seed; see README 'Observability')"
+        ),
+    )
+    parser.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help=(
+            "for the serve experiment: write the scheduler's structured "
+            "event log to PATH as JSON Lines (one admission/dispatch/"
+            "preemption/failure/scale record per line)"
+        ),
+    )
     return parser
+
+
+def _validate_output_path(
+    parser: argparse.ArgumentParser, flag: str, path: str
+) -> None:
+    """Fail fast on an unwritable output path, before any experiment runs.
+
+    Shared by ``--trace`` / ``--metrics`` / ``--events``: probing with an
+    append-mode open (created if missing, content untouched) surfaces
+    permission and missing-directory errors up front instead of after
+    minutes of simulation.
+    """
+    try:
+        with open(path, "a", encoding="utf-8"):
+            pass
+    except OSError as exc:
+        parser.error(f"cannot write {flag} file {path!r}: {exc}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -341,13 +394,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "--trace requires exactly one of the 'serve' or 'scaling' "
                 f"experiments in the run; got {requested}"
             )
-        # Fail on an unwritable trace path up front, not after the
-        # experiment has already run.
-        try:
-            with open(args.trace, "a", encoding="utf-8"):
-                pass
-        except OSError as exc:
-            parser.error(f"cannot write --trace file {args.trace!r}: {exc}")
+        _validate_output_path(parser, "--trace", args.trace)
+    for flag, path in (("--metrics", args.metrics), ("--events", args.events)):
+        if not path:
+            continue
+        # Telemetry files come from the serving run; one serve per run
+        # keeps the file's provenance unambiguous (mirroring --trace).
+        if requested.count("serve") != 1:
+            parser.error(f"{flag} requires exactly one 'serve' experiment in the run")
+        _validate_output_path(parser, flag, path)
 
     for i, name in enumerate(requested):
         if i:

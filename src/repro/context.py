@@ -48,6 +48,7 @@ from typing import (
 if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.gpusim.cluster import ClusterLike, NodeFailure
     from repro.gpusim.timeline import Timeline
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "SLO",
@@ -161,6 +162,13 @@ class ExecContext:
         default so modeled seconds of existing runs are unchanged).
     slo:
         The job-level :class:`SLO`, carried for serving-layer consumers.
+    metrics:
+        The run's :class:`~repro.obs.metrics.MetricsRegistry`.  When set,
+        the unified kernels, streamed/sharded drivers, and decomposition
+        algorithms publish launch counters and modeled-time histograms
+        into it (observation-only: modeled seconds never change).  The
+        serving engine threads its per-run registry through here so every
+        layer a job touches reports into one place.
     """
 
     streamed: Optional[bool] = None
@@ -173,6 +181,7 @@ class ExecContext:
     overlap_modes: bool = False
     overlap_staging: bool = False
     slo: Optional[SLO] = None
+    metrics: Optional["MetricsRegistry"] = None
 
     def __post_init__(self) -> None:
         if self.num_streams < 1:

@@ -50,6 +50,8 @@ from repro.util.validation import check_positive_int
 
 __all__ = [
     "SimClock",
+    "Span",
+    "SPAN_PHASES",
     "Booking",
     "GangBooking",
     "Resource",
@@ -105,6 +107,33 @@ class SimClock:
         return f"SimClock(now_s={self._now_s})"
 
 
+#: The attribution phases a :class:`Span` may carry.  ``nic_wait`` never
+#: appears on a booking — queueing delay is derived per booking from
+#: ``start - ready`` (see :attr:`Booking.wait_s`) — but it is a phase of
+#: the attribution output, so it is part of the closed vocabulary.
+SPAN_PHASES = ("stage", "compute", "collective", "nic_wait", "resume", "recovery")
+
+
+@dataclass(frozen=True)
+class Span:
+    """Attribution tag for a booking: which job/kernel/phase incurred it.
+
+    Telemetry-only — a span never changes booking arithmetic.  The
+    observability layer (:mod:`repro.obs.attribution`) folds the event
+    trace by span into per-job and per-resource cost breakdowns.
+    """
+
+    job_id: str
+    kernel: str = ""
+    phase: str = ""
+
+    def __post_init__(self) -> None:
+        if self.phase and self.phase not in SPAN_PHASES:
+            raise ValueError(
+                f"span phase must be one of {SPAN_PHASES}, got {self.phase!r}"
+            )
+
+
 @dataclass(frozen=True)
 class Booking:
     """One task's occupancy of one resource (an event of the trace).
@@ -113,6 +142,12 @@ class Booking:
     held (nothing else may book it) but the interval does not count toward
     its busy time — e.g. a compute engine waiting on the collective its
     device participates in.
+
+    ``ready_s`` records when the booked work *became* ready (the caller's
+    dependency instant, before the serial-resource gate), so ``start_s -
+    ready_s`` is the queueing delay the work suffered at this resource.
+    ``span`` optionally attributes the booking to a job/kernel/phase.
+    Both are record-only: they never alter ``start``/``end`` arithmetic.
     """
 
     resource: str
@@ -121,11 +156,18 @@ class Booking:
     start_s: float
     end_s: float
     busy: bool = True
+    ready_s: float = 0.0
+    span: Optional[Span] = None
 
     @property
     def duration_s(self) -> float:
         """Length of the booked interval."""
         return self.end_s - self.start_s
+
+    @property
+    def wait_s(self) -> float:
+        """Queueing delay: seconds between ready and start (never negative)."""
+        return max(0.0, self.start_s - self.ready_s)
 
 
 @dataclass(frozen=True)
@@ -160,6 +202,7 @@ class Resource:
         self.category = category
         self.free_s = 0.0  # busy-until horizon: earliest start of a new booking
         self.busy_s = 0.0  # accumulated busy-marked booking seconds
+        self.wait_s = 0.0  # accumulated queueing delay (start - ready) seconds
         self.num_bookings = 0
         self._bookings: List[Booking] = []  # this resource's bookings, in order
 
@@ -170,12 +213,21 @@ class Resource:
         ready_s: float = 0.0,
         label: str = "",
         busy: bool = True,
+        span: Optional[Span] = None,
+        queued_from_s: Optional[float] = None,
     ) -> Booking:
         """Book ``duration_s`` seconds, no earlier than ``ready_s``.
 
         The booking starts at ``max(ready_s, free)`` — the dependency gate
         and the serial-resource gate — and advances the resource's horizon
         to its end.  Returns the recorded :class:`Booking`.
+
+        ``span`` attributes the booking (telemetry-only).  ``queued_from_s``
+        overrides the instant recorded as the work's readiness for wait
+        accounting — gang bookings pass the caller's *original* ready
+        through it, because the gang start (which becomes each member's
+        ``ready_s`` gate) already includes the queueing delay being
+        measured.  Neither changes start/end arithmetic.
         """
         if not math.isfinite(duration_s) or duration_s < 0.0:
             raise ValueError(
@@ -185,6 +237,11 @@ class Resource:
             raise ValueError(f"ready_s must be finite and non-negative, got {ready_s}")
         start = max(ready_s, self.free_s)
         end = start + duration_s
+        queued_from = ready_s if queued_from_s is None else queued_from_s
+        if not math.isfinite(queued_from) or queued_from < 0.0:
+            raise ValueError(
+                f"queued_from_s must be finite and non-negative, got {queued_from}"
+            )
         booking = Booking(
             resource=self.key,
             label=label,
@@ -192,10 +249,13 @@ class Resource:
             start_s=start,
             end_s=end,
             busy=busy,
+            ready_s=queued_from,
+            span=span,
         )
         self.free_s = end
         if busy:
             self.busy_s += duration_s
+        self.wait_s += booking.wait_s
         self.num_bookings += 1
         self._bookings.append(booking)
         self._timeline._record(booking)
@@ -222,6 +282,16 @@ class Resource:
         if len(tail) != len(bookings):
             return False
         return {id(b) for b in bookings} == {id(b) for b in tail}
+
+    @property
+    def wait_time(self) -> float:
+        """Accumulated queueing delay across this resource's bookings.
+
+        The per-resource congestion signal: seconds work spent ready but
+        blocked behind earlier bookings (``start - ready`` summed over
+        bookings).  Service time is :attr:`busy_s`; the two never mix.
+        """
+        return self.wait_s
 
     def utilization(self, makespan_s: Optional[float] = None) -> float:
         """Busy fraction of ``makespan_s`` (the timeline's by default).
@@ -301,10 +371,17 @@ class Timeline:
         ready_s: float = 0.0,
         label: str = "",
         busy: bool = True,
+        span: Optional[Span] = None,
+        queued_from_s: Optional[float] = None,
     ) -> Booking:
         """Book one resource (see :meth:`Resource.book`)."""
         return self._resolve(resource).book(
-            duration_s, ready_s=ready_s, label=label, busy=busy
+            duration_s,
+            ready_s=ready_s,
+            label=label,
+            busy=busy,
+            span=span,
+            queued_from_s=queued_from_s,
         )
 
     def book_together(
@@ -315,12 +392,21 @@ class Timeline:
         ready_s: float = 0.0,
         label: str = "",
         busy: bool = True,
+        span: Optional[Span] = None,
+        queued_from_s: Optional[float] = None,
     ) -> GangBooking:
         """Gang-book ``resources`` for one shared window.
 
         The window starts at ``max(ready_s, every participant's free
         horizon)`` — a collective cannot begin until its slowest member is
         available — and every participant is occupied until it ends.
+
+        Each member's recorded readiness for wait accounting is the
+        caller's ``ready_s`` (or explicit ``queued_from_s``), *not* the
+        resolved gang start: the delay between the work becoming ready and
+        the slowest member freeing is exactly the queueing the collective
+        suffered, and passing the gang start through as the gate would
+        erase it.
         """
         members = [self._resolve(r) for r in resources]
         if not members:
@@ -328,8 +414,16 @@ class Timeline:
         start = ready_s
         for member in members:
             start = max(start, member.free_s)
+        queued_from = ready_s if queued_from_s is None else queued_from_s
         bookings = tuple(
-            member.book(duration_s, ready_s=start, label=label, busy=busy)
+            member.book(
+                duration_s,
+                ready_s=start,
+                label=label,
+                busy=busy,
+                span=span,
+                queued_from_s=queued_from,
+            )
             for member in members
         )
         return GangBooking(
@@ -378,6 +472,7 @@ class Timeline:
                 if stale.busy:
                     resource.busy_s -= stale.duration_s
                     released_busy += stale.duration_s
+                resource.wait_s -= stale.wait_s
             del resource._bookings[keep:]
             resource.num_bookings -= len(group)
             resource.free_s = resource._bookings[-1].end_s if keep else 0.0
@@ -430,6 +525,11 @@ class Timeline:
         """Accumulated busy seconds of one resource (0 when never booked)."""
         existing = self._resources.get(key)
         return existing.busy_s if existing is not None else 0.0
+
+    def wait_s(self, key: str) -> float:
+        """Accumulated queueing delay of one resource (0 when never booked)."""
+        existing = self._resources.get(key)
+        return existing.wait_s if existing is not None else 0.0
 
     def free_s(self, key: str) -> float:
         """Busy-until horizon of one resource (0 when never booked)."""
@@ -508,6 +608,13 @@ class Timeline:
             for key, tid in tids.items()
         ]
         for event in self.events:
+            args: Dict[str, object] = {"busy": event.busy}
+            if event.span is not None:
+                args["job_id"] = event.span.job_id
+                if event.span.kernel:
+                    args["kernel"] = event.span.kernel
+                if event.span.phase:
+                    args["phase"] = event.span.phase
             trace_events.append(
                 {
                     "ph": "X",
@@ -517,7 +624,7 @@ class Timeline:
                     "cat": event.category or "task",
                     "ts": event.start_s * 1e6,
                     "dur": event.duration_s * 1e6,
-                    "args": {"busy": event.busy},
+                    "args": args,
                 }
             )
         return {"displayTimeUnit": "ms", "traceEvents": trace_events}
@@ -633,6 +740,7 @@ def schedule_chunks(
     *,
     timeline: Optional[Timeline] = None,
     device_slot: int = 0,
+    span: Optional[Span] = None,
 ) -> StreamSchedule:
     """Resolve the pipelined schedule of ``timings`` with ``num_streams`` buffers.
 
@@ -651,7 +759,8 @@ def schedule_chunks(
     selects which device's copy/compute resources are booked.
 
     Returns a :class:`StreamSchedule`; an empty ``timings`` yields a
-    schedule with ``total_time_s == 0``.
+    schedule with ``total_time_s == 0``.  A ``span`` attributes the
+    bookings: transfers carry its ``stage`` phase, kernels ``compute``.
     """
     num_streams = check_positive_int(num_streams, "num_streams")
     timeline = timeline if timeline is not None else Timeline()
@@ -659,6 +768,8 @@ def schedule_chunks(
     compute_engine = timeline.resource(
         device_compute_key(device_slot), category="compute"
     )
+    stage_span = replace(span, phase="stage") if span is not None else None
+    compute_span = replace(span, phase="compute") if span is not None else None
     transfer_ends: List[float] = []
     compute_ends: List[float] = []
     for i, timing in enumerate(timings):
@@ -666,10 +777,16 @@ def schedule_chunks(
             raise TypeError(f"timings[{i}] must be a ChunkTiming, got {type(timing).__name__}")
         buffer_free = compute_ends[i - num_streams] if i >= num_streams else 0.0
         transfer = copy_engine.book(
-            timing.transfer_s, ready_s=buffer_free, label=f"transfer:chunk{i}"
+            timing.transfer_s,
+            ready_s=buffer_free,
+            label=f"transfer:chunk{i}",
+            span=stage_span,
         )
         kernel = compute_engine.book(
-            timing.compute_s, ready_s=transfer.end_s, label=f"kernel:chunk{i}"
+            timing.compute_s,
+            ready_s=transfer.end_s,
+            label=f"kernel:chunk{i}",
+            span=compute_span,
         )
         transfer_ends.append(transfer.end_s)
         compute_ends.append(kernel.end_s)

@@ -40,6 +40,7 @@ from repro.kernels.unified._model import (
 )
 from repro.kernels.unified.sharded import sharded_unified_kernel
 from repro.kernels.unified.streaming import should_stream, streamed_unified_kernel
+from repro.obs.metrics import observe_kernel_profile
 from repro.tensor.sparse import SparseTensor
 from repro.util.validation import check_mode
 
@@ -204,6 +205,10 @@ def unified_spmttkrp(
             reduction="allreduce",
         )
         np.add.at(output, fcoo.segment_index_coords[:, 0], slice_sums)
+        if ctx.metrics is not None:
+            observe_kernel_profile(
+                ctx.metrics, kernel="spmttkrp", nnz=fcoo.nnz, profile=profile
+            )
         return MTTKRPResult(output=output, profile=profile)
 
     if should_stream(fcoo, footprint, device, streamed):
@@ -227,6 +232,10 @@ def unified_spmttkrp(
             name=f"unified-spmttkrp-mode{fcoo.mode}",
         )
         np.add.at(output, fcoo.segment_index_coords[:, 0], slice_sums)
+        if ctx.metrics is not None:
+            observe_kernel_profile(
+                ctx.metrics, kernel="spmttkrp", nnz=fcoo.nnz, profile=profile
+            )
         return MTTKRPResult(output=output, profile=profile)
 
     row_streams: List[np.ndarray] = []
@@ -261,4 +270,8 @@ def unified_spmttkrp(
         device,
         device_memory_bytes=footprint,
     )
+    if ctx.metrics is not None:
+        observe_kernel_profile(
+            ctx.metrics, kernel="spmttkrp", nnz=fcoo.nnz, profile=profile
+        )
     return MTTKRPResult(output=output, profile=profile)

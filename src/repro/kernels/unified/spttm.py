@@ -43,6 +43,7 @@ from repro.kernels.unified._model import (
 )
 from repro.kernels.unified.sharded import sharded_unified_kernel
 from repro.kernels.unified.streaming import should_stream, streamed_unified_kernel
+from repro.obs.metrics import observe_kernel_profile
 from repro.tensor.sparse import SparseTensor
 from repro.util.validation import check_mode
 
@@ -179,6 +180,8 @@ def unified_spttm(
             launch,
             device,
         )
+        if ctx.metrics is not None:
+            observe_kernel_profile(ctx.metrics, kernel="spttm", nnz=0, profile=profile)
         return SpTTMResult(output=output, profile=profile)
 
     launch = LaunchConfig.for_nnz(fcoo.nnz, rank, block_size=block_size, threadlen=threadlen)
@@ -267,4 +270,6 @@ def unified_spttm(
         fiber_coords=fcoo.segment_index_coords,
         fiber_values=fiber_values,
     )
+    if ctx.metrics is not None:
+        observe_kernel_profile(ctx.metrics, kernel="spttm", nnz=fcoo.nnz, profile=profile)
     return SpTTMResult(output=output, profile=profile)

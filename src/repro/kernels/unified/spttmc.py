@@ -36,6 +36,7 @@ from repro.kernels.unified._model import (
 )
 from repro.kernels.unified.sharded import sharded_unified_kernel
 from repro.kernels.unified.streaming import should_stream, streamed_unified_kernel
+from repro.obs.metrics import observe_kernel_profile
 from repro.tensor.sparse import SparseTensor
 from repro.util.validation import check_mode
 
@@ -173,6 +174,10 @@ def unified_spttmc(
             reduction="allreduce",
         )
         np.add.at(output, fcoo.segment_index_coords[:, 0], slice_sums)
+        if ctx.metrics is not None:
+            observe_kernel_profile(
+                ctx.metrics, kernel="spttmc", nnz=fcoo.nnz, profile=profile
+            )
         return TTMcResult(output=output, profile=profile)
 
     if should_stream(fcoo, footprint, device, streamed):
@@ -196,6 +201,10 @@ def unified_spttmc(
             name=f"unified-spttmc-mode{fcoo.mode}",
         )
         np.add.at(output, fcoo.segment_index_coords[:, 0], slice_sums)
+        if ctx.metrics is not None:
+            observe_kernel_profile(
+                ctx.metrics, kernel="spttmc", nnz=fcoo.nnz, profile=profile
+            )
         return TTMcResult(output=output, profile=profile)
 
     row_streams: List[np.ndarray] = []
@@ -229,4 +238,8 @@ def unified_spttmc(
         device,
         device_memory_bytes=footprint,
     )
+    if ctx.metrics is not None:
+        observe_kernel_profile(
+            ctx.metrics, kernel="spttmc", nnz=fcoo.nnz, profile=profile
+        )
     return TTMcResult(output=output, profile=profile)

@@ -45,7 +45,11 @@ bit-identical to executing it alone.
 from repro.context import SLO, ExecContext, TimedResult
 from repro.serve.autoscale import Autoscaler, AutoscalerSpec, ScaleEvent
 from repro.serve.cache import CacheStats, PreprocCache
-from repro.serve.engine import ServingEngine, ServingReport
+from repro.serve.engine import (
+    ServingEngine,
+    ServingReport,
+    publish_serving_metrics,
+)
 from repro.serve.execute import ExecutionOutcome, execute_job
 from repro.serve.job import Job, JobKind, JobResult, JobStatus
 from repro.serve.placement import JobGeometry, Placement, Placer, job_geometry
@@ -93,4 +97,5 @@ __all__ = [
     "default_serving_cluster",
     "ServingEngine",
     "ServingReport",
+    "publish_serving_metrics",
 ]

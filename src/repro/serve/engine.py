@@ -23,6 +23,9 @@ from repro.gpusim.cluster import (
     collapse_cluster,
 )
 from repro.gpusim.timeline import Timeline, device_compute_key
+from repro.obs.attribution import Attribution
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.autoscale import AutoscalerSpec, ScaleEvent
 from repro.serve.cache import CacheStats, PreprocCache
 from repro.serve.job import Job, JobResult
@@ -30,7 +33,7 @@ from repro.serve.scheduler import DeviceTimeline, PreemptionRecord, Scheduler
 from repro.serve.workload import WorkloadSpec, default_serving_cluster, generate_workload
 from repro.util.formatting import format_seconds, format_table
 
-__all__ = ["ServingEngine", "ServingReport"]
+__all__ = ["ServingEngine", "ServingReport", "publish_serving_metrics"]
 
 
 @dataclass
@@ -55,6 +58,13 @@ class ServingReport:
     preemptions: List[PreemptionRecord] = field(default_factory=list)
     #: Autoscaler actions, in firing order (empty without an autoscaler).
     scale_events: List[ScaleEvent] = field(default_factory=list)
+    #: The run's telemetry: the metrics registry every layer published
+    #: into, the structured scheduler event log, and the span-folded cost
+    #: attribution of the shared timeline (see :mod:`repro.obs`).  All
+    #: three are ``None`` only for reports built without a scheduler run.
+    metrics: Optional[MetricsRegistry] = field(default=None, repr=False)
+    events: Optional[EventLog] = field(default=None, repr=False)
+    attribution: Optional[Attribution] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------ #
     @property
@@ -177,10 +187,22 @@ class ServingReport:
 
     @property
     def overall_utilization(self) -> float:
-        """Cluster busy fraction: total busy over ``N x makespan``."""
+        """Cluster busy fraction: total busy over ``N x makespan``.
+
+        ``N`` and the busy totals come from the shared timeline's
+        *registered* compute-engine resources rather than the per-device
+        view list, so the figure stays honest if the two ever disagree
+        (e.g. a report rebuilt with trimmed views); reports without a
+        timeline fall back to the views.
+        """
         makespan = self.makespan_s
         if makespan <= 0:
             return 0.0
+        if self.timeline is not None:
+            engines = [r for r in self.timeline.resources if r.category == "compute"]
+            if engines:
+                busy = sum(r.busy_s for r in engines)
+                return min(1.0, busy / (len(engines) * makespan))
         busy = sum(self._device_busy_s(t.slot) for t in self.timelines)
         return min(1.0, busy / (len(self.timelines) * makespan))
 
@@ -276,6 +298,25 @@ class ServingReport:
             f"{stats.tuner_hits}/{stats.tuner_hits + stats.tuner_misses} tuner hits, "
             f"{stats.evictions} evictions"
         )
+        if self.attribution is not None:
+            totals = self.attribution.phase_totals()
+            phase_summary = ", ".join(
+                f"{phase} {format_seconds(seconds)}"
+                for phase, seconds in totals.items()
+                if seconds > 0.0
+            )
+            nic_wait = sum(c.nic_wait_s for c in self.attribution.jobs.values())
+            lines.append(
+                f"attribution: {phase_summary or 'no busy time'}; "
+                f"NIC queueing {format_seconds(nic_wait)}; "
+                f"{self.attribution.gap_count} unreconciled resources"
+            )
+        if self.metrics is not None:
+            events_n = len(self.events) if self.events is not None else 0
+            lines.append(
+                f"telemetry: {len(self.metrics.metrics)} metric series, "
+                f"{events_n} events logged"
+            )
         utilization = self.device_utilization
         body = [
             [
@@ -363,6 +404,9 @@ class ServingEngine:
         self,
         jobs: Sequence[Job],
         chaos: Optional[Sequence[NodeFailure]] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        events: Optional[EventLog] = None,
     ) -> ServingReport:
         """Schedule and execute ``jobs``; returns the full report.
 
@@ -372,10 +416,21 @@ class ServingEngine:
         earlier report.  ``chaos`` injects seeded node-loss events (see
         :meth:`~repro.serve.scheduler.Scheduler.run`); the report records
         the fired events and the job re-queues they caused.
+
+        Every run is fully instrumented: a fresh
+        :class:`~repro.obs.metrics.MetricsRegistry` and
+        :class:`~repro.obs.events.EventLog` are created (or the caller's
+        own passed as ``metrics`` / ``events``), threaded through the
+        scheduler into every kernel and driver a job touches, and returned
+        on the report (``report.metrics`` / ``report.events``) alongside
+        the span-folded cost attribution.  Telemetry is observation-only:
+        results and bookings are bit-identical with or without consumers.
         """
         before = replace(self.cache.stats)
-        outcome = self.scheduler.run(jobs, chaos=chaos)
-        return ServingReport(
+        registry = metrics if metrics is not None else MetricsRegistry()
+        log = events if events is not None else EventLog()
+        outcome = self.scheduler.run(jobs, chaos=chaos, metrics=registry, events=log)
+        report = ServingReport(
             cluster=self.cluster,
             policy=self.policy,
             results=outcome.results,
@@ -386,13 +441,98 @@ class ServingEngine:
             requeued_jobs=outcome.requeued_jobs,
             preemptions=outcome.preemptions,
             scale_events=outcome.scale_events,
+            metrics=registry,
+            events=log,
+            attribution=outcome.attribution,
         )
+        publish_serving_metrics(registry, report)
+        return report
 
     def run_workload(
         self,
         spec: Optional[WorkloadSpec] = None,
         chaos: Optional[Sequence[NodeFailure]] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        events: Optional[EventLog] = None,
     ) -> ServingReport:
         """Generate a seeded synthetic workload and serve it."""
         spec = spec if spec is not None else WorkloadSpec()
-        return self.run(generate_workload(spec), chaos=chaos)
+        return self.run(
+            generate_workload(spec), chaos=chaos, metrics=metrics, events=events
+        )
+
+
+def publish_serving_metrics(registry: MetricsRegistry, report: ServingReport) -> None:
+    """Publish a finished run's report-level metrics into ``registry``.
+
+    The serving-layer half of the metrics catalogue: job outcomes,
+    execution-path counts, latency percentiles, utilisation, fault and
+    preemption totals, and the preprocessing-cache hit counters.  Called by
+    :meth:`ServingEngine.run` on its per-run registry; callers holding a
+    long-lived registry across runs should expect counters to accumulate.
+    """
+    jobs = registry.counter(
+        "repro_serve_jobs_total", "Serving jobs by terminal status.", ("status",)
+    )
+    jobs.inc(len(report.completed), status="completed")
+    jobs.inc(len(report.rejected), status="rejected")
+    paths = registry.counter(
+        "repro_serve_execution_total",
+        "Completed serving jobs by execution path.",
+        ("path",),
+    )
+    for path, count in sorted(report.execution_counts().items()):
+        paths.inc(count, path=path)
+    registry.gauge(
+        "repro_serve_makespan_seconds",
+        "Completion time of the serving run's last job (simulated).",
+    ).set(report.makespan_s)
+    registry.gauge(
+        "repro_serve_throughput_jobs_per_second",
+        "Completed jobs per simulated second.",
+    ).set(report.throughput_jobs_per_s)
+    latency = registry.gauge(
+        "repro_serve_latency_seconds",
+        "End-to-end latency percentiles over completed jobs.",
+        ("quantile",),
+    )
+    latency.set(report.p50_latency_s, quantile="0.5")
+    latency.set(report.p99_latency_s, quantile="0.99")
+    latency.set(report.p999_latency_s, quantile="0.999")
+    registry.gauge(
+        "repro_serve_utilization_ratio",
+        "Cluster compute busy fraction over the makespan.",
+    ).set(report.overall_utilization)
+    registry.counter(
+        "repro_serve_batched_jobs_total", "Completed jobs that rode in a batch."
+    ).inc(report.batched_jobs)
+    registry.counter(
+        "repro_serve_preemptions_total",
+        "Chunk-boundary preemptions the deadline policy performed.",
+    ).inc(len(report.preemptions))
+    registry.counter(
+        "repro_serve_deadline_misses_total",
+        "Deadline-carrying jobs that finished late or not at all.",
+    ).inc(report.deadline_misses)
+    registry.counter(
+        "repro_serve_requeues_total", "Job re-queues caused by node losses."
+    ).inc(report.requeued_jobs)
+    registry.counter(
+        "repro_serve_node_failures_total", "Chaos node-loss events that fired."
+    ).inc(len(report.failures))
+    scale = registry.counter(
+        "repro_serve_scale_events_total", "Autoscaler actions by direction.", ("action",)
+    )
+    for event in report.scale_events:
+        scale.inc(action=event.action)
+    cache = registry.counter(
+        "repro_serve_cache_requests_total",
+        "Preprocessing cache lookups by kind and outcome.",
+        ("kind", "outcome"),
+    )
+    stats = report.cache_stats
+    cache.inc(stats.encode_hits, kind="encode", outcome="hit")
+    cache.inc(stats.encode_misses, kind="encode", outcome="miss")
+    cache.inc(stats.tuner_hits, kind="tuner", outcome="hit")
+    cache.inc(stats.tuner_misses, kind="tuner", outcome="miss")

@@ -17,7 +17,7 @@ CP-ALS / Tucker-HOOI drivers with the placement's device or cluster.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.algorithms.cp import UnifiedGPUEngine, cp_als
 from repro.algorithms.tucker import tucker_hooi
@@ -28,6 +28,9 @@ from repro.kernels.unified.spttm import unified_spttm
 from repro.kernels.unified.spttmc import unified_spttmc
 from repro.serve.job import Job, JobKind
 from repro.serve.placement import Placement
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["ExecutionOutcome", "execute_job"]
 
@@ -67,6 +70,7 @@ def execute_job(
     encoding: Optional[FCOOTensor] = None,
     cache: Optional[object] = None,
     num_streams: int = 2,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> ExecutionOutcome:
     """Execute one placed job; deterministic in ``(job, placement)``.
 
@@ -84,11 +88,18 @@ def execute_job(
         drivers, so their per-mode encodings are shared across jobs.
     num_streams:
         Stream count for the kernels' out-of-core fallback.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` threaded onto
+        the :class:`~repro.context.ExecContext`, so the kernels and
+        decomposition drivers publish launch/timing telemetry.  Purely
+        observational — outputs and modeled seconds are bit-identical with
+        or without it (the replay property holds either way).
     """
     ctx = ExecContext(
         num_streams=num_streams,
         cluster=placement.cluster,
         preproc_cache=cache,
+        metrics=metrics,
     )
     if job.kind.is_kernel:
         if encoding is None:

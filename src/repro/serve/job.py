@@ -235,6 +235,19 @@ class JobResult:
     preempted_s:
         Modeled seconds between the (last) preemption and the resumed
         execution start — the victim-side latency cost of preemption.
+    compute_s:
+        Busy seconds the job's ``compute``-phase bookings attributed on the
+        timeline (first-run kernel time; a resumed job's re-booked chunks
+        land in ``preemption_overhead_s`` instead).  Filled by the span
+        attribution fold after the run; 0 for rejected jobs.
+    nic_wait_s:
+        Seconds the job's collectives queued behind other jobs' traffic on
+        shared link/NIC resources (``start - queued_from`` of its
+        collective bookings) — pure congestion, not transfer time.
+    preemption_overhead_s:
+        Busy seconds of the job's ``resume`` and ``recovery`` phase
+        bookings: the re-staging and re-booked pipeline it paid because it
+        was preempted or torn off a failed node.
     """
 
     job: Job
@@ -259,6 +272,9 @@ class JobResult:
     requeues: int = 0
     preemptions: int = 0
     preempted_s: float = 0.0
+    compute_s: float = 0.0
+    nic_wait_s: float = 0.0
+    preemption_overhead_s: float = 0.0
 
     @property
     def completed(self) -> bool:

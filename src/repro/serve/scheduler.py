@@ -91,12 +91,16 @@ from repro.gpusim.device import DeviceSpec
 from repro.gpusim.timeline import (
     Booking,
     Resource,
+    Span,
     Timeline,
     device_compute_key,
     device_copy_key,
     schedule_chunks,
 )
 from repro.gpusim.timing import OutOfDeviceMemory
+from repro.obs.attribution import Attribution, attribute
+from repro.obs.events import Event, EventLog
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.autoscale import Autoscaler, AutoscalerSpec, ScaleEvent
 from repro.serve.cache import PreprocCache
 from repro.serve.execute import ExecutionOutcome, execute_job
@@ -192,6 +196,9 @@ class _ReadyEntry:
     preemptions: int = 0
     preempted_from_s: float = 0.0
     resume: Optional[_ResumeState] = None
+    #: Whether this entry is a post-failure re-admission — its re-staging
+    #: is attributed to the ``recovery`` span phase rather than ``stage``.
+    requeued: bool = False
 
 
 @dataclass
@@ -213,6 +220,11 @@ class _CommittedJob:
     finish_s: float
     batch_id: Optional[int]
     resumed: bool = False
+    # The provisional log events this commitment emitted (timestamps lie in
+    # the committed future).  Revoking the commitment — trial re-book,
+    # preemption, chaos teardown — must retract the stale ones.
+    start_event: Optional[Event] = None  # "dispatch" or "resume"
+    complete_event: Optional[Event] = None
 
 
 @dataclass
@@ -234,6 +246,9 @@ class _RunState:
     committed: Dict[int, _CommittedJob] = field(default_factory=dict)
     #: Preemptions performed, in firing order.
     preemption_records: List[PreemptionRecord] = field(default_factory=list)
+    #: Telemetry sinks of the run (both optional; observation-only).
+    metrics: Optional[MetricsRegistry] = None
+    events: Optional[EventLog] = None
 
 
 @dataclass
@@ -255,6 +270,9 @@ class ScheduleOutcome:
     preemptions: List[PreemptionRecord] = field(default_factory=list)
     #: Autoscaler actions, in firing order (empty without an autoscaler).
     scale_events: List[ScaleEvent] = field(default_factory=list)
+    #: The span-folded cost breakdown of the run's timeline (per-job and
+    #: per-resource attributed seconds; see :mod:`repro.obs.attribution`).
+    attribution: Optional[Attribution] = field(default=None, repr=False)
 
     @property
     def makespan_s(self) -> float:
@@ -438,6 +456,7 @@ class Scheduler:
         clock: float,
         results: Dict[int, JobResult],
         availability: Dict[Tuple, float],
+        events: Optional[EventLog] = None,
     ) -> None:
         """Process arrivals up to ``clock``: shed, reject or preprocess."""
         while pending and pending[0].arrival_s <= clock:
@@ -447,15 +466,38 @@ class Scheduler:
                     job,
                     f"queue full ({self.max_queue_depth} jobs waiting) at arrival",
                 )
+                if events is not None:
+                    events.emit(
+                        "reject",
+                        time_s=job.arrival_s,
+                        job_id=f"job{job.job_id}",
+                        reason="queue_full",
+                    )
                 continue
             geometry = job_geometry(job, threadlen=self.placer.threadlen)
             reason = self.placer.admit(job, geometry)
             if reason is not None:
                 results[job.job_id] = self._rejected(job, reason)
+                if events is not None:
+                    events.emit(
+                        "reject",
+                        time_s=job.arrival_s,
+                        job_id=f"job{job.job_id}",
+                        reason="admission_control",
+                    )
                 continue
-            ready.append(
-                (self._queue_key(job), self._preprocess(job, geometry, availability))
-            )
+            entry = self._preprocess(job, geometry, availability)
+            ready.append((self._queue_key(job), entry))
+            if events is not None:
+                events.emit(
+                    "admit",
+                    time_s=job.arrival_s,
+                    job_id=f"job{job.job_id}",
+                    job_kind=job.kind.value,
+                    tenant=job.tenant,
+                    priority=job.priority,
+                    ready_s=entry.ready_s,
+                )
 
     @staticmethod
     def _rejected(job: Job, reason: str) -> JobResult:
@@ -529,6 +571,9 @@ class Scheduler:
         self,
         jobs: Sequence[Job],
         chaos: Optional[Sequence[NodeFailure]] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        events: Optional[EventLog] = None,
     ) -> ScheduleOutcome:
         """Schedule and execute ``jobs``; returns the full ledger.
 
@@ -544,6 +589,15 @@ class Scheduler:
         slots to the placement pool at that time.  Numeric outputs are
         unaffected — a re-queued job recomputes the same bits on the
         survivor placement — so chaos perturbs only the schedule.
+
+        ``metrics`` and ``events`` are the run's optional telemetry sinks
+        (see :mod:`repro.obs`): with ``metrics``, every layer a job
+        touches publishes into the registry (kernels included — it is
+        threaded through :func:`~repro.serve.execute.execute_job` onto
+        the :class:`~repro.context.ExecContext`); with ``events``, the
+        event loop appends one structured record per scheduling decision.
+        Both are observation-only: bookings and results are bit-identical
+        with or without them.
         """
         ids = [job.job_id for job in jobs]
         if len(set(ids)) != len(ids):
@@ -560,6 +614,8 @@ class Scheduler:
                 for i in range(self.cluster.num_devices)
             ],
             jobs=[0] * self.cluster.num_devices,
+            metrics=metrics,
+            events=events,
         )
         pending = deque(sorted(jobs, key=lambda j: (j.arrival_s, j.job_id)))
         ready: List[Tuple[Tuple, _ReadyEntry]] = []
@@ -586,9 +642,16 @@ class Scheduler:
             """
             pending_recovery.sort()
             while pending_recovery and pending_recovery[0][0] <= now:
-                _, node, slots = pending_recovery.pop(0)
+                recover_at, node, slots = pending_recovery.pop(0)
                 state.failed_nodes.discard(node)
                 state.failed_slots.difference_update(slots)
+                if events is not None:
+                    events.emit(
+                        "node_recovery",
+                        time_s=recover_at,
+                        node=node,
+                        slots=list(slots),
+                    )
             while chaos_events and chaos_events[0].time_s <= now:
                 event = chaos_events.popleft()
                 slots = self._node_slots(event.node_index)
@@ -607,16 +670,41 @@ class Scheduler:
                     and r.finish_s > event.time_s
                     and dead & set(r.device_slots)
                 ]
+                if events is not None:
+                    events.emit(
+                        "node_failure",
+                        time_s=event.time_s,
+                        node=event.node_index,
+                        slots=list(slots),
+                        victims=len(victims),
+                    )
                 for victim in victims:
                     job = victim.job
                     requeue_counts[job.job_id] = requeue_counts.get(job.job_id, 0) + 1
                     del results[job.job_id]
-                    state.committed.pop(job.job_id, None)
+                    ledger = state.committed.pop(job.job_id, None)
+                    if ledger is not None:
+                        # A victim that started before the failure ran real
+                        # (wasted) work; one committed for a post-failure
+                        # start never did — retract its phantom dispatch.
+                        self._revoke_events(
+                            state,
+                            ledger,
+                            work_started=victim.stage_start_s < event.time_s,
+                        )
                     geometry = job_geometry(job, threadlen=self.placer.threadlen)
                     entry = self._preprocess(job, geometry, availability)
                     # Re-admission cannot predate the failure that caused it.
                     entry.ready_s = max(entry.ready_s, event.time_s)
+                    entry.requeued = True
                     ready.append((self._queue_key(job), entry))
+                    if events is not None:
+                        events.emit(
+                            "requeue",
+                            time_s=event.time_s,
+                            job_id=f"job{job.job_id}",
+                            node=event.node_index,
+                        )
 
         scaler = (
             Autoscaler(self.autoscale, self.placer.scores)
@@ -626,9 +714,10 @@ class Scheduler:
         if scaler is not None:
             state.parked_slots = set(scaler.parked)
 
+        scale_seen = 0
         while pending or ready or chaos_events:
             fire_due(clock.now_s)
-            self._admit(pending, ready, clock.now_s, results, availability)
+            self._admit(pending, ready, clock.now_s, results, availability, events)
             if scaler is not None:
                 scaler.step(
                     clock.now_s,
@@ -637,6 +726,16 @@ class Scheduler:
                     [lane.free_s for lane in state.compute],
                 )
                 state.parked_slots = set(scaler.parked)
+                if events is not None:
+                    for scale in scaler.events[scale_seen:]:
+                        events.emit(
+                            "scale",
+                            time_s=scale.time_s,
+                            action=scale.action,
+                            slot=scale.slot,
+                            active_devices=scale.active_devices,
+                        )
+                scale_seen = len(scaler.events)
             upcoming = [
                 t
                 for t in (
@@ -680,6 +779,19 @@ class Scheduler:
             else results[job_id]
             for job_id in sorted(results)
         ]
+        # Fold the span-tagged trace into the per-job cost breakdown and
+        # backfill the attributed fields on every completed result.  The
+        # fold reads the timeline; it never writes, so the schedule is
+        # bit-identical with or without telemetry consumers.
+        attribution = attribute(timeline)
+        for result in ordered:
+            cost = attribution.jobs.get(f"job{result.job.job_id}")
+            if result.completed and cost is not None:
+                result.nic_wait_s = cost.nic_wait_s
+                result.compute_s = cost.compute_s
+                result.preemption_overhead_s = cost.preemption_overhead_s
+        if metrics is not None:
+            attribution.publish(metrics)
         timelines = [
             DeviceTimeline(
                 slot=i,
@@ -699,6 +811,7 @@ class Scheduler:
             requeued_jobs=sum(requeue_counts.values()),
             preemptions=list(state.preemption_records),
             scale_events=list(scaler.events) if scaler is not None else [],
+            attribution=attribution,
         )
 
     # ------------------------------------------------------------------ #
@@ -743,6 +856,7 @@ class Scheduler:
                 encoding=entry.encoding,
                 cache=self.cache,
                 num_streams=self.num_streams,
+                metrics=state.metrics,
             )
         except OutOfDeviceMemory as exc:
             # The admission estimate is first-order (autotune can raise the
@@ -752,6 +866,13 @@ class Scheduler:
             results[job.job_id] = self._rejected(
                 job, f"rejected at execution: {exc}"
             )
+            if state.events is not None:
+                state.events.emit(
+                    "reject",
+                    time_s=t0,
+                    job_id=f"job{job.job_id}",
+                    reason="out_of_device_memory",
+                )
             for mate in mates:
                 ready.append((self._queue_key(mate.job), mate))
             return batch_seq
@@ -797,6 +918,7 @@ class Scheduler:
                 encoding=entry.encoding,
                 cache=self.cache,
                 num_streams=self.num_streams,
+                metrics=state.metrics,
             )
             results[mate.job.job_id] = self._commit(
                 mate,
@@ -898,7 +1020,17 @@ class Scheduler:
         compute_lanes = [state.compute[s] for s in slots]
 
         stage = state.timeline.book_together(
-            copy_lanes, stage_s, ready_s=max(t0, entry.ready_s), label=f"stage:{tag}"
+            copy_lanes,
+            stage_s,
+            ready_s=max(t0, entry.ready_s),
+            label=f"stage:{tag}",
+            # A post-failure re-admission's re-staging is recovery overhead,
+            # not first-run staging; the attribution fold keeps them apart.
+            span=Span(
+                tag,
+                kernel=job.kind.value,
+                phase="recovery" if entry.requeued else "stage",
+            ),
         )
         stage_start, stage_end = stage.start_s, stage.end_s
         tracked: List[Booking] = list(stage.bookings)
@@ -932,7 +1064,12 @@ class Scheduler:
             busy = busy_by_slot.get(slot, 0.0)
             if busy > 0.0:
                 exec_bookings.append(
-                    lane.book(busy, ready_s=exec_start, label=f"exec:{tag}")
+                    lane.book(
+                        busy,
+                        ready_s=exec_start,
+                        label=f"exec:{tag}",
+                        span=Span(tag, kernel=job.kind.value, phase="compute"),
+                    )
                 )
         tracked.extend(exec_bookings)
 
@@ -981,6 +1118,11 @@ class Scheduler:
                 finish - red_start,
                 ready_s=red_start,
                 label=f"{reduction_kind}:{tag}",
+                span=Span(tag, kernel=job.kind.value, phase="collective"),
+                # The job was NIC-ready the moment its compute drained;
+                # ``red_start - compute_end`` is pure shared-NIC queueing and
+                # lands in the per-job ``nic_wait_s`` breakdown.
+                queued_from_s=compute_end,
             )
             tracked.extend(collective.bookings)
         # Hold every participating compute engine to the job's completion
@@ -998,6 +1140,23 @@ class Scheduler:
         for slot in slots:
             state.jobs[slot] += 1
 
+        start_event = complete_event = None
+        if state.events is not None:
+            start_event = state.events.emit(
+                "dispatch",
+                time_s=stage_start,
+                job_id=tag,
+                slots=list(slots),
+                execution=outcome.execution,
+                batch_id=batch_id,
+            )
+            complete_event = state.events.emit(
+                "complete",
+                time_s=finish,
+                job_id=tag,
+                execution=outcome.execution,
+                exec_s=outcome.exec_s,
+            )
         state.committed[job.job_id] = _CommittedJob(
             entry=entry,
             placement=placement,
@@ -1008,6 +1167,8 @@ class Scheduler:
             exec_start_s=exec_start,
             finish_s=finish,
             batch_id=batch_id,
+            start_event=start_event,
+            complete_event=complete_event,
         )
         return JobResult(
             job=job,
@@ -1035,6 +1196,25 @@ class Scheduler:
                 else 0.0
             ),
         )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _revoke_events(
+        state: _RunState, committed: _CommittedJob, *, work_started: bool
+    ) -> None:
+        """Retract a revoked commitment's provisional log events.
+
+        The stale ``complete`` always goes (the job did not finish as
+        booked); the ``dispatch``/``resume`` start marker stays only when
+        device work genuinely began before the revocation — a real partial
+        run is history, a never-started booking is not.
+        """
+        if state.events is None:
+            return
+        if committed.complete_event is not None:
+            state.events.retract(committed.complete_event)
+        if not work_started and committed.start_event is not None:
+            state.events.retract(committed.start_event)
 
     # ------------------------------------------------------------------ #
     # Preemption (policy="deadline")
@@ -1082,6 +1262,9 @@ class Scheduler:
         )
         if candidates:
             state.timeline.release(own.bookings)
+            # The trial booking is fully revoked (nothing ran yet — this
+            # all happens at dispatch time); the re-commit re-emits.
+            self._revoke_events(state, own, work_started=False)
             for cand in candidates:
                 if self._preempt_victim(cand, t0, job, state, ready, results):
                     break
@@ -1228,6 +1411,19 @@ class Scheduler:
             resume_stage_s=resume.resume_stage_s if resume is not None else 0.0,
         )
         state.preemption_records.append(record)
+        if state.events is not None:
+            state.events.emit(
+                "preempt",
+                time_s=boundary,
+                job_id=f"job{victim.job_id}",
+                preempted_by=f"job{by.job_id}",
+                completed_chunks=completed,
+                total_chunks=total,
+                released_s=released,
+            )
+        # ``straddle`` means staging or compute was genuinely cut mid-flight
+        # (the dispatch stands as history); a full release never started.
+        self._revoke_events(state, cand, work_started=bool(straddle))
         del results[victim.job_id]
         del state.committed[victim.job_id]
         return True
@@ -1266,6 +1462,7 @@ class Scheduler:
             rs.resume_stage_s,
             ready_s=max(t0, entry.ready_s),
             label=f"resume-stage:{tag}",
+            span=Span(tag, kernel=job.kind.value, phase="resume"),
         )
         exec_start = stage.end_s
         for lane in compute_lanes:
@@ -1274,10 +1471,29 @@ class Scheduler:
         exec_booking: Optional[Booking] = None
         if rs.remaining_exec_s > 0.0:
             exec_booking = compute_lanes[0].book(
-                rs.remaining_exec_s, ready_s=exec_start, label=f"resume:{tag}"
+                rs.remaining_exec_s,
+                ready_s=exec_start,
+                label=f"resume:{tag}",
+                span=Span(tag, kernel=job.kind.value, phase="resume"),
             )
             tracked.append(exec_booking)
         finish = exec_start + rs.remaining_exec_s
+        start_event = complete_event = None
+        if state.events is not None:
+            start_event = state.events.emit(
+                "resume",
+                time_s=stage.start_s,
+                job_id=tag,
+                completed_chunks=rs.completed_chunks,
+                total_chunks=rs.total_chunks,
+            )
+            complete_event = state.events.emit(
+                "complete",
+                time_s=finish,
+                job_id=tag,
+                execution=rs.outcome.execution,
+                exec_s=rs.outcome.exec_s,
+            )
         state.committed[job.job_id] = _CommittedJob(
             entry=entry,
             placement=placement,
@@ -1289,6 +1505,8 @@ class Scheduler:
             finish_s=finish,
             batch_id=None,
             resumed=True,
+            start_event=start_event,
+            complete_event=complete_event,
         )
         for slot in slots:
             state.jobs[slot] += 1

@@ -77,3 +77,39 @@ class TestCli:
             main(["serve", "--nodes", "2", "--fail-node", "0"])
         assert exc.value.code != 0
         assert "--chaos-seed" in capsys.readouterr().err
+
+    def test_serve_writes_metrics_and_events(self, capsys, tmp_path):
+        metrics = tmp_path / "out.prom"
+        events = tmp_path / "events.jsonl"
+        assert main(
+            [
+                "serve", "--jobs", "10",
+                "--metrics", str(metrics),
+                "--events", str(events),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert str(metrics) in out and str(events) in out
+        text = metrics.read_text()
+        assert "# TYPE repro_serve_jobs_total counter" in text
+        assert text.endswith("\n")
+        lines = events.read_text().splitlines()
+        assert lines
+        import json
+
+        assert all(json.loads(line)["v"] == 1 for line in lines)
+
+    @pytest.mark.parametrize("flag", ["--metrics", "--events"])
+    def test_telemetry_flags_require_serve(self, capsys, flag, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["table2", flag, str(tmp_path / "x")])
+        assert exc.value.code != 0
+        assert "serve" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--metrics", "--events", "--trace"])
+    def test_output_paths_validated_up_front(self, capsys, flag, tmp_path):
+        bad = tmp_path / "missing-dir" / "out"
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--jobs", "1", flag, str(bad)])
+        assert exc.value.code != 0
+        assert "cannot write" in capsys.readouterr().err
