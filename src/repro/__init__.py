@@ -48,6 +48,7 @@ Quick start
 """
 
 from repro._version import __version__
+from repro.backends import Backend, ReferenceBackend, VectorizedBackend, get_backend
 from repro.context import SLO, ExecContext, TimedResult
 from repro.tensor import (
     SparseTensor,
@@ -133,6 +134,11 @@ __all__ = [
     "ExecContext",
     "SLO",
     "TimedResult",
+    # numeric-execution backends
+    "Backend",
+    "ReferenceBackend",
+    "VectorizedBackend",
+    "get_backend",
     # tensor substrate
     "SparseTensor",
     "khatri_rao",

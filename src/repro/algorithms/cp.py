@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.algorithms.fit import cp_fit
 from repro.algorithms.normalization import normalize_columns
+from repro.backends import get_backend
 from repro.context import UNSET, ExecContext, resolve_context
 from repro.cpusim.cpu import CPU_I7_5820K, CpuSpec
 from repro.formats.fcoo import FCOOTensor
@@ -281,6 +282,7 @@ class UnifiedGPUEngine:
                 num_streams=self.num_streams,
                 chunk_nnz=self.chunk_nnz,
                 cluster=self._cluster,
+                backend=self.ctx.backend if self.ctx is not None else None,
             ),
         )
         self._timeline.observe(result.profile, slot_map=self._slot_map)
@@ -654,6 +656,7 @@ def cp_als(
     resolved = resolve_context("cp_als", ctx, overlap_modes=overlap_modes, chaos=chaos)
     overlap_modes = resolved.overlap_modes
     chaos = resolved.chaos
+    backend_impl = get_backend(resolved.backend)
     rank = check_rank(rank)
     max_iterations = check_positive_int(max_iterations, "max_iterations")
     if tensor.nnz == 0:
@@ -717,7 +720,7 @@ def cp_als(
     recoveries: List[RecoveryRecord] = []
     recovery_overhead_s = 0.0
 
-    grams = [f.T @ f for f in factors]
+    grams = [backend_impl.gram(f) for f in factors]
     iteration = 0
     while iteration < max_iterations:
         # Iteration-boundary checkpoint: everything the sweep mutates.
@@ -817,14 +820,13 @@ def cp_als(
                 replay = True
                 break
 
-            v = np.ones((rank, rank), dtype=np.float64)
-            for m in range(order):
-                if m != mode:
-                    v *= grams[m]
-            updated = m_matrix @ np.linalg.pinv(v)
+            v = backend_impl.dense_hadamard(
+                [grams[m] for m in range(order) if m != mode], rank
+            )
+            updated = backend_impl.matmul(m_matrix, np.linalg.pinv(v))
             normalized, weights = normalize_columns(updated)
             factors[mode] = normalized
-            grams[mode] = normalized.T @ normalized
+            grams[mode] = backend_impl.gram(normalized)
             dense_s = engine.dense_update_time(tensor.shape[mode], rank, order)
             other_time += dense_s
             # Sequential: the dense update waits for the all-reduce.  With

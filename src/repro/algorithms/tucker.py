@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.algorithms.cp import RecoveryRecord
+from repro.backends import get_backend
 from repro.context import UNSET, ExecContext, resolve_context
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.mode_encoding import OperationKind
@@ -181,6 +182,7 @@ def tucker_hooi(
     )
     cluster, devices = resolved.cluster, resolved.devices
     preproc_cache, chaos = resolved.preproc_cache, resolved.chaos
+    backend_impl = get_backend(resolved.backend)
     if tensor.nnz == 0:
         raise ValueError("cannot decompose an all-zero tensor")
     order = tensor.order
@@ -244,7 +246,7 @@ def tucker_hooi(
             device=device,
             block_size=block_size,
             threadlen=threadlen,
-            ctx=ExecContext(cluster=multi),
+            ctx=ExecContext(cluster=multi, backend=resolved.backend),
         )
         timeline.observe(result.profile, slot_map=slot_map)
         execution = getattr(result.profile, "sharded", None)
@@ -355,7 +357,7 @@ def tucker_hooi(
             recover(failure, iteration, 0)
             factors = [f.copy() for f in checkpoint_factors]
             continue
-        core_unfolded = factors[0].T @ final.output
+        core_unfolded = backend_impl.matmul(factors[0].T, final.output)
         core_norm = float(np.linalg.norm(core_unfolded))
         # For orthonormal factors ||X - X̂||² = ||X||² - ||G||².
         residual_sq = max(x_norm**2 - core_norm**2, 0.0)

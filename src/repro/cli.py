@@ -29,9 +29,11 @@ plain-text table (see :mod:`repro.bench`).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.backends import BACKEND_ENV_VAR, available_backends
 from repro.bench import (
     collect_scaling_trace,
     platform_report,
@@ -314,6 +316,18 @@ def _build_parser() -> argparse.ArgumentParser:
             "preemption/failure/scale record per line)"
         ),
     )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(available_backends()),
+        default=None,
+        help=(
+            "numeric-execution backend for every kernel in the run "
+            "(default: the REPRO_BACKEND environment variable, else "
+            "'reference'); backends are bit-identical, so this changes "
+            "wall-clock speed only — results and simulated seconds are "
+            "unchanged"
+        ),
+    )
     return parser
 
 
@@ -338,6 +352,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+
+    if args.backend:
+        # Every entry point resolves ExecContext(backend=None) against
+        # REPRO_BACKEND at call time, so setting the variable here threads
+        # the selection through all experiments without touching them.
+        os.environ[BACKEND_ENV_VAR] = args.backend
 
     requested: List[str] = [name.lower() for name in args.experiments]
     if not requested or requested == ["list"]:

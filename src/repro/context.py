@@ -160,6 +160,13 @@ class ExecContext:
         the previous mode's reduction, instead of charging all staging
         serially in engine setup (closes the ROADMAP carried item; off by
         default so modeled seconds of existing runs are unchanged).
+    backend:
+        The numeric-execution backend (:mod:`repro.backends`): a registry
+        name (``"reference"`` / ``"vectorized"``), a
+        :class:`~repro.backends.base.Backend` instance, or ``None`` to
+        consult the ``REPRO_BACKEND`` environment variable (default
+        ``"reference"``).  Backends are bit-identical by contract, so this
+        changes wall-clock speed only — never results or modeled seconds.
     slo:
         The job-level :class:`SLO`, carried for serving-layer consumers.
     metrics:
@@ -180,10 +187,17 @@ class ExecContext:
     preproc_cache: Optional[Any] = None
     overlap_modes: bool = False
     overlap_staging: bool = False
+    backend: Optional[Any] = None
     slo: Optional[SLO] = None
     metrics: Optional["MetricsRegistry"] = None
 
     def __post_init__(self) -> None:
+        if self.backend is not None:
+            # Validate eagerly so a typo'd name fails at construction, not
+            # deep inside a kernel.  (Lazy import: backends -> gpusim only.)
+            from repro.backends import get_backend
+
+            get_backend(self.backend)
         if self.num_streams < 1:
             raise ValueError(f"num_streams must be >= 1, got {self.num_streams}")
         if self.chunk_nnz is not None and self.chunk_nnz < 1:

@@ -26,7 +26,36 @@ from repro.gpusim.device import DeviceSpec
 from repro.gpusim.launch import LaunchConfig
 from repro.util.validation import check_positive_int
 
-__all__ = ["segment_reduce", "segmented_scan_counters"]
+__all__ = ["segment_reduce", "segmented_scan_counters", "validate_segment_inputs"]
+
+
+def validate_segment_inputs(
+    values: np.ndarray,
+    segment_ids: np.ndarray,
+    num_segments: int,
+) -> tuple:
+    """Validate and normalise a segment-reduction's inputs.
+
+    Shared by :func:`segment_reduce` and the pluggable execution backends
+    (:mod:`repro.backends`) so every implementation enforces the same
+    contract with the same error messages.  Returns the ``float64`` values
+    array, the segment-id array and the validated segment count.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    segment_ids = np.asarray(segment_ids)
+    num_segments = check_positive_int(num_segments, "num_segments") if num_segments else 0
+    if segment_ids.ndim != 1:
+        raise ValueError(f"segment_ids must be 1-D, got shape {segment_ids.shape}")
+    if values.shape[0] != segment_ids.shape[0]:
+        raise ValueError(
+            f"values and segment_ids must agree on the first dimension, "
+            f"got {values.shape[0]} and {segment_ids.shape[0]}"
+        )
+    if values.ndim not in (1, 2):
+        raise ValueError(f"values must be 1-D or 2-D, got ndim={values.ndim}")
+    if values.shape[0] and (segment_ids.min() < 0 or segment_ids.max() >= num_segments):
+        raise ValueError("segment_ids out of range for num_segments")
+    return values, segment_ids, num_segments
 
 
 def segment_reduce(
@@ -35,6 +64,11 @@ def segment_reduce(
     num_segments: int,
 ) -> np.ndarray:
     """Sum ``values`` within each segment.
+
+    This is the *canonical* reduction order of the whole repository: a
+    strictly sequential scatter-add (``np.add.at``) over the non-zero
+    stream.  Every execution backend (:mod:`repro.backends`) must be
+    bit-identical to it.
 
     Parameters
     ----------
@@ -51,31 +85,19 @@ def segment_reduce(
     numpy.ndarray
         ``(num_segments,)`` or ``(num_segments, r)`` array of segment sums.
     """
-    values = np.asarray(values, dtype=np.float64)
-    segment_ids = np.asarray(segment_ids)
-    num_segments = check_positive_int(num_segments, "num_segments") if num_segments else 0
-    if segment_ids.ndim != 1:
-        raise ValueError(f"segment_ids must be 1-D, got shape {segment_ids.shape}")
-    if values.shape[0] != segment_ids.shape[0]:
-        raise ValueError(
-            f"values and segment_ids must agree on the first dimension, "
-            f"got {values.shape[0]} and {segment_ids.shape[0]}"
-        )
+    values, segment_ids, num_segments = validate_segment_inputs(
+        values, segment_ids, num_segments
+    )
     if values.shape[0] == 0:
         shape = (num_segments,) if values.ndim == 1 else (num_segments, values.shape[1])
         return np.zeros(shape, dtype=np.float64)
-    if segment_ids.min() < 0 or segment_ids.max() >= num_segments:
-        raise ValueError("segment_ids out of range for num_segments")
 
     if values.ndim == 1:
         out = np.zeros(num_segments, dtype=np.float64)
-        np.add.at(out, segment_ids, values)
-        return out
-    if values.ndim == 2:
+    else:
         out = np.zeros((num_segments, values.shape[1]), dtype=np.float64)
-        np.add.at(out, segment_ids, values)
-        return out
-    raise ValueError(f"values must be 1-D or 2-D, got ndim={values.ndim}")
+    np.add.at(out, segment_ids, values)
+    return out
 
 
 def segmented_scan_counters(

@@ -25,13 +25,13 @@ from typing import Any, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.backends import Backend, get_backend
 from repro.context import UNSET, ExecContext, resolve_context
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.mode_encoding import OperationKind
 from repro.gpusim.cluster import resolve_cluster
 from repro.gpusim.device import DeviceSpec, TITAN_X
 from repro.gpusim.launch import LaunchConfig
-from repro.gpusim.scan import segment_reduce
 from repro.gpusim.timing import profile_from_counters
 from repro.kernels.common import MTTKRPResult, validate_factor
 from repro.kernels.unified._model import (
@@ -73,16 +73,16 @@ def spmttkrp_footprint(
 
 
 def _slice_sums(
-    fcoo: FCOOTensor, mats: Sequence[np.ndarray]
+    fcoo: FCOOTensor, mats: Sequence[np.ndarray], backend: Backend
 ) -> Tuple[np.ndarray, List[np.ndarray]]:
     """Numeric core: per-slice Hadamard sums plus the factor row streams."""
-    partial = np.asarray(fcoo.values, dtype=np.float64)[:, None]
-    row_streams: List[np.ndarray] = []
-    for pos, mat in enumerate(mats):
-        rows = fcoo.product_mode_indices(pos).astype(np.int64)
-        row_streams.append(rows)
-        partial = partial * mat[rows, :]
-    return segment_reduce(partial, fcoo.segment_ids, fcoo.num_segments), row_streams
+    row_streams: List[np.ndarray] = [
+        fcoo.product_mode_indices(pos).astype(np.int64) for pos in range(len(mats))
+    ]
+    sums = backend.hadamard_segment_sums(
+        fcoo.values, mats, row_streams, fcoo.segment_ids, fcoo.num_segments
+    )
+    return sums, row_streams
 
 
 def unified_spmttkrp(
@@ -142,6 +142,7 @@ def unified_spmttkrp(
     )
     streamed, num_streams, chunk_nnz = ctx.streamed, ctx.num_streams, ctx.chunk_nnz
     cluster, devices = ctx.cluster, ctx.devices
+    backend_impl = get_backend(ctx.backend)
     if isinstance(tensor, FCOOTensor):
         fcoo = tensor
         if (
@@ -188,7 +189,7 @@ def unified_spmttkrp(
         # -------------------------------------------------------------- #
         slice_sums, profile = sharded_unified_kernel(
             fcoo,
-            lambda chunk: _slice_sums(chunk, mats),
+            lambda chunk: _slice_sums(chunk, mats, backend_impl),
             rank=rank,
             output_width=rank,
             flops_per_nnz_per_column=flops_per_col,
@@ -218,7 +219,7 @@ def unified_spmttkrp(
         # -------------------------------------------------------------- #
         slice_sums, profile = streamed_unified_kernel(
             fcoo,
-            lambda chunk: _slice_sums(chunk, mats),
+            lambda chunk: _slice_sums(chunk, mats, backend_impl),
             rank=rank,
             output_width=rank,
             flops_per_nnz_per_column=flops_per_col,
@@ -243,7 +244,7 @@ def unified_spmttkrp(
         # ------------------------------------------------------------------ #
         # Numerical result.
         # ------------------------------------------------------------------ #
-        slice_sums, row_streams = _slice_sums(fcoo, mats)
+        slice_sums, row_streams = _slice_sums(fcoo, mats, backend_impl)
         # Scatter the per-slice sums to the output rows (the segment table
         # stores the index-mode coordinate of each slice).
         out_rows = fcoo.segment_index_coords[:, 0]

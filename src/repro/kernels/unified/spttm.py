@@ -27,6 +27,7 @@ from typing import Any, Optional, Union
 
 import numpy as np
 
+from repro.backends import Backend, get_backend
 from repro.context import UNSET, ExecContext, resolve_context
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.mode_encoding import OperationKind
@@ -34,7 +35,6 @@ from repro.formats.semisparse import SemiSparseTensor
 from repro.gpusim.cluster import resolve_cluster
 from repro.gpusim.device import DeviceSpec, TITAN_X
 from repro.gpusim.launch import LaunchConfig
-from repro.gpusim.scan import segment_reduce
 from repro.gpusim.timing import profile_from_counters
 from repro.kernels.common import SpTTMResult, validate_factor
 from repro.kernels.unified._model import (
@@ -50,11 +50,13 @@ from repro.util.validation import check_mode
 __all__ = ["unified_spttm"]
 
 
-def _fiber_values(fcoo: FCOOTensor, matrix: np.ndarray):
+def _fiber_values(fcoo: FCOOTensor, matrix: np.ndarray, backend: Backend):
     """Numeric core: per-fiber sums of ``value * U[k, :]`` plus the row stream."""
     product_idx = fcoo.product_mode_indices(0).astype(np.int64)
-    partial = np.asarray(fcoo.values, dtype=np.float64)[:, None] * matrix[product_idx, :]
-    return segment_reduce(partial, fcoo.segment_ids, fcoo.num_segments), product_idx
+    sums = backend.hadamard_segment_sums(
+        fcoo.values, [matrix], [product_idx], fcoo.segment_ids, fcoo.num_segments
+    )
+    return sums, product_idx
 
 
 def unified_spttm(
@@ -145,6 +147,7 @@ def unified_spttm(
     )
     streamed, num_streams, chunk_nnz = ctx.streamed, ctx.num_streams, ctx.chunk_nnz
     cluster, devices = ctx.cluster, ctx.devices
+    backend_impl = get_backend(ctx.backend)
     if isinstance(tensor, FCOOTensor):
         fcoo = tensor
         if fcoo.operation is not OperationKind.SPTTM or fcoo.mode != check_mode(mode, fcoo.order):
@@ -192,7 +195,7 @@ def unified_spttm(
     device, multi = resolve_cluster(device, cluster, devices)
 
     def numeric_core(chunk: FCOOTensor):
-        sums, product_idx = _fiber_values(chunk, matrix)
+        sums, product_idx = _fiber_values(chunk, matrix, backend_impl)
         return sums, [product_idx]
 
     if multi is not None:
@@ -241,7 +244,7 @@ def unified_spttm(
             name=f"unified-spttm-mode{fcoo.mode}",
         )
     else:
-        fiber_values, product_idx = _fiber_values(fcoo, matrix)
+        fiber_values, product_idx = _fiber_values(fcoo, matrix, backend_impl)
         # ------------------------------------------------------------------ #
         # Simulated cost.
         # ------------------------------------------------------------------ #

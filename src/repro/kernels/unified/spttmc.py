@@ -21,13 +21,13 @@ from typing import Any, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.backends import Backend, get_backend
 from repro.context import UNSET, ExecContext, resolve_context
 from repro.formats.fcoo import FCOOTensor
 from repro.formats.mode_encoding import OperationKind
 from repro.gpusim.cluster import resolve_cluster
 from repro.gpusim.device import DeviceSpec, TITAN_X
 from repro.gpusim.launch import LaunchConfig
-from repro.gpusim.scan import segment_reduce
 from repro.gpusim.timing import profile_from_counters
 from repro.kernels.common import TTMcResult, validate_factor
 from repro.kernels.unified._model import (
@@ -44,21 +44,20 @@ __all__ = ["unified_spttmc"]
 
 
 def _kron_slice_sums(
-    fcoo: FCOOTensor, mats: Sequence[np.ndarray]
+    fcoo: FCOOTensor, mats: Sequence[np.ndarray], backend: Backend
 ) -> Tuple[np.ndarray, List[np.ndarray]]:
     """Numeric core: per-slice sums of the per-non-zero Kronecker products.
 
     Built from the last product mode outward so earlier modes vary fastest
     (matching the Kolda unfolding convention of the oracles).
     """
-    partial = np.asarray(fcoo.values, dtype=np.float64)[:, None]
-    row_streams: List[np.ndarray] = [np.empty(0)] * len(mats)
-    for pos in range(len(mats) - 1, -1, -1):
-        rows_idx = fcoo.product_mode_indices(pos).astype(np.int64)
-        row_streams[pos] = rows_idx
-        rows = mats[pos][rows_idx, :]
-        partial = (partial[:, :, None] * rows[:, None, :]).reshape(fcoo.nnz, -1)
-    return segment_reduce(partial, fcoo.segment_ids, fcoo.num_segments), row_streams
+    row_streams: List[np.ndarray] = [
+        fcoo.product_mode_indices(pos).astype(np.int64) for pos in range(len(mats))
+    ]
+    sums = backend.kron_segment_sums(
+        fcoo.values, mats, row_streams, fcoo.segment_ids, fcoo.num_segments
+    )
+    return sums, row_streams
 
 
 def unified_spttmc(
@@ -117,6 +116,7 @@ def unified_spttmc(
     )
     streamed, num_streams, chunk_nnz = ctx.streamed, ctx.num_streams, ctx.chunk_nnz
     cluster, devices = ctx.cluster, ctx.devices
+    backend_impl = get_backend(ctx.backend)
     if isinstance(tensor, FCOOTensor):
         fcoo = tensor
         if fcoo.operation not in (OperationKind.SPTTMC, OperationKind.SPMTTKRP) or (
@@ -157,7 +157,7 @@ def unified_spttmc(
         # -------------------------------------------------------------- #
         slice_sums, profile = sharded_unified_kernel(
             fcoo,
-            lambda chunk: _kron_slice_sums(chunk, mats),
+            lambda chunk: _kron_slice_sums(chunk, mats, backend_impl),
             rank=max(ranks),
             output_width=out_width,
             flops_per_nnz_per_column=3.0,
@@ -187,7 +187,7 @@ def unified_spttmc(
         # -------------------------------------------------------------- #
         slice_sums, profile = streamed_unified_kernel(
             fcoo,
-            lambda chunk: _kron_slice_sums(chunk, mats),
+            lambda chunk: _kron_slice_sums(chunk, mats, backend_impl),
             rank=max(ranks),
             output_width=out_width,
             flops_per_nnz_per_column=3.0,
@@ -212,7 +212,7 @@ def unified_spttmc(
         # ------------------------------------------------------------------ #
         # Numerical result: per-non-zero Kronecker of the selected rows.
         # ------------------------------------------------------------------ #
-        slice_sums, row_streams = _kron_slice_sums(fcoo, mats)
+        slice_sums, row_streams = _kron_slice_sums(fcoo, mats, backend_impl)
         out_rows = fcoo.segment_index_coords[:, 0]
         np.add.at(output, out_rows, slice_sums)
 
