@@ -44,7 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro._version import __version__
 from repro.bench.multinode import run_multinode_scaling
 from repro.bench.scaling import run_scaling, run_weak_scaling
-from repro.bench.serving import run_serving
+from repro.bench.serving import DEFAULT_CROSS_NODE_EVERY, run_serving
 from repro.bench.streaming import run_streaming
 from repro.gpusim.timeline import Timeline
 from repro.serve.autoscale import AutoscalerSpec
@@ -75,6 +75,7 @@ ARTIFACT_FILES = {
     "faults": "BENCH_faults.json",
     "slo": "BENCH_slo.json",
     "obs": "BENCH_obs.json",
+    "adaptive": "BENCH_adaptive.json",
     "wallclock": "BENCH_wallclock.json",
 }
 
@@ -361,6 +362,30 @@ def _faults_metrics() -> Dict[str, float]:
     return metrics
 
 
+def _comparable_arrays(output) -> List[object]:
+    """The comparable ndarrays of any job output type.
+
+    Shared by the SLO and adaptive suites' bit-identity gates: a dense
+    kernel output is one array, a semi-sparse output its coordinate and
+    value arrays, and a decomposition its factors plus weights/core.
+    """
+    import numpy as np
+
+    if output is None:
+        return []
+    if isinstance(output, np.ndarray):
+        return [output]
+    if hasattr(output, "fiber_values"):  # SemiSparseTensor
+        return [output.fiber_coords, output.fiber_values]
+    out: List[object] = []  # CPResult / TuckerResult
+    out.extend(getattr(output, "factors", []) or [])
+    for attr in ("weights", "core"):
+        value = getattr(output, attr, None)
+        if value is not None:
+            out.append(value)
+    return out
+
+
 def _slo_metrics() -> Dict[str, float]:
     """SLO-driven serving suite: deadline economics and preemption.
 
@@ -389,21 +414,7 @@ def _slo_metrics() -> Dict[str, float]:
     fifo = run_serving(policy="fifo", **slo_kwargs)
     priority = run_serving(policy="priority", **slo_kwargs)
 
-    def arrays(output) -> List[object]:
-        """The comparable ndarrays of any job output type."""
-        if output is None:
-            return []
-        if isinstance(output, np.ndarray):
-            return [output]
-        if hasattr(output, "fiber_values"):  # SemiSparseTensor
-            return [output.fiber_coords, output.fiber_values]
-        out: List[object] = []  # CPResult / TuckerResult
-        out.extend(getattr(output, "factors", []) or [])
-        for attr in ("weights", "core"):
-            value = getattr(output, attr, None)
-            if value is not None:
-                out.append(value)
-        return out
+    arrays = _comparable_arrays
 
     twin = {r.job.job_id: r for r in priority.results if r.completed}
     identity_violations = 0
@@ -481,6 +492,105 @@ def _obs_metrics() -> Dict[str, float]:
     }
 
 
+def _adaptive_metrics() -> Dict[str, float]:
+    """Closed-loop scheduling suite: adaptive must never lose to static.
+
+    Each scenario serves the same 40-job workload twice through one
+    engine — the first run warms the preprocessing cache *and* the
+    observation store, the second run is measured with the feedback loop
+    closed — once static (FIFO NIC, feedback never consumed) and once
+    adaptive (hedged run, plus a non-FIFO NIC discipline on the
+    multi-node scenarios).  Three zero-tolerance counts pin the tentpole
+    properties:
+
+    * ``adaptive/regression_count`` — a measured adaptive makespan
+      exceeded its static twin's.  The hedged engine trial-schedules both
+      ways and keeps adaptive only on a strict win, so this must never
+      happen by construction.
+    * ``adaptive/identity_violation_count`` — a job completed by both
+      twins whose outputs are not ``np.array_equal``.  Feedback moves
+      work in *time*, never in *value*.
+    * ``adaptive/gang_feasibility_violation_count`` — the adaptive runs'
+      timelines reported booking violations (a displaced collective gang
+      torn apart or double-booked); must stay empty under every NIC
+      discipline.
+
+    The per-scenario improvement ratios (adaptive over static makespan,
+    at most 1.0 when the hedge holds) ride along as ungated ``_info``
+    trend metrics, and the measured adaptive makespans are gated with the
+    ordinary ratio tolerance.
+    """
+    import numpy as np
+
+    from repro.serve.engine import ServingEngine
+    from repro.serve.workload import (
+        WorkloadSpec,
+        default_multinode_serving_cluster,
+        generate_workload,
+    )
+
+    def measure(make_cluster, jobs, *, adaptive: bool, nic_policy: str = "fifo"):
+        engine = ServingEngine(
+            make_cluster(),
+            autotune=True,
+            adaptive=adaptive,
+            nic_policy=nic_policy,
+        )
+        engine.run(jobs)  # warm-up: fills the cache and observation store
+        return engine.run(jobs)
+
+    single_jobs = generate_workload(WorkloadSpec(num_jobs=40, seed=0))
+    multi_jobs = generate_workload(
+        WorkloadSpec(
+            num_jobs=40, seed=0, cross_node_every=DEFAULT_CROSS_NODE_EVERY
+        )
+    )
+    single = lambda: None  # noqa: E731 - default serving node
+    multi = lambda: default_multinode_serving_cluster(2)  # noqa: E731
+
+    scenarios = {
+        "serving": (
+            measure(single, single_jobs, adaptive=False),
+            measure(single, single_jobs, adaptive=True),
+        ),
+        "multinode_fair": (
+            measure(multi, multi_jobs, adaptive=False),
+            measure(multi, multi_jobs, adaptive=True, nic_policy="fair"),
+        ),
+        "multinode_priority": (
+            measure(multi, multi_jobs, adaptive=False),
+            measure(multi, multi_jobs, adaptive=True, nic_policy="priority"),
+        ),
+    }
+
+    metrics: Dict[str, float] = {}
+    regressions = 0
+    identity_violations = 0
+    infeasible = 0
+    for name, (static, adaptive) in scenarios.items():
+        regressions += adaptive.makespan_s > static.makespan_s + 1e-12
+        twin = {r.job.job_id: r for r in static.results if r.completed}
+        for result in adaptive.results:
+            other = twin.get(result.job.job_id)
+            if not result.completed or other is None:
+                continue
+            ours = _comparable_arrays(result.output)
+            theirs = _comparable_arrays(other.output)
+            identity_violations += len(ours) != len(theirs) or any(
+                not np.array_equal(a, b) for a, b in zip(ours, theirs)
+            )
+        if adaptive.timeline is not None:
+            infeasible += len(adaptive.timeline.violations())
+        metrics[f"adaptive/{name}_makespan"] = adaptive.makespan_s
+        metrics[f"adaptive/{name}_improvement_ratio_info"] = (
+            adaptive.makespan_s / static.makespan_s if static.makespan_s else 1.0
+        )
+    metrics["adaptive/regression_count"] = float(regressions)
+    metrics["adaptive/identity_violation_count"] = float(identity_violations)
+    metrics["adaptive/gang_feasibility_violation_count"] = float(infeasible)
+    return metrics
+
+
 def _wallclock_metrics() -> Dict[str, float]:
     """Wall-clock suite (quick mode): see :mod:`repro.bench.wallclock`.
 
@@ -503,6 +613,7 @@ _SUITE_COLLECTORS = {
     "faults": _faults_metrics,
     "slo": _slo_metrics,
     "obs": _obs_metrics,
+    "adaptive": _adaptive_metrics,
     "wallclock": _wallclock_metrics,
 }
 
@@ -606,7 +717,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro.bench.regression",
         description="Deterministic benchmark-regression gate for CI.",
     )
-    action = parser.add_mutually_exclusive_group(required=True)
+    action = parser.add_mutually_exclusive_group()
     action.add_argument(
         "--check", action="store_true", help="compare current metrics to the baseline"
     )
@@ -636,15 +747,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="append",
         dest="suite",
         metavar="NAME",
-        choices=sorted(ARTIFACT_FILES),
         default=None,
         help=(
             "suite(s) to run (repeatable); default: every simulated-time "
             "suite.  The 'wallclock' suite measures real host time and runs "
-            "only when requested explicitly"
+            "only when requested explicitly; see --list-suites"
         ),
     )
+    parser.add_argument(
+        "--list-suites",
+        action="store_true",
+        help="print the known suite names (one per line) and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.list_suites:
+        for suite in ARTIFACT_FILES:
+            print(suite)
+        return 0
+    if not (args.check or args.update):
+        parser.error("one of the arguments --check --update is required")
+
+    if args.suite:
+        unknown = [s for s in args.suite if s not in ARTIFACT_FILES]
+        if unknown:
+            parser.error(
+                f"unknown suite(s): {', '.join(unknown)}; "
+                f"valid suites: {', '.join(ARTIFACT_FILES)} "
+                "(see --list-suites)"
+            )
 
     suites = collect_metrics(args.suite)
 

@@ -21,6 +21,10 @@ Usage::
                                               # exposition of the run
     python -m repro serve --events out.jsonl  # structured scheduler event
                                               # log, one JSON line per event
+    python -m repro serve --adaptive --nic-policy fair  # closed-loop
+                                              # scheduling: observed times
+                                              # feed the placer/tuner, NIC
+                                              # collectives queue fairly
 
 Each experiment prints the same rows/series the paper reports, rendered as a
 plain-text table (see :mod:`repro.bench`).
@@ -135,6 +139,8 @@ def _render_serve(args: argparse.Namespace) -> str:
         slo_fraction=args.slo,
         deadline_slack=args.slo_slack,
         autoscale=autoscale,
+        adaptive=args.adaptive,
+        nic_policy=args.nic_policy,
     )
     parts = [report.render()]
     if args.trace:
@@ -252,6 +258,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "for the serve experiment: enable the device-pool autoscaler, "
             "starting from this many active devices (default 0 = off)"
+        ),
+    )
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help=(
+            "for the serve experiment: hedged closed-loop scheduling — "
+            "observed execution times feed the placer and tuner, and the "
+            "adaptive schedule is kept only when its trial makespan "
+            "strictly beats the static one (adaptive never loses; outputs "
+            "are bit-identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--nic-policy",
+        choices=["fifo", "fair", "priority"],
+        default="fifo",
+        help=(
+            "for the serve experiment: NIC queue discipline for cross-node "
+            "collectives — 'fifo' (arrival order, the default), 'fair' "
+            "(round-robin by consumed NIC seconds per job), or 'priority' "
+            "(deadline jobs first, then by queue priority)"
         ),
     )
     parser.add_argument(
@@ -403,6 +431,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"--autoscale must be non-negative, got {args.autoscale}")
     if args.autoscale and "serve" not in requested:
         parser.error("--autoscale only applies to the 'serve' experiment")
+    if args.adaptive and "serve" not in requested:
+        parser.error("--adaptive only applies to the 'serve' experiment")
+    if args.nic_policy != "fifo" and "serve" not in requested:
+        parser.error("--nic-policy only applies to the 'serve' experiment")
 
     if args.trace:
         # --trace belongs to exactly one timeline-producing experiment per

@@ -52,7 +52,13 @@ from math import ceil, log2
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.gpusim.device import DeviceSpec, TITAN_X
-from repro.gpusim.timeline import GangBooking, Resource, Timeline
+from repro.gpusim.timeline import (
+    CollectiveRequest,
+    GangBooking,
+    NicDiscipline,
+    Resource,
+    Timeline,
+)
 
 __all__ = [
     "InterconnectSpec",
@@ -394,6 +400,8 @@ class ClusterSpec:
         *,
         ready_s: float = 0.0,
         label: str = "collective",
+        discipline: Optional[NicDiscipline] = None,
+        request: Optional[CollectiveRequest] = None,
     ) -> GangBooking:
         """Book a pre-priced collective of ``duration_s`` onto the link.
 
@@ -402,13 +410,23 @@ class ClusterSpec:
         closed-form cost — and a busy link delays it, which is how
         link/NIC *contention* between concurrent jobs falls out of the
         shared timeline instead of each job pricing the link as idle.
+
+        A caller serving several jobs under a NIC queue ``discipline``
+        passes it (with the job's :class:`CollectiveRequest`) so the
+        discipline's per-job service ledger stays accurate; the booking
+        arithmetic itself is discipline-free — reordering is the
+        *scheduler's* move (it releases and re-books queued gangs), never
+        this primitive's.
         """
-        return timeline.book_together(
+        gang = timeline.book_together(
             self.collective_resources(timeline),
             duration_s,
             ready_s=ready_s,
             label=label,
         )
+        if discipline is not None and request is not None:
+            discipline.note_dispatch(request)
+        return gang
 
     def book_allreduce(
         self, timeline: Timeline, nbytes: float, *, ready_s: float = 0.0, label: str = "allreduce"
@@ -999,6 +1017,8 @@ class MultiNodeClusterSpec:
         *,
         ready_s: float = 0.0,
         label: str = "collective",
+        discipline: Optional[NicDiscipline] = None,
+        request: Optional[CollectiveRequest] = None,
     ) -> GangBooking:
         """Book a pre-priced collective onto every participating tier.
 
@@ -1007,13 +1027,21 @@ class MultiNodeClusterSpec:
         already holds a shared NIC, this one waits for it: shared-NIC
         *congestion* under concurrent cross-node jobs, with the idle model
         as the exact lower bound (and the degenerate single-job case).
+
+        ``discipline``/``request`` mirror
+        :meth:`ClusterSpec.book_collective`: the NIC queue discipline's
+        per-job service ledger is updated, while any reordering stays the
+        scheduler's move.
         """
-        return timeline.book_together(
+        gang = timeline.book_together(
             self.collective_resources(timeline),
             duration_s,
             ready_s=ready_s,
             label=label,
         )
+        if discipline is not None and request is not None:
+            discipline.note_dispatch(request)
+        return gang
 
     def book_allreduce(
         self, timeline: Timeline, nbytes: float, *, ready_s: float = 0.0, label: str = "allreduce"

@@ -107,7 +107,36 @@ class PreprocCache:
         self.stats = CacheStats()
         self._encodings: "OrderedDict[Tuple[str, str, int], _EncodingEntry]" = OrderedDict()
         self._tuned: Dict[Tuple[str, str, int, int, str], Tuple[int, int]] = {}
+        # Predicted (block, threadlen) time surface of each tuner miss,
+        # kept so the feedback loop can re-rank a cached config against
+        # observed execution times (see rerank_tuner_config).
+        self._surfaces: Dict[
+            Tuple[str, str, int, int, str],
+            Tuple[Tuple[int, ...], Tuple[int, ...], "np.ndarray"],
+        ] = {}
         self._current_bytes = 0
+
+    def clone(self) -> "PreprocCache":
+        """An independent shallow copy, for hedged trial runs.
+
+        The clone shares the cached encodings/configs *by reference*
+        (they are immutable values) but owns its dicts, stats and byte
+        accounting — a trial scheduler warming or re-ranking its clone
+        leaves this cache byte-for-byte untouched.
+        """
+        other = PreprocCache(capacity_bytes=self.capacity_bytes)
+        other.stats = CacheStats(
+            encode_hits=self.stats.encode_hits,
+            encode_misses=self.stats.encode_misses,
+            tuner_hits=self.stats.tuner_hits,
+            tuner_misses=self.stats.tuner_misses,
+            evictions=self.stats.evictions,
+        )
+        other._encodings = OrderedDict(self._encodings)
+        other._tuned = dict(self._tuned)
+        other._surfaces = dict(self._surfaces)
+        other._current_bytes = self._current_bytes
+        return other
 
     # ------------------------------------------------------------------ #
     @property
@@ -206,4 +235,61 @@ class PreprocCache:
         grid = np.asarray(result.times_grid, dtype=np.float64)
         cost_s = float(np.isfinite(grid).sum()) * TUNER_SECONDS_PER_CONFIG
         self._tuned[key] = config
+        self._surfaces[key] = (
+            tuple(int(b) for b in block_sizes),
+            tuple(int(t) for t in threadlens),
+            np.asarray(result.times, dtype=np.float64).copy(),
+        )
         return config, False, cost_s
+
+    # ------------------------------------------------------------------ #
+    def rerank_tuner_config(
+        self,
+        tensor: SparseTensor,
+        operation: Union[OperationKind, str],
+        mode: int,
+        rank: int,
+        *,
+        device: DeviceSpec = TITAN_X,
+        observed_s: float,
+        tolerance: float = 0.25,
+    ) -> Tuple[Tuple[int, int], bool]:
+        """Re-rank a cached launch config against an observed exec time.
+
+        The feedback half of the tuner: when the observed (simulated)
+        execution time of this job shape has drifted more than
+        ``tolerance`` (relative) away from what the tuner's model
+        predicted for the cached config, the observed value *replaces*
+        that config's entry on the stored prediction surface and the
+        argmin is retaken — a uniform model error scales every cell alike
+        and can never change the winner, so only the substitution can.
+        Returns ``(config, changed)``; a miss entry, an in-tolerance
+        observation, or a surface swept before this feature simply keeps
+        the cached config.
+        """
+        operation = OperationKind.coerce(operation)
+        key = (tensor.content_key, operation.value, int(mode), int(rank), device.name)
+        cached = self._tuned.get(key)
+        surface = self._surfaces.get(key)
+        if cached is None or surface is None:
+            return (cached if cached is not None else (0, 0)), False
+        block_sizes, threadlens, times = surface
+        if cached[0] not in block_sizes or cached[1] not in threadlens:
+            return cached, False
+        i = block_sizes.index(cached[0])
+        j = threadlens.index(cached[1])
+        predicted = float(times[i, j])
+        if not np.isfinite(predicted) or predicted <= 0.0:
+            return cached, False
+        if abs(observed_s - predicted) <= tolerance * predicted:
+            return cached, False
+        adjusted = times.copy()
+        adjusted[i, j] = observed_s
+        flat = int(np.argmin(np.where(np.isfinite(adjusted), adjusted, np.inf)))
+        bi, tj = np.unravel_index(flat, adjusted.shape)
+        config = (block_sizes[int(bi)], threadlens[int(tj)])
+        self._surfaces[key] = (block_sizes, threadlens, adjusted)
+        if config == cached:
+            return cached, False
+        self._tuned[key] = config
+        return config, True

@@ -28,8 +28,14 @@ from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.autoscale import AutoscalerSpec, ScaleEvent
 from repro.serve.cache import CacheStats, PreprocCache
+from repro.serve.feedback import ObservationStore
 from repro.serve.job import Job, JobResult
-from repro.serve.scheduler import DeviceTimeline, PreemptionRecord, Scheduler
+from repro.serve.scheduler import (
+    DeviceTimeline,
+    PreemptionRecord,
+    ScheduleOutcome,
+    Scheduler,
+)
 from repro.serve.workload import WorkloadSpec, default_serving_cluster, generate_workload
 from repro.util.formatting import format_seconds, format_table
 
@@ -365,6 +371,18 @@ class ServingEngine:
     autoscale:
         Optional :class:`~repro.serve.autoscale.AutoscalerSpec` enabling
         the device-pool autoscaler; ``None`` keeps the fixed pool.
+    adaptive:
+        Enables the closed-loop feedback consumers with a *hedged* run
+        (see :meth:`run`): each job list is trial-scheduled both ways on
+        throwaway cache clones and the adaptive schedule is kept only
+        when its makespan is strictly better, so adaptive can never lose
+        to static.  Off by default — the engine still *records*
+        observations into :attr:`observations` either way, it just never
+        consumes them.
+    nic_policy:
+        NIC queue discipline for the run's collectives (``"fifo"``,
+        ``"fair"`` or ``"priority"``); only consulted by the winning
+        schedule when ``adaptive`` is on, applied directly otherwise.
     """
 
     def __init__(
@@ -380,15 +398,25 @@ class ServingEngine:
         autotune: bool = False,
         num_streams: int = 2,
         autoscale: Optional[AutoscalerSpec] = None,
+        adaptive: bool = False,
+        nic_policy: str = "fifo",
     ) -> None:
         self.cluster = collapse_cluster(
             cluster if cluster is not None else default_serving_cluster()
         )
         self.cache = cache if cache is not None else PreprocCache()
         self.policy = policy
-        self.scheduler = Scheduler(
-            self.cluster,
-            self.cache,
+        self.adaptive = adaptive
+        self.nic_policy = nic_policy
+        #: Cross-run execution/congestion observations; every run records
+        #: into this store (the closed loop warms across runs), adaptive
+        #: runs additionally consume it.
+        self.observations = ObservationStore()
+        #: ``True``/``False`` after an adaptive :meth:`run` depending on
+        #: which trial schedule won; ``None`` before any, or when
+        #: ``adaptive`` is off.
+        self.last_adaptive_won: Optional[bool] = None
+        self._scheduler_kwargs = dict(
             policy=policy,
             max_batch=max_batch,
             max_queue_depth=max_queue_depth,
@@ -397,6 +425,13 @@ class ServingEngine:
             autotune=autotune,
             num_streams=num_streams,
             autoscale=autoscale,
+        )
+        self.scheduler = Scheduler(
+            self.cluster,
+            self.cache,
+            observations=self.observations,
+            nic_policy=nic_policy,
+            **self._scheduler_kwargs,
         )
 
     # ------------------------------------------------------------------ #
@@ -425,11 +460,25 @@ class ServingEngine:
         on the report (``report.metrics`` / ``report.events``) alongside
         the span-folded cost attribution.  Telemetry is observation-only:
         results and bookings are bit-identical with or without consumers.
+
+        With ``adaptive`` on, the run is *hedged*: the jobs are first
+        trial-scheduled twice on throwaway cache clones — once static
+        (FIFO NIC, no observations consumed) and once adaptive (blended
+        placement, tuner re-ranking, the engine's NIC policy, a clone of
+        the observation store) — with no telemetry sinks.  The adaptive
+        configuration is kept only if its trial makespan is *strictly*
+        shorter; ties and regressions fall back to the static schedule,
+        so a cold store (which makes the adaptive trial collapse to the
+        static one under FIFO) reproduces the static run event for
+        event.  The winner is then re-run on the real cache with the real
+        sinks; observations are recorded into :attr:`observations` either
+        way, closing the loop for the next run.
         """
         before = replace(self.cache.stats)
         registry = metrics if metrics is not None else MetricsRegistry()
         log = events if events is not None else EventLog()
-        outcome = self.scheduler.run(jobs, chaos=chaos, metrics=registry, events=log)
+        scheduler = self._hedge(jobs, chaos) if self.adaptive else self.scheduler
+        outcome = scheduler.run(jobs, chaos=chaos, metrics=registry, events=log)
         report = ServingReport(
             cluster=self.cluster,
             policy=self.policy,
@@ -447,6 +496,61 @@ class ServingEngine:
         )
         publish_serving_metrics(registry, report)
         return report
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _trial_makespan(outcome: ScheduleOutcome) -> float:
+        """Completion time of a trial schedule's last completed job."""
+        return max((r.finish_s for r in outcome.results if r.completed), default=0.0)
+
+    def _hedge(
+        self, jobs: Sequence[Job], chaos: Optional[Sequence[NodeFailure]]
+    ) -> Scheduler:
+        """Trial-run ``jobs`` static and adaptive; return the winner.
+
+        Both trials run on :meth:`~repro.serve.cache.PreprocCache.clone`
+        copies of the shared cache (and a clone of the observation store)
+        with no telemetry sinks, so they leave the engine's real state
+        byte-for-byte untouched.  The adaptive configuration wins only on
+        a strictly shorter makespan — with no observations and a FIFO NIC
+        the two trials are identical, so the tie-break keeps the static
+        schedule and the cold-start run is indistinguishable from a
+        non-adaptive engine.  The returned scheduler targets the *real*
+        cache and observation store, ready for the final instrumented run.
+        """
+        static_trial = Scheduler(
+            self.cluster,
+            self.cache.clone(),
+            observations=None,
+            **self._scheduler_kwargs,
+        ).run(jobs, chaos=chaos)
+        adaptive_trial = Scheduler(
+            self.cluster,
+            self.cache.clone(),
+            adaptive=True,
+            observations=self.observations.clone(),
+            nic_policy=self.nic_policy,
+            **self._scheduler_kwargs,
+        ).run(jobs, chaos=chaos)
+        won = bool(
+            self._trial_makespan(adaptive_trial) < self._trial_makespan(static_trial)
+        )
+        self.last_adaptive_won = won
+        if won:
+            return Scheduler(
+                self.cluster,
+                self.cache,
+                adaptive=True,
+                observations=self.observations,
+                nic_policy=self.nic_policy,
+                **self._scheduler_kwargs,
+            )
+        return Scheduler(
+            self.cluster,
+            self.cache,
+            observations=self.observations,
+            **self._scheduler_kwargs,
+        )
 
     def run_workload(
         self,

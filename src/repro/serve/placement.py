@@ -33,17 +33,24 @@ NIC.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import AbstractSet, FrozenSet, Optional, Sequence, Tuple
+from typing import AbstractSet, Dict, FrozenSet, Optional, Sequence, Tuple
 
 from repro.formats.fcoo import FCOOTensor
 from repro.gpusim.cluster import ClusterLike, MultiNodeClusterSpec, collapse_cluster
 from repro.gpusim.device import DeviceSpec
+from repro.serve.feedback import ObservationStore
 from repro.serve.job import Job, JobKind
 
-__all__ = ["JobGeometry", "job_geometry", "Placement", "Placer"]
+__all__ = ["JobGeometry", "job_geometry", "Placement", "Placer", "ADAPTIVE_BLEND"]
 
 #: Bytes per stored factor/output element (the kernels' single precision).
 _VALUE_BYTES = 4.0
+
+#: Weight of the *observed* execution estimate when the adaptive placer
+#: blends it with the static roofline cost (0 = pure static, 1 = pure
+#: observed).  A constant half keeps the static model as an anchor — one
+#: anomalous observation can shift a ranking, never own it.
+ADAPTIVE_BLEND = 0.5
 
 
 @dataclass(frozen=True)
@@ -204,7 +211,17 @@ class Placement:
 
 
 class Placer:
-    """Capability-aware (and, over two tiers, node-aware) placement policy."""
+    """Capability-aware (and, over two tiers, node-aware) placement policy.
+
+    With ``adaptive=True`` and an :class:`ObservationStore`, the static
+    roofline ranking blends in what the feedback loop has actually
+    observed: per-(kernel, tensor, device) execution estimates replace
+    half of the roofline transfer term (:data:`ADAPTIVE_BLEND`), and
+    per-slot / per-node congestion estimates penalise busy sites.  Every
+    adaptive term is exactly zero (or absent) while the store is empty,
+    so a cold-start adaptive placer ranks *bit-identically* to the static
+    one — the fallback the regression gate relies on.
+    """
 
     def __init__(
         self,
@@ -213,6 +230,8 @@ class Placer:
         block_size: int = 128,
         threadlen: int = 8,
         num_streams: int = 2,
+        adaptive: bool = False,
+        observations: Optional[ObservationStore] = None,
     ) -> None:
         # A one-node "multi-node" cluster has no NIC tier to reason about;
         # collapse it so every decision (and every recorded placement)
@@ -221,10 +240,24 @@ class Placer:
         self.block_size = block_size
         self.threadlen = threadlen
         self.num_streams = max(1, int(num_streams))
+        self.adaptive = bool(adaptive)
+        self.observations = observations
+        #: Rationale of the most recent single-device :meth:`place` call
+        #: (chosen slot, its blended and static completion estimates, the
+        #: congestion penalty applied) — the scheduler copies it into the
+        #: dispatch event so adaptive decisions are auditable.  ``None``
+        #: until a single-device placement is made, and for sharded ones.
+        self.last_rationale: Optional[Dict[str, float]] = None
         #: Roofline throughput score per device slot (bytes/s) — the same
         #: scores whose normalisation weights the shard partitioner, so
         #: placement preference and shard sizing cannot diverge.
         self.scores: Tuple[float, ...] = cluster.capability_scores()
+
+    def _feedback(self) -> Optional[ObservationStore]:
+        """The store to consult, or ``None`` when placing statically."""
+        if self.adaptive and self.observations is not None:
+            return self.observations
+        return None
 
     @property
     def multinode(self) -> bool:
@@ -289,9 +322,13 @@ class Placer:
         the dense operands.  Among qualifying nodes the placer minimises
         the estimated completion time ``max(now, node's busiest compute
         slot) + traffic / node aggregate throughput`` — data locality
-        first, load balance among the local options.
+        first, load balance among the local options.  An adaptive placer
+        additionally penalises each node by its observed collective NIC
+        wait, steering node-local shards away from congested nodes (zero
+        penalty while unobserved, so cold-start ranking is unchanged).
         """
         cluster = self.cluster
+        feedback = self._feedback()
         needed = geometry.resident_bytes + self._min_chunk_bytes(geometry)
         best: Optional[Tuple[float, int]] = None
         traffic = geometry.footprint_bytes + geometry.output_bytes
@@ -313,6 +350,8 @@ class Placer:
                 max([now_s] + [compute_free_s[s] for s in slots])
                 + traffic / throughput
             )
+            if feedback is not None:
+                finish += feedback.node_congestion_s(index)
             if best is None or (finish, index) < best:
                 best = (finish, index)
         if best is None:
@@ -350,6 +389,7 @@ class Placer:
         topology, and single-device placements never pick a dead slot.
         """
         cluster = self.cluster
+        self.last_rationale = None
         # Sharding stages the full dense operands on *every* member (only
         # the non-zero stream is split), so it is feasible only when the
         # resident bytes fit the smallest device.
@@ -393,6 +433,29 @@ class Placer:
                 s for s in range(cluster.num_devices) if s not in excluded_slots
             ) or tuple(range(cluster.num_devices))
         traffic = geometry.footprint_bytes + geometry.output_bytes
+        feedback = self._feedback()
+
+        def static_cost(s: int) -> float:
+            return max(now_s, compute_free_s[s]) + traffic / self.scores[s]
+
+        def blended_cost(s: int) -> float:
+            # Static completion estimate, with the roofline transfer term
+            # half-replaced by the observed exec time for this exact
+            # (kernel, tensor, device) triple when one exists, plus the
+            # slot's observed queueing penalty.  Both fall back to the
+            # static term / zero while unobserved.
+            if feedback is None:
+                return static_cost(s)
+            work = traffic / self.scores[s]
+            observed = feedback.expected_exec_s(
+                job.kind.value, job.tensor.content_key, cluster.devices[s].name
+            )
+            if observed is not None:
+                work = (1.0 - ADAPTIVE_BLEND) * work + ADAPTIVE_BLEND * observed
+            return (
+                max(now_s, compute_free_s[s]) + work + feedback.congestion_s(s)
+            )
+
         # Prefer devices the job fits on one-shot (a streamed fallback
         # re-ships the encoding every execution); among those, minimise the
         # estimated completion time.
@@ -400,10 +463,18 @@ class Placer:
             slots,
             key=lambda s: (
                 geometry.footprint_bytes > cluster.devices[s].global_mem_bytes,
-                max(now_s, compute_free_s[s]) + traffic / self.scores[s],
+                blended_cost(s),
                 s,
             ),
         )
+        self.last_rationale = {
+            "slot": float(best),
+            "blended_score_s": blended_cost(best),
+            "static_score_s": static_cost(best),
+            "observed_congestion_s": (
+                feedback.congestion_s(best) if feedback is not None else 0.0
+            ),
+        }
         return Placement(
             device_slots=(best,),
             cluster=None,

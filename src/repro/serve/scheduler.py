@@ -89,12 +89,16 @@ from repro.gpusim.cluster import (
 )
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.timeline import (
+    NIC_POLICIES,
     Booking,
+    CollectiveRequest,
+    NicDiscipline,
     Resource,
     Span,
     Timeline,
     device_compute_key,
     device_copy_key,
+    make_nic_discipline,
     schedule_chunks,
 )
 from repro.gpusim.timing import OutOfDeviceMemory
@@ -104,6 +108,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.serve.autoscale import Autoscaler, AutoscalerSpec, ScaleEvent
 from repro.serve.cache import PreprocCache
 from repro.serve.execute import ExecutionOutcome, execute_job
+from repro.serve.feedback import ObservationStore
 from repro.serve.job import Job, JobKind, JobResult, JobStatus
 from repro.serve.placement import JobGeometry, Placement, Placer, job_geometry
 
@@ -228,6 +233,24 @@ class _CommittedJob:
 
 
 @dataclass
+class _DisplacedCollective:
+    """A queued collective pulled off the timeline by the NIC discipline.
+
+    The incumbent's gang (and the barrier reservations pinned to it) have
+    been released; after the overtaking job books its own collective, the
+    incumbent is re-booked from this record — same label, span and
+    duration, same ``queued_from_s`` (its compute drain instant), so the
+    extra delay lands in its ``nic_wait_s`` attribution.
+    """
+
+    committed: _CommittedJob
+    label: str
+    span: Optional[Span]
+    duration_s: float
+    queued_from_s: float
+
+
+@dataclass
 class _RunState:
     """The shared timeline of one scheduler run plus its device resources."""
 
@@ -249,6 +272,9 @@ class _RunState:
     #: Telemetry sinks of the run (both optional; observation-only).
     metrics: Optional[MetricsRegistry] = None
     events: Optional[EventLog] = None
+    #: The run's NIC queue discipline (``None`` under the default FIFO,
+    #: which keeps the legacy booking path byte-identical).
+    discipline: Optional[NicDiscipline] = None
 
 
 @dataclass
@@ -315,6 +341,23 @@ class Scheduler:
     autoscale:
         Optional :class:`~repro.serve.autoscale.AutoscalerSpec`; ``None``
         (the default) keeps the legacy fixed pool byte-identical.
+    adaptive:
+        Feed the :class:`~repro.serve.feedback.ObservationStore` back into
+        placement (congestion-aware blended scores) and the tuner cache
+        (observed-time re-ranking).  With no observations recorded yet the
+        adaptive paths fall back *exactly* to the static ones, so a cold
+        adaptive run is event-for-event identical to a static run.
+    observations:
+        The cross-run :class:`~repro.serve.feedback.ObservationStore`.
+        When set, every run folds its completed jobs' attributed costs in
+        (recording is independent of ``adaptive``, which only *consumes*).
+    nic_policy:
+        NIC queue discipline for queued collectives (one of
+        :data:`~repro.gpusim.timeline.NIC_POLICIES`).  ``"fifo"`` (the
+        default) keeps arrival order and the legacy booking path;
+        ``"fair"`` / ``"priority"`` may let a queued collective overtake
+        another *queued* (never in-flight) one, when the swap is feasible
+        without disturbing any third job's bookings.
     """
 
     def __init__(
@@ -330,6 +373,9 @@ class Scheduler:
         autotune: bool = False,
         num_streams: int = 2,
         autoscale: Optional[AutoscalerSpec] = None,
+        adaptive: bool = False,
+        observations: Optional[ObservationStore] = None,
+        nic_policy: str = "fifo",
     ) -> None:
         if policy not in ("priority", "fifo", "deadline"):
             raise ValueError(
@@ -341,6 +387,10 @@ class Scheduler:
             raise ValueError(
                 f"max_queue_depth must be at least 1, got {max_queue_depth}"
             )
+        if nic_policy not in NIC_POLICIES:
+            raise ValueError(
+                f"nic_policy must be one of {NIC_POLICIES}, got {nic_policy!r}"
+            )
         # Collapse a one-node multi-node spec (mirroring the placer), so
         # timelines, placements and reports speak the same cluster.
         self.cluster = cluster = collapse_cluster(cluster)
@@ -351,11 +401,16 @@ class Scheduler:
         self.autotune = autotune
         self.num_streams = num_streams
         self.autoscale = autoscale
+        self.adaptive = adaptive
+        self.observations = observations
+        self.nic_policy = nic_policy
         self.placer = Placer(
             cluster,
             block_size=block_size,
             threadlen=threadlen,
             num_streams=num_streams,
+            adaptive=adaptive,
+            observations=observations,
         )
         weights = cluster.capability_weights()
         #: Where tuner sweeps run: the most capable member (ties: lowest slot).
@@ -423,6 +478,24 @@ class Scheduler:
                     # The sweep runs after this job's encode lands.
                     ready_s += tune_s
                     availability[tuner_key] = ready_s
+                if tuner_hit and self.adaptive and self.observations is not None:
+                    # Feedback half of the tuner: a cached config whose
+                    # observed execution time drifted past the tolerance
+                    # is re-ranked against the stored prediction surface.
+                    # Pure cache bookkeeping — no extra host seconds, no
+                    # readiness change.
+                    observed = self.observations.expected_exec_any(
+                        job.kind.value, job.tensor.content_key
+                    )
+                    if observed is not None:
+                        launch, _ = self.cache.rerank_tuner_config(
+                            job.tensor,
+                            job.operation,
+                            job.mode,
+                            job.rank,
+                            device=self._tuner_device,
+                            observed_s=observed,
+                        )
         else:
             # Prime the cache for every mode the decomposition will sweep,
             # so the driver's per-mode lookups hit; the misses are this
@@ -616,6 +689,13 @@ class Scheduler:
             jobs=[0] * self.cluster.num_devices,
             metrics=metrics,
             events=events,
+            # FIFO keeps the legacy path: no discipline object at all, so
+            # the collective booking arithmetic is untouched line for line.
+            discipline=(
+                make_nic_discipline(self.nic_policy)
+                if self.nic_policy != "fifo"
+                else None
+            ),
         )
         pending = deque(sorted(jobs, key=lambda j: (j.arrival_s, j.job_id)))
         ready: List[Tuple[Tuple, _ReadyEntry]] = []
@@ -790,8 +870,58 @@ class Scheduler:
                 result.nic_wait_s = cost.nic_wait_s
                 result.compute_s = cost.compute_s
                 result.preemption_overhead_s = cost.preemption_overhead_s
+        if self.observations is not None:
+            # Close the loop: fold every completed job's attributed cost
+            # and per-resource waits into the cross-run observation store.
+            # Recording happens regardless of ``adaptive`` (which only
+            # gates consumption), so a static run still warms the store.
+            device_node = getattr(self.cluster, "device_node", None)
+            for result in ordered:
+                if not result.completed:
+                    continue
+                slots = result.device_slots
+                self.observations.record(
+                    kind=result.job.kind.value,
+                    content_key=result.job.tensor.content_key,
+                    device_names=[self.cluster.devices[s].name for s in slots],
+                    slots=slots,
+                    nodes=(
+                        sorted({device_node[s] for s in slots})
+                        if device_node is not None
+                        else [0]
+                    ),
+                    exec_s=result.exec_s,
+                    device_wait_s=max(
+                        0.0,
+                        result.exec_start_s
+                        - (result.stage_start_s + result.stage_s),
+                    ),
+                    nic_wait_s=result.nic_wait_s,
+                )
         if metrics is not None:
             attribution.publish(metrics)
+            queue_wait = metrics.histogram(
+                "repro_job_queue_wait_seconds",
+                "Simulated seconds completed jobs waited between arrival "
+                "and staging.",
+            )
+            for result in ordered:
+                if result.completed:
+                    queue_wait.observe(result.queue_wait_s)
+            gangs = {
+                e.label
+                for e in timeline.events
+                if e.busy
+                and e.category in ("link", "nic")
+                and e.span is not None
+                and e.span.phase == "collective"
+            }
+            metrics.counter(
+                "repro_nic_discipline_dispatch_total",
+                "Collective gang dispatches through the NIC queue, by "
+                "discipline.",
+                ("policy",),
+            ).inc(float(len(gangs)), policy=self.nic_policy)
         timelines = [
             DeviceTimeline(
                 slot=i,
@@ -857,6 +987,7 @@ class Scheduler:
                 cache=self.cache,
                 num_streams=self.num_streams,
                 metrics=state.metrics,
+                nic_policy=self.nic_policy,
             )
         except OutOfDeviceMemory as exc:
             # The admission estimate is first-order (autotune can raise the
@@ -886,6 +1017,7 @@ class Scheduler:
             batch_id=batch_id,
             batch_leader=bool(mates),
             encoding_staged=True,
+            results=results,
         )
         if (
             self.policy == "deadline"
@@ -919,6 +1051,7 @@ class Scheduler:
                 cache=self.cache,
                 num_streams=self.num_streams,
                 metrics=state.metrics,
+                nic_policy=self.nic_policy,
             )
             results[mate.job.job_id] = self._commit(
                 mate,
@@ -930,6 +1063,7 @@ class Scheduler:
                 batch_id=batch_id,
                 batch_leader=False,
                 encoding_staged=False,
+                results=results,
             )
         return batch_seq
 
@@ -996,6 +1130,7 @@ class Scheduler:
         batch_id: Optional[int],
         batch_leader: bool,
         encoding_staged: bool,
+        results: Optional[Dict[int, JobResult]] = None,
     ) -> JobResult:
         """Book one executed job onto the shared timeline.
 
@@ -1106,6 +1241,18 @@ class Scheduler:
         if reduction_s > 0.0 and placement.cluster is not None:
             compute_end = exec_start + compute_span
             resources = placement.cluster.collective_resources(state.timeline)
+            displaced: Optional[_DisplacedCollective] = None
+            request: Optional[CollectiveRequest] = None
+            if state.discipline is not None:
+                request = CollectiveRequest(
+                    job_id=job.job_id,
+                    duration_s=reduction_s,
+                    priority=job.priority,
+                    has_deadline=math.isfinite(job.deadline_s),
+                )
+                displaced = self._displace_collective(
+                    state, resources, compute_end, request
+                )
             red_start = compute_end
             for resource in resources:
                 red_start = max(red_start, resource.free_s)
@@ -1125,6 +1272,11 @@ class Scheduler:
                 queued_from_s=compute_end,
             )
             tracked.extend(collective.bookings)
+            if state.discipline is not None and request is not None:
+                state.discipline.note_dispatch(request)
+            if displaced is not None:
+                # Put the overtaken collective back, now behind ours.
+                self._rebook_displaced(state, results, displaced)
         # Hold every participating compute engine to the job's completion
         # (the devices take part in the collective; nothing else may slot in).
         for lane in compute_lanes:
@@ -1142,14 +1294,26 @@ class Scheduler:
 
         start_event = complete_event = None
         if state.events is not None:
-            start_event = state.events.emit(
-                "dispatch",
+            detail: Dict[str, object] = dict(
                 time_s=stage_start,
                 job_id=tag,
                 slots=list(slots),
                 execution=outcome.execution,
                 batch_id=batch_id,
             )
+            rationale = self.placer.last_rationale
+            if self.adaptive and rationale is not None:
+                # Placement rationale (record-only): the chosen slot's
+                # blended score, the static roofline score it would have
+                # had, and the observed congestion folded in.  Emitted only
+                # on adaptive runs, so static event logs are byte-identical
+                # to earlier releases.
+                detail["blended_score_s"] = rationale["blended_score_s"]
+                detail["static_score_s"] = rationale["static_score_s"]
+                detail["observed_congestion_s"] = rationale[
+                    "observed_congestion_s"
+                ]
+            start_event = state.events.emit("dispatch", **detail)
             complete_event = state.events.emit(
                 "complete",
                 time_s=finish,
@@ -1196,6 +1360,164 @@ class Scheduler:
                 else 0.0
             ),
         )
+
+    # ------------------------------------------------------------------ #
+    # NIC queue disciplines (nic_policy="fair" / "priority")
+    # ------------------------------------------------------------------ #
+    def _displace_collective(
+        self,
+        state: _RunState,
+        resources: Sequence[Resource],
+        compute_end: float,
+        request: CollectiveRequest,
+    ) -> Optional[_DisplacedCollective]:
+        """Pull the queued collective ahead of ours off the NIC, if the
+        discipline says we overtake it and the surgery is feasible.
+
+        Strictly best-effort, with every guard erring toward "do nothing"
+        (which keeps the FIFO order and is always sound):
+
+        * the newest booking on *every* contended link/NIC resource must
+          belong to one gang — one committed job's collective — that has
+          not started by the time our compute drains (a collective in
+          flight is never reordered);
+        * the discipline must rank our request *strictly* ahead of the
+          incumbent's (ties keep arrival order, so the schedule stays
+          deterministic);
+        * the incumbent's gang bookings and the ``barrier:`` reservations
+          pinned to its finish must all be tail bookings of their lanes —
+          releasing them must not strand any third job's bookings.
+
+        On success the incumbent's gang and barriers are *released* (its
+        result/ledger updated by :meth:`_rebook_displaced` after the caller
+        books its own collective into the freed window) and the released
+        ledger is returned; any failed guard returns ``None``.
+        """
+        discipline = state.discipline
+        if discipline is None:
+            return None
+        tails = [r.last_booking for r in resources]
+        if not tails or any(b is None for b in tails):
+            return None
+        first = tails[0]
+        if (
+            first.span is None
+            or first.span.phase != "collective"
+            or any(b.label != first.label for b in tails)
+            or len({(b.start_s, b.end_s) for b in tails}) != 1
+        ):
+            return None
+        if first.start_s < compute_end:
+            return None  # already in flight when our collective is ready
+        inc_tag = first.span.job_id
+        if not inc_tag.startswith("job"):
+            return None
+        try:
+            inc_id = int(inc_tag[3:])
+        except ValueError:
+            return None
+        if inc_id == request.job_id:
+            return None
+        inc = state.committed.get(inc_id)
+        if inc is None:
+            return None
+        inc_job = inc.entry.job
+        incumbent = CollectiveRequest(
+            job_id=inc_id,
+            duration_s=first.end_s - first.start_s,
+            priority=inc_job.priority,
+            has_deadline=math.isfinite(inc_job.deadline_s),
+        )
+        if not discipline.precedes(request, incumbent):
+            return None
+        gang = [b for b in inc.bookings if b.label == first.label]
+        if {id(b) for b in gang} != {id(b) for b in tails}:
+            return None  # the tails are not exactly the incumbent's gang
+        barriers = [
+            b for b in inc.bookings if b.label == f"barrier:{inc_tag}"
+        ]
+        lanes: Dict[str, Resource] = {r.key: r for r in resources}
+        for slot in inc.placement.device_slots:
+            lane = state.compute[slot]
+            lanes[lane.key] = lane
+        to_release = gang + barriers
+        by_lane: Dict[str, List[Booking]] = {}
+        for booking in to_release:
+            by_lane.setdefault(booking.resource, []).append(booking)
+        for key, group in by_lane.items():
+            lane = lanes.get(key)
+            if lane is None or not lane.is_tail(group):
+                return None
+        state.timeline.release(to_release)
+        removed = {id(b) for b in to_release}
+        inc.bookings = [b for b in inc.bookings if id(b) not in removed]
+        if state.events is not None:
+            state.events.emit(
+                "nic_reorder",
+                time_s=compute_end,
+                job_id=f"job{request.job_id}",
+                displaced=inc_tag,
+                policy=discipline.policy,
+            )
+        return _DisplacedCollective(
+            committed=inc,
+            label=first.label,
+            span=first.span,
+            duration_s=incumbent.duration_s,
+            queued_from_s=first.ready_s,
+        )
+
+    def _rebook_displaced(
+        self,
+        state: _RunState,
+        results: Optional[Dict[int, JobResult]],
+        disp: _DisplacedCollective,
+    ) -> None:
+        """Re-book a displaced incumbent's collective behind the overtaker.
+
+        Same label, span, duration and ``queued_from_s`` as the released
+        gang — only the start moves (to the overtaking collective's end),
+        so the added delay lands in the incumbent's ``nic_wait_s``.  The
+        barrier reservations holding its compute lanes are re-extended to
+        the new finish, and its ledger, result and provisional ``complete``
+        event are updated in place.
+        """
+        inc = disp.committed
+        gang = state.timeline.book_together(
+            inc.placement.cluster.collective_resources(state.timeline),
+            disp.duration_s,
+            ready_s=disp.queued_from_s,
+            label=disp.label,
+            span=disp.span,
+            queued_from_s=disp.queued_from_s,
+        )
+        inc.bookings.extend(gang.bookings)
+        finish = gang.end_s
+        inc_tag = f"job{inc.entry.job.job_id}"
+        for slot in inc.placement.device_slots:
+            lane = state.compute[slot]
+            if finish > lane.free_s:
+                inc.bookings.append(
+                    lane.book(
+                        finish - lane.free_s,
+                        ready_s=lane.free_s,
+                        label=f"barrier:{inc_tag}",
+                        busy=False,
+                    )
+                )
+        inc.finish_s = finish
+        jid = inc.entry.job.job_id
+        if results is not None and jid in results:
+            results[jid] = replace(results[jid], finish_s=finish)
+        if state.events is not None and inc.complete_event is not None:
+            state.events.retract(inc.complete_event)
+            inc.complete_event = state.events.emit(
+                "complete",
+                time_s=finish,
+                job_id=inc_tag,
+                execution=inc.outcome.execution,
+                exec_s=inc.outcome.exec_s,
+            )
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -1261,7 +1583,16 @@ class Scheduler:
             key=lambda c: (-c.finish_s, c.entry.job.job_id),
         )
         if candidates:
-            state.timeline.release(own.bookings)
+            try:
+                state.timeline.release(own.bookings)
+            except ValueError:
+                # A non-FIFO NIC discipline may have re-booked a displaced
+                # incumbent *behind* this job's collective, so the trial
+                # booking is no longer the tail of its lanes.  Release
+                # verifies before mutating, so nothing moved — keep the
+                # first booking instead of attempting the rescue.
+                state.committed[job.job_id] = own
+                return first_result
             # The trial booking is fully revoked (nothing ran yet — this
             # all happens at dispatch time); the re-commit re-emits.
             self._revoke_events(state, own, work_started=False)
@@ -1278,6 +1609,7 @@ class Scheduler:
                 batch_id=batch_id,
                 batch_leader=batch_leader,
                 encoding_staged=True,
+                results=results,
             )
         state.committed[job.job_id] = own
         return first_result
